@@ -1,0 +1,224 @@
+package paratick
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each iteration executes the experiment at a
+// reduced (but behaviour-preserving) scale and reports the paper's relative
+// metrics via b.ReportMetric:
+//
+//	exits_pct      relative change in total VM exits (negative = fewer)
+//	throughput_pct relative change in system throughput
+//	runtime_pct    relative change in execution time
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale runs (the numbers recorded in EXPERIMENTS.md) come from
+// cmd/paratick-bench.
+
+import (
+	"testing"
+
+	"paratick/internal/analytic"
+	"paratick/internal/experiment"
+)
+
+// benchOpts returns reduced-scale options so `go test -bench=.` completes
+// in minutes while preserving every experiment's structure.
+func benchOpts() experiment.Options {
+	o := experiment.DefaultOptions()
+	o.Scale = 0.1
+	return o
+}
+
+// BenchmarkTable1 regenerates Table 1: VM exits of the four §3.3
+// hypothetical workloads under periodic/tickless/paratick, analytically and
+// in full simulation.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTable1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			w3 := res.Rows[2]
+			b.ReportMetric(float64(w3.SimPeriodic), "w3_periodic_exits")
+			b.ReportMetric(float64(w3.SimTickless), "w3_tickless_exits")
+			b.ReportMetric(float64(w3.SimParatick), "w3_paratick_exits")
+		}
+	}
+}
+
+// BenchmarkTable1Analytic regenerates the analytic half of Table 1 alone
+// (the closed-form §3 models).
+func BenchmarkTable1Analytic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := analytic.Table1(analytic.PaperTable)
+		if len(rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func reportFigure(b *testing.B, fig *experiment.ParsecFigure) {
+	b.ReportMetric(fig.Aggregate.ExitsDelta*100, "exits_pct")
+	b.ReportMetric(fig.Aggregate.ThroughputDelta*100, "throughput_pct")
+	b.ReportMetric(fig.Aggregate.RuntimeDelta*100, "runtime_pct")
+}
+
+// BenchmarkFig4Table2 regenerates Figure 4 and Table 2: the 13 sequential
+// PARSEC benchmarks, dynticks vs paratick.
+func BenchmarkFig4Table2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunFig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportFigure(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig5Small / Medium / Large regenerate the three panels of
+// Figure 5 (and the rows of Table 3): multithreaded PARSEC at the paper's
+// VM sizes.
+func BenchmarkFig5Small(b *testing.B)  { benchFig5(b, 0) }
+func BenchmarkFig5Medium(b *testing.B) { benchFig5(b, 1) }
+func BenchmarkFig5Large(b *testing.B)  { benchFig5(b, 2) }
+
+func benchFig5(b *testing.B, size int) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunFig5Size(benchOpts(), experiment.VMSizes()[size])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportFigure(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig6Table4 regenerates Figure 6 and Table 4: fio's four access
+// patterns over the 4k–256k block-size sweep.
+func BenchmarkFig6Table4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.RunFig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(fig.ExitsDelta*100, "exits_pct")
+			b.ReportMetric(fig.IOThroughputDelta*100, "throughput_pct")
+			b.ReportMetric(fig.RuntimeDelta*100, "runtime_pct")
+		}
+	}
+}
+
+// BenchmarkCrossover regenerates the §3.3 idle-period sweep locating the
+// periodic-vs-tickless crossover.
+func BenchmarkCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunCrossover(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.EmpiricalCrossover.Microseconds(), "crossover_us")
+			b.ReportMetric(res.AnalyticThreshold.Microseconds(), "threshold_us")
+		}
+	}
+}
+
+// BenchmarkConsolidation regenerates the §3.1 mixed-fleet scenario: neither
+// periodic nor tickless is acceptable fleet-wide; paratick undercuts both.
+func BenchmarkConsolidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunConsolidation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Rows[0].TimerExits), "periodic_timer_exits")
+			b.ReportMetric(float64(res.Rows[1].TimerExits), "tickless_timer_exits")
+			b.ReportMetric(float64(res.Rows[2].TimerExits), "paratick_timer_exits")
+		}
+	}
+}
+
+// BenchmarkAblationIdleExit measures the §5.2.5 keep-timer-armed heuristic.
+func BenchmarkAblationIdleExit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunIdleExitAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Rows[1].TimerExits), "keep_timer_exits")
+			b.ReportMetric(float64(res.Rows[2].TimerExits), "disarm_timer_exits")
+		}
+	}
+}
+
+// BenchmarkAblationFreqMismatch measures the §4.1 top-up extension.
+func BenchmarkAblationFreqMismatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFrequencyMismatchAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Rows[0].GuestTicks), "ticks_no_topup")
+			b.ReportMetric(float64(res.Rows[1].GuestTicks), "ticks_topup")
+		}
+	}
+}
+
+// BenchmarkAblationHaltPoll measures KVM halt polling's cycles-for-latency
+// trade (why the paper disables it).
+func BenchmarkAblationHaltPoll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunHaltPollAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].Runtime.Seconds()*1e3, "runtime_nopoll_ms")
+			b.ReportMetric(res.Rows[2].Runtime.Seconds()*1e3, "runtime_poll200us_ms")
+		}
+	}
+}
+
+// BenchmarkAblationPLE contrasts blocking sync, optimistic spinning, and
+// spinning under pause-loop exiting (why §6 disables PLE).
+func BenchmarkAblationPLE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunPLEAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Rows[1].TotalExits), "exits_spin_nople")
+			b.ReportMetric(float64(res.Rows[2].TotalExits), "exits_spin_ple")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// nanoseconds per wall second on the fio workload (a sanity metric for the
+// engine itself, not a paper result).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Scenario{
+			Mode:     ModeParatick,
+			Workload: FioWorkload("rndr", 4, 8),
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.IOOps == 0 {
+			b.Fatal("no work done")
+		}
+	}
+}

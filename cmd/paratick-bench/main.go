@@ -1,0 +1,176 @@
+// Command paratick-bench regenerates the paper's evaluation: Table 1 and
+// Figures 4–6 with their aggregate Tables 2–4, plus the ablation studies.
+//
+// Usage:
+//
+//	paratick-bench [-run all|table1|fig4|fig5|fig6|ablation] [-scale 1.0]
+//	               [-seed 1] [-device nvme|sata-ssd|hdd] [-out DIR]
+//
+// -scale shrinks the workloads for quick runs (0.1 ≈ a tenth of the paper's
+// durations). -out additionally writes each table as CSV into DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"paratick/internal/experiment"
+	"paratick/internal/iodev"
+	"paratick/internal/metrics"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, table1, fig4, fig5, fig6, crossover, consolidation, ablation")
+	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-sized)")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	device := flag.String("device", "nvme", "block device profile: nvme, sata-ssd, hdd")
+	repeats := flag.Int("repeats", 1, "average each experiment over this many seeds (paper: 3-15)")
+	out := flag.String("out", "", "directory for CSV output (optional)")
+	flag.Parse()
+
+	opts := experiment.DefaultOptions()
+	opts.Seed = *seed
+	opts.Scale = *scale
+	opts.Repeats = *repeats
+	switch *device {
+	case "nvme":
+		opts.Device = iodev.NVMe()
+	case "sata-ssd":
+		opts.Device = iodev.SataSSD()
+	case "hdd":
+		opts.Device = iodev.HDD()
+	default:
+		fatal(fmt.Errorf("unknown device %q", *device))
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	all := *run == "all"
+	start := time.Now()
+	if all || *run == "table1" {
+		runTable1(opts, *out)
+	}
+	if all || *run == "fig4" {
+		runFig4(opts, *out)
+	}
+	if all || *run == "fig5" {
+		runFig5(opts, *out)
+	}
+	if all || *run == "fig6" {
+		runFig6(opts, *out)
+	}
+	if all || *run == "crossover" {
+		runCrossover(opts, *out)
+	}
+	if all || *run == "consolidation" {
+		runConsolidation(opts)
+	}
+	if all || *run == "ablation" {
+		runAblation(opts)
+	}
+	switch *run {
+	case "all", "table1", "fig4", "fig5", "fig6", "crossover", "consolidation", "ablation":
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *run))
+	}
+	fmt.Printf("done in %v (scale %.2f, seed %d)\n", time.Since(start).Round(time.Millisecond), *scale, *seed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paratick-bench:", err)
+	os.Exit(1)
+}
+
+func writeCSV(dir, name string, t *metrics.Table) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name+".csv")
+	if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  wrote %s\n", path)
+}
+
+func runTable1(opts experiment.Options, out string) {
+	fmt.Println("== Table 1: hypothetical workloads (analytic + simulated) ==")
+	res, err := experiment.RunTable1(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Render())
+}
+
+func runFig4(opts experiment.Options, out string) {
+	fmt.Println("== Figure 4 + Table 2: sequential PARSEC ==")
+	fig, err := experiment.RunFig4(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(fig.Render())
+	fmt.Println(fig.Table().String())
+	fmt.Println(experiment.RenderTable2(fig).String())
+	writeCSV(out, "fig4", fig.Table())
+	writeCSV(out, "table2", experiment.RenderTable2(fig))
+}
+
+func runFig5(opts experiment.Options, out string) {
+	fmt.Println("== Figure 5 + Table 3: multithreaded PARSEC ==")
+	figs, err := experiment.RunFig5(opts)
+	if err != nil {
+		fatal(err)
+	}
+	for i, fig := range figs {
+		fmt.Println(fig.Render())
+		writeCSV(out, fmt.Sprintf("fig5-%s", experiment.VMSizes()[i].Name), fig.Table())
+	}
+	fmt.Println(experiment.RenderTable3(figs).String())
+	writeCSV(out, "table3", experiment.RenderTable3(figs))
+}
+
+func runFig6(opts experiment.Options, out string) {
+	fmt.Println("== Figure 6 + Table 4: phoronix-fio ==")
+	fig, err := experiment.RunFig6(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(fig.Render())
+	fmt.Println(fig.Table().String())
+	fmt.Println(experiment.RenderTable4(fig).String())
+	writeCSV(out, "fig6", fig.Table())
+	writeCSV(out, "table4", experiment.RenderTable4(fig))
+}
+
+func runCrossover(opts experiment.Options, out string) {
+	fmt.Println("== §3.3 crossover sweep: to tick or not to tick ==")
+	res, err := experiment.RunCrossover(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Render())
+	writeCSV(out, "crossover", res.Table())
+}
+
+func runConsolidation(opts experiment.Options) {
+	fmt.Println("== §3.1 consolidation: mixed fleet, 2:1 overcommit ==")
+	res, err := experiment.RunConsolidation(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Render())
+}
+
+func runAblation(opts experiment.Options) {
+	fmt.Println("== Ablations ==")
+	s, err := experiment.RunAllAblations(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(s)
+}

@@ -1,0 +1,91 @@
+// Command paratick-sim runs a single scenario — one VM, one workload, one
+// tick mode — and prints its report, optionally comparing against the
+// dynticks baseline.
+//
+// Usage:
+//
+//	paratick-sim [-mode dynticks|periodic|paratick] [-vcpus N] [-sockets N]
+//	             [-workload SPEC] [-duration 1s] [-seed 1] [-compare]
+//	             [-guest-hz 250] [-host-hz 250] [-haltpoll 0]
+//
+// Workload specs:
+//
+//	parsec-seq:NAME          sequential PARSEC benchmark (e.g. dedup)
+//	parsec-par:NAME:THREADS  multithreaded PARSEC benchmark
+//	fio:PATTERN:BSKB:MB      fio job, e.g. fio:rndr:4:64
+//	sync:THREADS:RATE        §3.3 blocking-sync microbenchmark
+//	idle                     no tasks (requires -duration)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paratick"
+)
+
+func main() {
+	mode := flag.String("mode", "paratick", "tick mode: dynticks, periodic, paratick")
+	vcpus := flag.Int("vcpus", 1, "vCPU count")
+	sockets := flag.Int("sockets", 1, "NUMA sockets to spread vCPUs over")
+	wl := flag.String("workload", "fio:rndr:4:16", "workload spec (see -help)")
+	duration := flag.Duration("duration", 0, "fixed run duration (for idle workloads)")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	guestHz := flag.Int("guest-hz", 250, "guest tick frequency")
+	hostHz := flag.Int("host-hz", 250, "host tick frequency")
+	haltPoll := flag.Duration("haltpoll", 0, "KVM halt-polling window (0 = disabled, as in the paper)")
+	pleWindow := flag.Duration("ple", 0, "pause-loop-exiting window (0 = disabled, as in the paper)")
+	spin := flag.Duration("spin", 0, "adaptive lock spin before blocking (0 = pure blocking sync)")
+	overcommit := flag.Int("overcommit", 1, "vCPUs per physical CPU")
+	topUp := flag.Bool("topup", false, "enable the §4.1 frequency-mismatch top-up timer")
+	disarm := flag.Bool("disarm-on-idle-exit", false, "invert the §5.2.5 heuristic (ablation)")
+	compare := flag.Bool("compare", false, "also run the dynticks baseline and print the comparison")
+	flag.Parse()
+
+	m, err := paratick.ParseTickMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	workload, err := paratick.ParseWorkloadSpec(*wl, *duration)
+	if err != nil {
+		fatal(err)
+	}
+	if *wl == "idle" && *duration <= 0 {
+		fatal(fmt.Errorf("idle workload requires -duration"))
+	}
+	s := paratick.Scenario{
+		Mode:             m,
+		VCPUs:            *vcpus,
+		Sockets:          *sockets,
+		Overcommit:       *overcommit,
+		GuestHz:          *guestHz,
+		HostHz:           *hostHz,
+		Seed:             *seed,
+		Duration:         *duration,
+		HaltPoll:         *haltPoll,
+		PLEWindow:        *pleWindow,
+		AdaptiveSpin:     *spin,
+		TopUpTimer:       *topUp,
+		DisarmOnIdleExit: *disarm,
+		Workload:         workload,
+	}
+	if *compare {
+		cmp, err := paratick.CompareToBaseline(s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(cmp.Summary())
+		return
+	}
+	rep, err := paratick.Run(s)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Summary())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paratick-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command paratick-trace runs a scenario with event tracing enabled and
+// prints a perf-style summary of VM exits and injections, optionally
+// followed by the tail of the raw event stream.
+//
+// Usage:
+//
+//	paratick-trace [-mode paratick] [-vcpus 1] [-workload fio:rndr:4:4]
+//	               [-events 0] [-buffer 4096] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paratick"
+)
+
+func main() {
+	mode := flag.String("mode", "paratick", "tick mode: dynticks, periodic, paratick")
+	vcpus := flag.Int("vcpus", 1, "vCPU count")
+	wl := flag.String("workload", "fio:rndr:4:4", "workload spec (see paratick-sim -help)")
+	events := flag.Int("events", 0, "print the last N raw trace events")
+	buffer := flag.Int("buffer", 4096, "trace ring capacity")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	m, err := paratick.ParseTickMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	workload, err := paratick.ParseWorkloadSpec(*wl, 0)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := paratick.Run(paratick.Scenario{
+		Mode:          m,
+		VCPUs:         *vcpus,
+		Seed:          *seed,
+		Workload:      workload,
+		TraceCapacity: *buffer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Summary())
+	fmt.Println()
+	fmt.Print(rep.Trace.Summary())
+	if *events > 0 {
+		evs := rep.Trace.Events()
+		if len(evs) > *events {
+			evs = evs[len(evs)-*events:]
+		}
+		fmt.Println()
+		for _, e := range evs {
+			fmt.Println(e.String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paratick-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Package paratick is a deterministic simulation library for studying
+// scheduler-tick management in virtual machines, reproducing the system and
+// evaluation of "Paratick: Reducing Timer Overhead in Virtual Machines"
+// (Schildermans, Aerts, Shan, Ding — ICPP 2021).
+//
+// The paper's contribution — virtual scheduler ticks, where the guest stops
+// programming its own tick timer and the hypervisor injects ticks on VM
+// entry — is a Linux/KVM kernel modification. This library re-implements the
+// whole stack as a discrete-event model: timer hardware (TSC-deadline MSR,
+// VMX preemption timer), a KVM-like hypervisor with per-reason VM-exit
+// accounting, a guest kernel (run queues, timer wheel, idle loop, RCU and
+// softirq models), block devices, and behavioural workload generators for
+// the paper's PARSEC and fio evaluations.
+//
+// # Quick start
+//
+// Compare paratick against the standard tickless ("dynticks") kernel on an
+// I/O-intensive workload:
+//
+//	cmp, err := paratick.CompareToBaseline(paratick.Scenario{
+//		Name:     "rndr-4k",
+//		VCPUs:    1,
+//		Workload: paratick.FioWorkload("rndr", 4, 32),
+//	})
+//	if err != nil { ... }
+//	fmt.Println(cmp.Summary())
+//
+// # Tick modes
+//
+// Three guest tick-management policies are available (§2, §4 of the paper):
+//
+//   - ModePeriodic: classic fixed-rate scheduler tick.
+//   - ModeDynticks: the tickless kernel, Linux's default and the paper's
+//     baseline.
+//   - ModeParatick: the paper's virtual scheduler ticks.
+//
+// # Custom workloads
+//
+// CustomWorkload builds arbitrary guest task graphs — compute phases,
+// blocking locks and barriers, sleeps, and synchronous or write-back I/O —
+// through a small builder API; see the examples directory.
+//
+// # Reproduction harness
+//
+// The cmd/paratick-bench binary and the repository's bench_test.go
+// regenerate every table and figure of the paper's evaluation; EXPERIMENTS.md
+// records paper-vs-measured values.
+package paratick

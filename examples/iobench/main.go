@@ -1,0 +1,55 @@
+// IObench: the §6.3 experiment in miniature — fio's four access patterns on
+// devices of three latency classes, showing that paratick's I/O benefit
+// grows as devices get faster (§4.2's prediction, and the paper's closing
+// argument that "performance benefits will only increase as time goes on").
+//
+//	go run ./examples/iobench
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paratick"
+)
+
+func main() {
+	devices := []paratick.DeviceClass{
+		paratick.DeviceHDD, paratick.DeviceSataSSD, paratick.DeviceNVMe,
+	}
+	patterns := []string{"seqr", "seqwr", "rndr", "rndwr"}
+
+	fmt.Println("=== fio 4k, paratick vs dynticks: runtime improvement by device ===")
+	fmt.Printf("%-10s", "pattern")
+	for _, d := range devices {
+		fmt.Printf(" %12s", d)
+	}
+	fmt.Println()
+	for _, pat := range patterns {
+		fmt.Printf("%-10s", pat)
+		for _, dev := range devices {
+			mb := 8
+			if dev == paratick.DeviceHDD {
+				mb = 1 // HDDs are slow; keep the example snappy
+			}
+			cmp, err := paratick.CompareToBaseline(paratick.Scenario{
+				Name:     fmt.Sprintf("fio/%s/%s", pat, dev),
+				Workload: paratick.FioWorkloadOn(pat, 4, mb, dev),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %+11.1f%%", cmp.RuntimeDelta*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n=== rndr 4k on NVMe, full comparison ===")
+	cmp, err := paratick.CompareToBaseline(paratick.Scenario{
+		Workload: paratick.FioWorkloadOn("rndr", 4, 16, paratick.DeviceNVMe),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cmp.Summary())
+}

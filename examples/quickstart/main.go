@@ -1,0 +1,36 @@
+// Quickstart: compare paratick against the standard tickless kernel on one
+// workload and print the paper's three headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paratick"
+)
+
+func main() {
+	// dedup is the PARSEC suite's most I/O- and sync-intensive pipeline;
+	// §6.1 shows it among the biggest paratick winners.
+	scenario := paratick.Scenario{
+		Name:     "quickstart-dedup",
+		VCPUs:    1,
+		Workload: paratick.ParsecSequential("dedup"),
+	}
+
+	// Run once under paratick and once under the dynticks baseline.
+	cmp, err := paratick.CompareToBaseline(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== dedup, sequential, 1 vCPU ===")
+	fmt.Print(cmp.Summary())
+
+	// Reports carry the full exit breakdown for deeper digging.
+	fmt.Println("\n--- baseline (dynticks) detail ---")
+	fmt.Print(cmp.Baseline.Summary())
+	fmt.Println("\n--- paratick detail ---")
+	fmt.Print(cmp.Optimized.Summary())
+}

@@ -1,0 +1,3 @@
+module paratick
+
+go 1.22

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+
+	"paratick/internal/sim"
+)
+
+// mockHostVCPU is a scripted HostVCPU.
+type mockHostVCPU struct {
+	now          sim.Time
+	guestPeriod  sim.Time
+	hostPeriod   sim.Time
+	pendingTimer bool
+	lastTick     sim.Time
+	injections   int
+	topUps       []sim.Time
+}
+
+func newMockHostVCPU() *mockHostVCPU {
+	return &mockHostVCPU{
+		guestPeriod: 4 * sim.Millisecond,
+		hostPeriod:  4 * sim.Millisecond,
+	}
+}
+
+func (m *mockHostVCPU) Now() sim.Time                 { return m.now }
+func (m *mockHostVCPU) GuestTickPeriod() sim.Time     { return m.guestPeriod }
+func (m *mockHostVCPU) HostTickPeriod() sim.Time      { return m.hostPeriod }
+func (m *mockHostVCPU) HasPendingLocalTimer() bool    { return m.pendingTimer }
+func (m *mockHostVCPU) InjectVirtualTick()            { m.injections++ }
+func (m *mockHostVCPU) LastVirtualTick() sim.Time     { return m.lastTick }
+func (m *mockHostVCPU) SetLastVirtualTick(t sim.Time) { m.lastTick = t }
+func (m *mockHostVCPU) ArmTopUpTimer(d sim.Time)      { m.topUps = append(m.topUps, d) }
+
+func TestParatickHostInjectsWhenPeriodElapsed(t *testing.T) {
+	v := newMockHostVCPU()
+	h := &ParatickHost{}
+	v.now = 5 * sim.Millisecond // > one 4ms period since lastTick=0
+	h.OnVMEntry(v)
+	if v.injections != 1 {
+		t.Fatalf("injections = %d, want 1", v.injections)
+	}
+	// Drift-free advance: last_tick moves by one period (not to now), so
+	// jittered entry times do not shed ticks.
+	if v.lastTick != 4*sim.Millisecond {
+		t.Fatalf("last_tick = %v, want 4ms (advanced by one period)", v.lastTick)
+	}
+}
+
+func TestParatickHostDriftFreeRateUnderJitter(t *testing.T) {
+	// Entries at period ± jitter must still deliver one tick per period on
+	// average — the refinement over the paper's record-now behaviour.
+	v := newMockHostVCPU()
+	h := &ParatickHost{}
+	rng := sim.NewRand(9)
+	now := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		now += rng.Jitter(v.guestPeriod, 0.3)
+		v.now = now
+		h.OnVMEntry(v)
+	}
+	want := int(now / v.guestPeriod)
+	// Allow ~2%: rare gaps beyond the catch-up horizon reset the phase.
+	if v.injections < want*98/100 || v.injections > want+2 {
+		t.Fatalf("injections = %d over %v, want ~%d", v.injections, now, want)
+	}
+}
+
+func TestParatickHostNoInjectionWithinPeriod(t *testing.T) {
+	v := newMockHostVCPU()
+	h := &ParatickHost{}
+	v.lastTick = 10 * sim.Millisecond
+	v.now = 12 * sim.Millisecond // 2ms < 4ms period
+	h.OnVMEntry(v)
+	if v.injections != 0 {
+		t.Fatalf("injections = %d, want 0", v.injections)
+	}
+	if v.lastTick != 10*sim.Millisecond {
+		t.Fatal("last_tick modified without injection")
+	}
+}
+
+func TestParatickHostExactPeriodBoundaryInjects(t *testing.T) {
+	// Fig. 2: "time since last tick > tick period?" — we use >= so a vCPU
+	// entered exactly one period later still receives its tick.
+	v := newMockHostVCPU()
+	h := &ParatickHost{}
+	v.lastTick = 0
+	v.now = v.guestPeriod
+	h.OnVMEntry(v)
+	if v.injections != 1 {
+		t.Fatal("entry at exactly one period did not inject")
+	}
+}
+
+func TestParatickHostPendingLocalTimerActsAsTick(t *testing.T) {
+	// Fig. 2 / §5.1: a pending local timer interrupt will act as the tick;
+	// refresh last_tick and do NOT inject a second interrupt.
+	v := newMockHostVCPU()
+	h := &ParatickHost{}
+	v.pendingTimer = true
+	v.now = 20 * sim.Millisecond // long past due
+	h.OnVMEntry(v)
+	if v.injections != 0 {
+		t.Fatalf("injected %d virtual ticks despite pending local timer", v.injections)
+	}
+	if v.lastTick != v.now {
+		t.Fatal("last_tick not refreshed by pending local timer")
+	}
+}
+
+func TestParatickHostSteadyStateRate(t *testing.T) {
+	// A vCPU continuously entered at host-tick granularity receives
+	// exactly one virtual tick per guest tick period.
+	v := newMockHostVCPU()
+	h := &ParatickHost{}
+	entries := 0
+	for now := sim.Time(0); now <= sim.Second; now += v.hostPeriod {
+		v.now = now
+		h.OnVMEntry(v)
+		entries++
+	}
+	// 251 entries at 4ms spacing over [0,1s]: the first entry (now=0,
+	// nothing elapsed) injects nothing, then one injection per period.
+	if v.injections != entries-1 {
+		t.Fatalf("equal host/guest rates: %d injections over %d entries", v.injections, entries)
+	}
+
+	// With entries far more frequent than the period, injections stay at
+	// the tick rate.
+	v2 := newMockHostVCPU()
+	entries2 := 0
+	for now := sim.Time(1); now <= sim.Second; now += 100 * sim.Microsecond {
+		v2.now = now
+		h.OnVMEntry(v2)
+		entries2++
+	}
+	want := int(sim.Second / v2.guestPeriod) // ~250
+	if v2.injections < want-2 || v2.injections > want+2 {
+		t.Fatalf("dense entries: %d injections, want ~%d (entries=%d)",
+			v2.injections, want, entries2)
+	}
+}
+
+func TestParatickHostTopUpDisabledByDefault(t *testing.T) {
+	v := newMockHostVCPU()
+	v.guestPeriod = sim.Millisecond // guest 1000 Hz, host 250 Hz
+	h := &ParatickHost{}
+	v.now = 5 * sim.Millisecond
+	h.OnVMEntry(v)
+	if len(v.topUps) != 0 {
+		t.Fatal("top-up armed despite TopUp=false")
+	}
+}
+
+func TestParatickHostTopUpArmsForFasterGuest(t *testing.T) {
+	// §4.1 extension: guest tick faster than host tick → arm the
+	// preemption timer at last_tick + guest period.
+	v := newMockHostVCPU()
+	v.guestPeriod = sim.Millisecond
+	h := &ParatickHost{TopUp: true}
+	v.now = 5 * sim.Millisecond
+	h.OnVMEntry(v)
+	if v.injections != 1 {
+		t.Fatal("no injection on first entry")
+	}
+	if len(v.topUps) != 1 || v.topUps[0] != v.now+v.guestPeriod {
+		t.Fatalf("topUps = %v, want [%v]", v.topUps, v.now+v.guestPeriod)
+	}
+}
+
+func TestParatickHostTopUpNotArmedWhenGuestSlowerOrEqual(t *testing.T) {
+	// "If the host tick frequency is a multiple of that of the guest, no
+	// further actions are needed" (§4.1) — and a slower guest needs no
+	// top-ups at all.
+	h := &ParatickHost{TopUp: true}
+	v := newMockHostVCPU() // equal periods
+	v.now = 5 * sim.Millisecond
+	h.OnVMEntry(v)
+	if len(v.topUps) != 0 {
+		t.Fatal("top-up armed for equal frequencies")
+	}
+	v2 := newMockHostVCPU()
+	v2.guestPeriod = 8 * sim.Millisecond // guest 125 Hz < host 250 Hz
+	v2.now = 9 * sim.Millisecond
+	h.OnVMEntry(v2)
+	if len(v2.topUps) != 0 {
+		t.Fatal("top-up armed for slower guest")
+	}
+}
+
+func TestParatickHostDeschedulingCatchUp(t *testing.T) {
+	// §4.1: a vCPU descheduled for many periods receives one catch-up tick
+	// on re-entry, not a burst.
+	v := newMockHostVCPU()
+	h := &ParatickHost{}
+	v.now = 100 * sim.Millisecond // 25 periods elapsed
+	h.OnVMEntry(v)
+	if v.injections != 1 {
+		t.Fatalf("catch-up injected %d ticks, want exactly 1", v.injections)
+	}
+	// Immediately following entry within the same period: nothing.
+	v.now += 100 * sim.Microsecond
+	h.OnVMEntry(v)
+	if v.injections != 1 {
+		t.Fatal("second injection within one period")
+	}
+}

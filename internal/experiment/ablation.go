@@ -1,0 +1,381 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"paratick/internal/core"
+	"paratick/internal/guest"
+	"paratick/internal/kvm"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+	"paratick/internal/workload"
+)
+
+// AblationResult compares design-choice variants on a fixed workload.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// AblationRow is one variant's measurement.
+type AblationRow struct {
+	Variant    string
+	TimerExits uint64
+	TotalExits uint64
+	Runtime    sim.Time
+	GuestTicks uint64
+	BusyCycles sim.Time
+}
+
+func (r *AblationResult) add(variant string, res metrics.Result) {
+	r.Rows = append(r.Rows, AblationRow{
+		Variant:    variant,
+		TimerExits: res.Counters.TimerExits(),
+		TotalExits: res.Counters.TotalExits(),
+		Runtime:    res.WallTime,
+		GuestTicks: res.Counters.GuestTicks,
+		BusyCycles: res.Counters.BusyCycles(),
+	})
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	t := metrics.NewTable(r.Title,
+		"variant", "timer-exits", "total-exits", "guest-ticks", "busy-cycles", "runtime")
+	for _, row := range r.Rows {
+		t.AddRow(row.Variant,
+			fmt.Sprintf("%d", row.TimerExits),
+			fmt.Sprintf("%d", row.TotalExits),
+			fmt.Sprintf("%d", row.GuestTicks),
+			row.BusyCycles.String(),
+			row.Runtime.String())
+	}
+	return t.String()
+}
+
+// fioSetup builds a random-read fio workload for ablation runs.
+func fioSetup(opts Options) func(vm *kvm.VM) error {
+	job := workload.DefaultFioJob(workload.RandRead, 4096, fioTotalBytes(4096, opts.Scale))
+	return func(vm *kvm.VM) error {
+		dev, err := vm.AttachDevice("disk0", opts.Device)
+		if err != nil {
+			return err
+		}
+		return job.Spawn(vm.Kernel(), dev)
+	}
+}
+
+// timerAppProgram is an event-loop application: it sleeps on a timeout and
+// does a burst of work on each expiry — the soft-timer-driven idle pattern
+// whose wakeup-timer management §5.2.4/§5.2.5 optimize.
+type timerAppProgram struct {
+	iters    int
+	interval sim.Time
+	work     sim.Time
+	sleeping bool
+}
+
+func (p *timerAppProgram) Next(ctx *guest.StepCtx) guest.Step {
+	if p.iters <= 0 {
+		return guest.Done()
+	}
+	if !p.sleeping {
+		p.sleeping = true
+		return guest.Sleep(ctx.Rand.Jitter(p.interval, 0.2))
+	}
+	p.sleeping = false
+	p.iters--
+	return guest.Compute(ctx.Rand.Jitter(p.work, 0.2))
+}
+
+// RunIdleExitAblation evaluates the §5.2.5 heuristic ("do not disable the
+// idle wakeup timer on idle exit"). The workload pairs a heartbeat task
+// (periodic soft timer) with a sync-I/O loop on the same vCPU: every I/O
+// block enters idle with the heartbeat pending, so a wakeup timer must be
+// armed — and most wakes come from I/O completions, long before that timer
+// fires. With the paper's heuristic the armed timer is simply reused across
+// idle cycles (≈0 MSR writes per I/O); disarming on idle exit pays a stop
+// plus a re-arm on every single cycle.
+func RunIdleExitAblation(opts Options) (*AblationResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "Ablation: §5.2.5 keep-wakeup-timer-armed heuristic (heartbeat + fio rndr 4k)"}
+	job := workload.DefaultFioJob(workload.RandRead, 4096, fioTotalBytes(4096, opts.Scale))
+	// Size the heartbeat to tick for roughly the I/O loop's lifetime.
+	heartbeat := 4 * sim.Millisecond
+	iters := job.Ops() * 30 / int(heartbeat/sim.Microsecond)
+	if iters < 10 {
+		iters = 10
+	}
+	setup := func(vm *kvm.VM) error {
+		dev, err := vm.AttachDevice("disk0", opts.Device)
+		if err != nil {
+			return err
+		}
+		if err := job.Spawn(vm.Kernel(), dev); err != nil {
+			return err
+		}
+		vm.Kernel().Spawn("heartbeat", 0, &timerAppProgram{
+			iters:    iters,
+			interval: heartbeat,
+			work:     50 * sim.Microsecond,
+		})
+		return nil
+	}
+	variants := []struct {
+		name string
+		mode core.Mode
+		opts core.Options
+	}{
+		{"dynticks (baseline)", core.DynticksIdle, core.Options{}},
+		{"paratick (keep armed, paper)", core.Paratick, core.Options{}},
+		{"paratick (disarm on idle exit)", core.Paratick, core.Options{DisarmOnIdleExit: true}},
+	}
+	for _, v := range variants {
+		spec := Spec{
+			Name:       "ablation-idle-exit/" + v.name,
+			Mode:       v.mode,
+			VCPUs:      1,
+			PolicyOpts: v.opts,
+			Setup:      setup,
+		}
+		r, err := Run(spec, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.add(v.name, r)
+	}
+	return res, nil
+}
+
+// RunFrequencyMismatchAblation evaluates the §4.1 extension: a guest
+// declaring 1000 Hz ticks on a 250 Hz host, with and without the
+// preemption-timer top-up. The guest-tick count shows whether the guest
+// actually receives its requested rate.
+func RunFrequencyMismatchAblation(opts Options) (*AblationResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "Ablation: §4.1 guest 1000 Hz on host 250 Hz (busy vCPU)"}
+	work := sim.Time(float64(200*sim.Millisecond) * opts.Scale * 10)
+	setup := func(vm *kvm.VM) error {
+		vm.Kernel().Spawn("spin", 0, guest.Steps(guest.Compute(work)))
+		return nil
+	}
+	variants := []struct {
+		name  string
+		topUp bool
+	}{
+		{"paratick 1000Hz, no top-up", false},
+		{"paratick 1000Hz, top-up", true},
+	}
+	for _, v := range variants {
+		spec := Spec{
+			Name:    "ablation-freq/" + v.name,
+			Mode:    core.Paratick,
+			VCPUs:   1,
+			GuestHz: 1000,
+			HostHz:  250,
+			TopUp:   v.topUp,
+			Setup:   setup,
+		}
+		r, err := Run(spec, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.add(v.name, r)
+	}
+	return res, nil
+}
+
+// RunHaltPollAblation shows why the paper disables halt polling (§6): it
+// trades burned host cycles for wake latency on a blocking-sync workload.
+func RunHaltPollAblation(opts Options) (*AblationResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "Ablation: KVM halt polling (fio rndr 4k, dynticks)"}
+	for _, hp := range []sim.Time{0, 50 * sim.Microsecond, 200 * sim.Microsecond} {
+		spec := Spec{
+			Name:     fmt.Sprintf("ablation-haltpoll/%v", hp),
+			Mode:     core.DynticksIdle,
+			VCPUs:    1,
+			HaltPoll: hp,
+			Setup:    fioSetup(opts),
+		}
+		r, err := Run(spec, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		name := "disabled (paper)"
+		if hp > 0 {
+			name = "window " + hp.String()
+		}
+		res.add(name, r)
+	}
+	return res, nil
+}
+
+// spinLockProgram loops: compute, then a contended critical section.
+type spinLockProgram struct {
+	lock  *guest.Lock
+	iters int
+	phase int
+}
+
+func (p *spinLockProgram) Next(ctx *guest.StepCtx) guest.Step {
+	switch p.phase {
+	case 0:
+		if p.iters <= 0 {
+			return guest.Done()
+		}
+		p.iters--
+		p.phase = 1
+		return guest.Compute(ctx.Rand.Exp(60 * sim.Microsecond))
+	case 1:
+		p.phase = 2
+		return guest.Acquire(p.lock)
+	case 2:
+		p.phase = 3
+		return guest.Compute(ctx.Rand.Jitter(15*sim.Microsecond, 0.3))
+	default:
+		p.phase = 0
+		return guest.Release(p.lock)
+	}
+}
+
+// RunPLEAblation contrasts blocking synchronization with optimistic
+// spinning, with and without pause-loop exiting — the §6 setup note
+// ("we disabled pause loop exiting (PLE) because this optimization is only
+// beneficial in overcommitted environments") made measurable.
+func RunPLEAblation(opts Options) (*AblationResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "Ablation: blocking sync vs optimistic spin vs spin+PLE (4 vCPUs, hot lock)"}
+	iters := int(4000 * opts.Scale)
+	if iters < 100 {
+		iters = 100
+	}
+	variants := []struct {
+		name string
+		spin sim.Time
+		ple  sim.Time
+	}{
+		{"blocking (paper workloads)", 0, 0},
+		{"spin 25us, PLE off (paper host)", 25 * sim.Microsecond, 0},
+		{"spin 25us, PLE 10us window", 25 * sim.Microsecond, 10 * sim.Microsecond},
+	}
+	for _, v := range variants {
+		engine := sim.NewEngine(opts.Seed)
+		cfg := kvm.DefaultConfig()
+		cfg.PLEWindow = v.ple
+		host, err := kvm.NewHost(engine, cfg)
+		if err != nil {
+			return nil, err
+		}
+		gcfg := guest.DefaultConfig()
+		gcfg.Mode = core.DynticksIdle
+		gcfg.AdaptiveSpin = v.spin
+		placement, err := cfg.Topology.SpreadAcross(4, 1)
+		if err != nil {
+			return nil, err
+		}
+		vm, err := host.NewVM("ple", gcfg, placement)
+		if err != nil {
+			return nil, err
+		}
+		lock := vm.Kernel().NewLock("hot")
+		for i := 0; i < 4; i++ {
+			vm.Kernel().Spawn(fmt.Sprintf("t%d", i), i, &spinLockProgram{lock: lock, iters: iters})
+		}
+		vm.OnWorkloadDone = func(sim.Time) { engine.Stop() }
+		vm.Start()
+		engine.RunUntil(maxSimTime)
+		if done, _ := vm.WorkloadDone(); !done {
+			return nil, fmt.Errorf("experiment ple/%s: workload hung", v.name)
+		}
+		res.add(v.name, vm.Result("ple/"+v.name))
+	}
+	return res, nil
+}
+
+// RunCoalescingAblation measures interrupt moderation: batching device
+// completions reduces injection/exit traffic for both tick mechanisms,
+// shrinking (but not erasing) paratick's relative benefit — context for the
+// paper's note that its test system lacks an SR-IOV device (§6.3). The
+// workload issues bursts of write-behind I/O so completions can coalesce.
+func RunCoalescingAblation(opts Options) (*AblationResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "Ablation: device interrupt coalescing (fio seqwr 4k bursts)"}
+	job := workload.DefaultFioJob(workload.SeqWrite, 4096, fioTotalBytes(4096, opts.Scale))
+	job.WriteBehind = 8 // mostly async: bursts of in-flight writes
+	for _, coalesce := range []sim.Time{0, 30 * sim.Microsecond} {
+		for _, mode := range []core.Mode{core.DynticksIdle, core.Paratick} {
+			dev := opts.Device
+			dev.CoalesceWindow = coalesce
+			dev.CoalesceMax = 8
+			spec := Spec{
+				Name:  fmt.Sprintf("ablation-coalesce/%v/%v", coalesce, mode),
+				Mode:  mode,
+				VCPUs: 1,
+				Setup: func(vm *kvm.VM) error {
+					d, err := vm.AttachDevice("disk0", dev)
+					if err != nil {
+						return err
+					}
+					return job.Spawn(vm.Kernel(), d)
+				},
+			}
+			r, err := Run(spec, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			name := mode.String() + ", no coalescing"
+			if coalesce > 0 {
+				name = mode.String() + ", coalesce " + coalesce.String()
+			}
+			res.add(name, r)
+		}
+	}
+	return res, nil
+}
+
+// RunAllAblations runs every ablation and concatenates the reports.
+func RunAllAblations(opts Options) (string, error) {
+	var b strings.Builder
+	a1, err := RunIdleExitAblation(opts)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(a1.Render())
+	b.WriteString("\n")
+	a2, err := RunFrequencyMismatchAblation(opts)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(a2.Render())
+	b.WriteString("\n")
+	a3, err := RunHaltPollAblation(opts)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(a3.Render())
+	b.WriteString("\n")
+	a4, err := RunPLEAblation(opts)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(a4.Render())
+	b.WriteString("\n")
+	a5, err := RunCoalescingAblation(opts)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(a5.Render())
+	return b.String(), nil
+}

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"paratick/internal/core"
+	"paratick/internal/guest"
+	"paratick/internal/hw"
+	"paratick/internal/kvm"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+	"paratick/internal/workload"
+)
+
+// ConsolidationRow is one tick mode's system-wide outcome on the mixed
+// fleet.
+type ConsolidationRow struct {
+	Mode       core.Mode
+	TotalExits uint64
+	TimerExits uint64
+	// HostOverhead is hypervisor time burned fleet-wide.
+	HostOverhead sim.Time
+	// BusyCycles is fleet-wide CPU consumption for the same delivered work.
+	BusyCycles sim.Time
+	// IOBytes is the I/O VM's delivered bytes (its throughput proxy).
+	IOBytes uint64
+	// Wakeups counts fleet-wide task wakeups (sanity: equal work across
+	// modes).
+	Wakeups uint64
+}
+
+// ConsolidationResult compares the three tick modes on the §3.1
+// consolidation scenario: one host running a mixed fleet — idle VMs (the
+// common case the paper says is "not rare"), a blocking-sync VM, and an
+// I/O VM — with vCPUs overcommitted 2:1 onto the host's cores.
+type ConsolidationResult struct {
+	Duration sim.Time
+	Rows     []ConsolidationRow
+}
+
+// RunConsolidation simulates the fleet for 1 s × scale under each mode and
+// reports system-wide costs.
+func RunConsolidation(opts Options) (*ConsolidationResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	dur := sim.Time(float64(sim.Second) * opts.Scale)
+	if dur < 100*sim.Millisecond {
+		dur = 100 * sim.Millisecond
+	}
+	res := &ConsolidationResult{Duration: dur}
+	for _, mode := range []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick} {
+		row, err := runConsolidationMode(opts, mode, dur)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runConsolidationMode(opts Options, mode core.Mode, dur sim.Time) (ConsolidationRow, error) {
+	engine := sim.NewEngine(opts.Seed)
+	cfg := kvm.DefaultConfig()
+	cfg.Topology = hw.SmallTopology() // 16 pCPUs
+	host, err := kvm.NewHost(engine, cfg)
+	if err != nil {
+		return ConsolidationRow{}, err
+	}
+	gcfg := guest.DefaultConfig()
+	gcfg.Mode = mode
+
+	// The fleet, 32 vCPUs over 16 pCPUs (2:1): four idle 4-vCPU VMs, one
+	// 8-vCPU blocking-sync VM, one 4-vCPU I/O VM, one 4-vCPU compute VM.
+	var vms []*kvm.VM
+	place := func(vcpus int, base int) []hw.CPUID {
+		out := make([]hw.CPUID, vcpus)
+		for i := range out {
+			out[i] = hw.CPUID((base + i) % 16)
+		}
+		return out
+	}
+	newVM := func(name string, vcpus, base int) (*kvm.VM, error) {
+		vm, err := host.NewVM(name, gcfg, place(vcpus, base))
+		if err != nil {
+			return nil, err
+		}
+		vms = append(vms, vm)
+		return vm, nil
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := newVM(fmt.Sprintf("idle%d", i), 4, i*4); err != nil {
+			return ConsolidationRow{}, err
+		}
+	}
+	syncVM, err := newVM("sync", 8, 0)
+	if err != nil {
+		return ConsolidationRow{}, err
+	}
+	bench := workload.DefaultSyncBench()
+	bench.Threads = 8
+	bench.SyncsPerSec = 2000
+	bench.Duration = dur
+	if err := bench.Spawn(syncVM.Kernel()); err != nil {
+		return ConsolidationRow{}, err
+	}
+	ioVM, err := newVM("io", 4, 8)
+	if err != nil {
+		return ConsolidationRow{}, err
+	}
+	dev, err := ioVM.AttachDevice("disk0", opts.Device)
+	if err != nil {
+		return ConsolidationRow{}, err
+	}
+	job := workload.DefaultFioJob(workload.RandRead, 4096, int64(float64(16<<20)*opts.Scale))
+	if err := job.Spawn(ioVM.Kernel(), dev); err != nil {
+		return ConsolidationRow{}, err
+	}
+	computeVM, err := newVM("compute", 4, 12)
+	if err != nil {
+		return ConsolidationRow{}, err
+	}
+	for i := 0; i < 4; i++ {
+		computeVM.Kernel().Spawn(fmt.Sprintf("c%d", i), i,
+			guest.Steps(guest.Compute(dur/4)))
+	}
+
+	for _, vm := range vms {
+		vm.Start()
+	}
+	engine.RunUntil(dur)
+
+	row := ConsolidationRow{Mode: mode}
+	for _, vm := range vms {
+		c := vm.Counters()
+		row.TotalExits += c.TotalExits()
+		row.TimerExits += c.TimerExits()
+		row.HostOverhead += c.HostOverhead
+		row.BusyCycles += c.BusyCycles()
+		row.IOBytes += c.IOBytes()
+		row.Wakeups += c.Wakeups
+	}
+	return row, nil
+}
+
+// Render prints the fleet comparison.
+func (r *ConsolidationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Consolidation (§3.1): mixed fleet, 32 vCPUs on 16 pCPUs, %v\n\n", r.Duration)
+	t := metrics.NewTable("",
+		"mode", "total-exits", "timer-exits", "host-overhead", "busy-cycles", "io-bytes")
+	for _, row := range r.Rows {
+		t.AddRow(row.Mode.String(),
+			fmt.Sprintf("%d", row.TotalExits),
+			fmt.Sprintf("%d", row.TimerExits),
+			row.HostOverhead.String(),
+			row.BusyCycles.String(),
+			fmt.Sprintf("%d", row.IOBytes))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

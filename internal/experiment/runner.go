@@ -1,0 +1,158 @@
+// Package experiment defines and runs the paper's evaluation (§6): one
+// runner per table and figure, producing the same rows and series the paper
+// reports, plus the ablation studies DESIGN.md calls out. Each experiment
+// compares paratick against the dynticks baseline (the paper's "vanilla
+// Linux") on identical workloads and seeds.
+package experiment
+
+import (
+	"fmt"
+
+	"paratick/internal/core"
+	"paratick/internal/guest"
+	"paratick/internal/iodev"
+	"paratick/internal/kvm"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+)
+
+// Options tune experiment size and environment.
+type Options struct {
+	// Seed fixes all randomness; identical seeds give identical runs.
+	Seed uint64
+	// Scale multiplies workload durations; 1.0 is the full-size run, small
+	// values (e.g. 0.05) give quick smoke runs.
+	Scale float64
+	// Device is the block-device profile for I/O experiments.
+	Device iodev.Profile
+	// Repeats runs every experiment this many times with consecutive seeds
+	// and reports mean ± spread, the paper's 3–15-iteration methodology
+	// (§6). 0 or 1 = single run.
+	Repeats int
+}
+
+// DefaultOptions returns full-scale settings with the NVMe-class device.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Scale: 1.0, Device: iodev.NVMe(), Repeats: 1}
+}
+
+// repeatCount normalizes Repeats (0 means 1).
+func (o Options) repeatCount() int {
+	if o.Repeats < 1 {
+		return 1
+	}
+	return o.Repeats
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.Scale <= 0 {
+		return fmt.Errorf("experiment: scale must be positive, got %v", o.Scale)
+	}
+	if o.Repeats < 0 {
+		return fmt.Errorf("experiment: repeats must be non-negative, got %d", o.Repeats)
+	}
+	return o.Device.Validate()
+}
+
+// Spec describes one single-VM simulation run.
+type Spec struct {
+	Name       string
+	Mode       core.Mode
+	VCPUs      int
+	Sockets    int
+	GuestHz    int // 0 → 250
+	HostHz     int // 0 → 250
+	PolicyOpts core.Options
+	HaltPoll   sim.Time
+	TopUp      bool
+	// Duration runs for a fixed simulated time (open-ended workloads);
+	// when 0 the run ends at workload completion.
+	Duration sim.Time
+	// Setup spawns the workload (tasks, devices) into the fresh VM.
+	Setup func(vm *kvm.VM) error
+}
+
+// maxSimTime caps runaway simulations; any paper experiment finishes far
+// sooner.
+const maxSimTime = 1000 * sim.Second
+
+// Run executes one spec and returns its result.
+func Run(spec Spec, seed uint64) (metrics.Result, error) {
+	if spec.Setup == nil && spec.Duration == 0 {
+		return metrics.Result{}, fmt.Errorf("experiment %s: no workload and no duration", spec.Name)
+	}
+	if spec.VCPUs <= 0 {
+		return metrics.Result{}, fmt.Errorf("experiment %s: need vCPUs", spec.Name)
+	}
+	engine := sim.NewEngine(seed)
+	cfg := kvm.DefaultConfig()
+	if spec.HostHz > 0 {
+		cfg.HostHz = spec.HostHz
+	}
+	cfg.HaltPoll = spec.HaltPoll
+	host, err := kvm.NewHost(engine, cfg)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	sockets := spec.Sockets
+	if sockets == 0 {
+		sockets = 1
+	}
+	placement, err := cfg.Topology.SpreadAcross(spec.VCPUs, sockets)
+	if err != nil {
+		return metrics.Result{}, fmt.Errorf("experiment %s: %w", spec.Name, err)
+	}
+	gcfg := guest.DefaultConfig()
+	gcfg.Mode = spec.Mode
+	gcfg.PolicyOpts = spec.PolicyOpts
+	if spec.GuestHz > 0 {
+		gcfg.TickHz = spec.GuestHz
+	}
+	vm, err := host.NewVM(spec.Name, gcfg, placement)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if spec.Mode == core.Paratick && spec.TopUp {
+		vm.SetEntryHook(&core.ParatickHost{TopUp: true})
+	}
+	if spec.Setup != nil {
+		if err := spec.Setup(vm); err != nil {
+			return metrics.Result{}, fmt.Errorf("experiment %s setup: %w", spec.Name, err)
+		}
+	}
+	deadline := spec.Duration
+	if deadline == 0 {
+		deadline = maxSimTime
+		vm.OnWorkloadDone = func(sim.Time) { engine.Stop() }
+	}
+	vm.Start()
+	engine.RunUntil(deadline)
+	if spec.Duration == 0 {
+		if done, _ := vm.WorkloadDone(); !done {
+			return metrics.Result{}, fmt.Errorf("experiment %s: workload did not finish within %v (live tasks %d)",
+				spec.Name, deadline, vm.Kernel().LiveTasks())
+		}
+	}
+	return vm.Result(spec.Name), nil
+}
+
+// CompareModes runs the spec under the dynticks baseline and paratick and
+// returns the paper's relative metrics.
+func CompareModes(spec Spec, seed uint64) (metrics.Comparison, error) {
+	base := spec
+	base.Mode = core.DynticksIdle
+	baseRes, err := Run(base, seed)
+	if err != nil {
+		return metrics.Comparison{}, err
+	}
+	opt := spec
+	opt.Mode = core.Paratick
+	optRes, err := Run(opt, seed)
+	if err != nil {
+		return metrics.Comparison{}, err
+	}
+	cmp := metrics.Compare(baseRes, optRes)
+	cmp.Name = spec.Name
+	return cmp, nil
+}

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"paratick/internal/analytic"
+	"paratick/internal/core"
+	"paratick/internal/guest"
+	"paratick/internal/hw"
+	"paratick/internal/kvm"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+	"paratick/internal/workload"
+)
+
+// Table1Row holds one §3.3 workload's timer-management VM exits: the
+// analytic predictions (both conventions) plus the full-simulation
+// measurement for every tick mode.
+type Table1Row struct {
+	Workload       string
+	AnalyticPaper  analytic.Table1Row // printed-table convention
+	AnalyticStrict analytic.Table1Row // literal §3.1/§3.2 formulas
+	// Simulated timer-related VM exits per mode.
+	SimPeriodic uint64
+	SimTickless uint64
+	SimParatick uint64
+}
+
+// Table1Result is the full experiment output.
+type Table1Result struct {
+	Duration sim.Time
+	Rows     []Table1Row
+}
+
+// RunTable1 reproduces Table 1: the four hypothetical workloads W1–W4 on a
+// 16-pCPU system, 16-vCPU VMs, 250 Hz, run both through the analytic
+// model (§3) and the full simulator. The workloads run for
+// 10 s × opts.Scale.
+func RunTable1(opts Options) (*Table1Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	dur := sim.Time(float64(analytic.Table1Duration) * opts.Scale)
+	res := &Table1Result{Duration: dur}
+	paper := analytic.Table1(analytic.PaperTable)
+	strict := analytic.Table1(analytic.StrictFormula)
+
+	for i, w := range []string{"W1", "W2", "W3", "W4"} {
+		row := Table1Row{Workload: w, AnalyticPaper: paper[i], AnalyticStrict: strict[i]}
+		nVMs := 1
+		if w == "W2" || w == "W4" {
+			nVMs = 4
+		}
+		sync := w == "W3" || w == "W4"
+		for _, mode := range []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick} {
+			exits, err := runTable1Workload(opts, mode, nVMs, sync, dur)
+			if err != nil {
+				return nil, err
+			}
+			switch mode {
+			case core.Periodic:
+				row.SimPeriodic = exits
+			case core.DynticksIdle:
+				row.SimTickless = exits
+			case core.Paratick:
+				row.SimParatick = exits
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runTable1Workload simulates nVMs 16-vCPU VMs (idle, or running the §3.3
+// blocking-sync workload) for dur and returns total timer-related exits.
+func runTable1Workload(opts Options, mode core.Mode, nVMs int, sync bool, dur sim.Time) (uint64, error) {
+	engine := sim.NewEngine(opts.Seed)
+	cfg := kvm.DefaultConfig()
+	cfg.Topology = hw.SmallTopology() // the §3.3 16-pCPU system
+	host, err := kvm.NewHost(engine, cfg)
+	if err != nil {
+		return 0, err
+	}
+	gcfg := guest.DefaultConfig()
+	gcfg.Mode = mode
+	// All VMs span the 16 pCPUs (vCPU i on pCPU i) — the overcommitted
+	// consolidation scenario of §3.1.
+	placement := make([]hw.CPUID, 16)
+	for i := range placement {
+		placement[i] = hw.CPUID(i)
+	}
+	var vms []*kvm.VM
+	for n := 0; n < nVMs; n++ {
+		vm, err := host.NewVM(fmt.Sprintf("vm%d", n), gcfg, placement)
+		if err != nil {
+			return 0, err
+		}
+		if sync {
+			bench := workload.DefaultSyncBench()
+			bench.Duration = dur
+			if err := bench.Spawn(vm.Kernel()); err != nil {
+				return 0, err
+			}
+		}
+		vms = append(vms, vm)
+	}
+	for _, vm := range vms {
+		vm.Start()
+	}
+	engine.RunUntil(dur)
+	var exits uint64
+	for _, vm := range vms {
+		exits += vm.Counters().TimerExits()
+	}
+	return exits, nil
+}
+
+// Render prints Table 1 with analytic and simulated columns. Simulated
+// counts are normalized to the paper's 10-second duration when a smaller
+// scale was used.
+func (r *Table1Result) Render() string {
+	norm := float64(analytic.Table1Duration) / float64(r.Duration)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: timer-management VM exits, %v simulated (normalized to 10s)\n\n", r.Duration)
+	t := metrics.NewTable("",
+		"workload", "mechanism", "paper-printed", "strict-formula", "simulated")
+	for _, row := range r.Rows {
+		f := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+		s := func(v uint64) string { return fmt.Sprintf("%.0f", float64(v)*norm) }
+		t.AddRow(row.Workload, "periodic", f(row.AnalyticPaper.Periodic), f(row.AnalyticStrict.Periodic), s(row.SimPeriodic))
+		t.AddRow(row.Workload, "tickless", f(row.AnalyticPaper.Tickless), f(row.AnalyticStrict.Tickless), s(row.SimTickless))
+		t.AddRow(row.Workload, "paratick", f(row.AnalyticPaper.Paratick), f(row.AnalyticStrict.Paratick), s(row.SimParatick))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

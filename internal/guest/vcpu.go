@@ -1,0 +1,577 @@
+package guest
+
+import (
+	"fmt"
+
+	"paratick/internal/core"
+	"paratick/internal/hw"
+	"paratick/internal/iodev"
+	"paratick/internal/sim"
+)
+
+// VCPU is one virtual CPU of a guest kernel. It owns a run queue of tasks,
+// the per-CPU timer wheel, and the tick-policy instance, and it emits the
+// segment stream the hypervisor executes. It implements core.GuestVCPU.
+type VCPU struct {
+	kernel *Kernel
+	id     int
+	policy core.TickPolicy
+
+	queue   []*Segment
+	runq    []*Task
+	current *Task
+
+	idle        bool
+	needResched bool
+	booted      bool
+
+	wheel *TimerWheel
+
+	// Guest-visible deadline-timer state; the authoritative hardware timer
+	// lives in the hypervisor and is programmed by SegMSRWrite segments.
+	timerArmed    bool
+	timerDeadline sim.Time
+
+	// RCU model: a pending grace period requires tick service.
+	rcuPending  bool
+	rcuDeadline sim.Time
+	switchCount int
+
+	// emit, when non-nil, redirects queued segments (used to order
+	// interrupt-handler segments ahead of preempted work).
+	emit *[]*Segment
+}
+
+// ID returns the vCPU index within its VM.
+func (v *VCPU) ID() int { return v.id }
+
+// Kernel returns the owning guest kernel.
+func (v *VCPU) Kernel() *Kernel { return v.kernel }
+
+// Policy returns the vCPU's tick policy.
+func (v *VCPU) Policy() core.TickPolicy { return v.policy }
+
+// RunQueueLen returns the number of runnable (queued) tasks.
+func (v *VCPU) RunQueueLen() int { return len(v.runq) }
+
+// Current returns the running task, or nil.
+func (v *VCPU) Current() *Task { return v.current }
+
+// PendingSegments returns the number of queued segments (diagnostics).
+func (v *VCPU) PendingSegments() int { return len(v.queue) }
+
+// Wheel returns the vCPU's timer wheel.
+func (v *VCPU) Wheel() *TimerWheel { return v.wheel }
+
+// --- core.GuestVCPU implementation -----------------------------------------
+
+// Now returns current simulated time.
+func (v *VCPU) Now() sim.Time { return v.kernel.engine.Now() }
+
+// TickPeriod returns the guest tick period.
+func (v *VCPU) TickPeriod() sim.Time { return v.kernel.cfg.TickPeriod() }
+
+// ArmTimer programs the deadline timer: guest-visible state changes
+// immediately; the MSR write (and its VM exit) is a queued segment.
+func (v *VCPU) ArmTimer(deadline sim.Time) {
+	v.timerArmed = true
+	v.timerDeadline = deadline
+	v.kernel.counters.TimerArms++
+	v.addKernelSeg(v.kernel.cost.GuestTimerProgram, "timer-program")
+	v.queueSeg(&Segment{Kind: SegMSRWrite, Deadline: deadline, Label: "arm"})
+}
+
+// StopTimer disarms the deadline timer (an MSR write of 0).
+func (v *VCPU) StopTimer() {
+	v.timerArmed = false
+	v.timerDeadline = sim.Forever
+	v.kernel.counters.TimerArms++
+	v.addKernelSeg(v.kernel.cost.GuestTimerProgram, "timer-stop")
+	v.queueSeg(&Segment{Kind: SegMSRWrite, Deadline: sim.Forever, Label: "stop"})
+}
+
+// TimerArmed reports the guest-visible timer state.
+func (v *VCPU) TimerArmed() bool { return v.timerArmed }
+
+// TimerDeadline returns the guest-visible programmed deadline.
+func (v *VCPU) TimerDeadline() sim.Time {
+	if !v.timerArmed {
+		return sim.Forever
+	}
+	return v.timerDeadline
+}
+
+// RunTickWork performs one scheduler tick: accounting/housekeeping cost,
+// timer-wheel service (soft interrupts), RCU grace-period progress, and
+// round-robin preemption.
+func (v *VCPU) RunTickWork() {
+	k := v.kernel
+	k.counters.GuestTicks++
+	// The handler's work varies run to run (pending soft timers, RCU,
+	// accounting); the jitter also prevents unrealistic phase locking
+	// between same-frequency timers of co-scheduled vCPUs.
+	v.addKernelSeg(k.rng.Jitter(k.cost.GuestTickWork, 0.15), "tick-work")
+	now := v.Now()
+	v.wheel.AdvanceTo(now)
+	if v.rcuPending && now >= v.rcuDeadline {
+		v.rcuPending = false
+		v.rcuDeadline = sim.Forever
+		v.addKernelSeg(500, "rcu-callbacks")
+	}
+	if k.cfg.PreemptOnTick && v.current != nil && len(v.runq) > 0 {
+		v.needResched = true
+	}
+}
+
+// AddKernelWork charges guest-kernel CPU time; d == 0 selects the
+// calibrated default for the label.
+func (v *VCPU) AddKernelWork(d sim.Time, label string) {
+	if d == 0 {
+		d = v.kernel.defaultKernelCost(label)
+	}
+	v.addKernelSeg(d, label)
+}
+
+// NextSoftEvent returns the earliest pending soft timer or RCU deadline.
+func (v *VCPU) NextSoftEvent() sim.Time {
+	next := v.wheel.NextExpiry()
+	if v.rcuPending && v.rcuDeadline < next {
+		next = v.rcuDeadline
+	}
+	return next
+}
+
+// TickRequired reports whether RCU needs the tick kept alive (Fig. 1b).
+func (v *VCPU) TickRequired() bool { return v.rcuPending }
+
+// Idle reports whether the vCPU is in the idle loop.
+func (v *VCPU) Idle() bool { return v.idle }
+
+// Hypercall queues a paravirtual call segment.
+func (v *VCPU) Hypercall(kind core.HypercallKind, arg int64) {
+	v.queueSeg(&Segment{Kind: SegHypercall, HKind: kind, HArg: arg, Label: kind.String()})
+}
+
+var _ core.GuestVCPU = (*VCPU)(nil)
+
+// --- segment plumbing -------------------------------------------------------
+
+func (v *VCPU) queueSeg(s *Segment) {
+	if v.emit != nil {
+		*v.emit = append(*v.emit, s)
+		return
+	}
+	v.queue = append(v.queue, s)
+}
+
+func (v *VCPU) pushFront(segs ...*Segment) {
+	v.queue = append(segs, v.queue...)
+}
+
+func (v *VCPU) addKernelSeg(d sim.Time, label string) {
+	if d <= 0 {
+		return
+	}
+	v.queueSeg(&Segment{Kind: SegRun, Duration: d, Kernel: true, Label: label})
+}
+
+// collect routes segments emitted by fn into a fresh slice (for interrupt
+// handlers, whose work must run ahead of preempted segments).
+func (v *VCPU) collect(fn func()) []*Segment {
+	var segs []*Segment
+	prev := v.emit
+	v.emit = &segs
+	fn()
+	v.emit = prev
+	return segs
+}
+
+// --- hypervisor-facing interface ---------------------------------------------
+
+// ShouldHalt is the guest's need_resched check immediately before HLT: the
+// hypervisor aborts a queued halt when work became runnable between the
+// idle-entry decision and the HLT instruction (an interrupt handler ran in
+// between) — the idle loop's lost-wakeup guard.
+func (v *VCPU) ShouldHalt() bool {
+	return v.idle && v.current == nil && len(v.runq) == 0
+}
+
+// Boot initializes tick management; the hypervisor calls it once before
+// running the vCPU.
+func (v *VCPU) Boot() {
+	if v.booted {
+		panic(fmt.Sprintf("guest: vCPU %d booted twice", v.id))
+	}
+	v.booted = true
+	v.policy.OnBoot(v)
+}
+
+// Next returns the next segment to execute. The guest always has something
+// to do: with no runnable tasks it emits the idle-entry sequence ending in
+// SegHLT.
+func (v *VCPU) Next() *Segment {
+	for {
+		if len(v.queue) > 0 {
+			s := v.queue[0]
+			v.queue = v.queue[0:copy(v.queue, v.queue[1:])]
+			return s
+		}
+		v.schedule()
+	}
+}
+
+// Preempt informs the guest that an interrupt cut seg short with remaining
+// time unconsumed. Task work is banked on the task (so the scheduler may
+// switch away before resuming it); anonymous kernel work is re-queued
+// directly.
+func (v *VCPU) Preempt(seg *Segment, remaining sim.Time) {
+	if seg.Kind != SegRun {
+		panic(fmt.Sprintf("guest: preempt of non-run segment %v", seg))
+	}
+	if remaining <= 0 {
+		return
+	}
+	if t := v.taskOf(seg); t != nil {
+		t.remaining = remaining
+		return
+	}
+	rest := *seg
+	rest.Duration = remaining
+	v.pushFront(&rest)
+}
+
+// taskOf maps a user-run segment back to the task that owns it.
+func (v *VCPU) taskOf(seg *Segment) *Task {
+	if seg.Kernel {
+		return nil
+	}
+	if v.current != nil {
+		return v.current
+	}
+	return nil
+}
+
+// Deliver runs interrupt delivery for vec: the handler's segments are
+// placed ahead of everything else queued on the vCPU.
+func (v *VCPU) Deliver(vec hw.Vector) {
+	segs := v.collect(func() {
+		v.addKernelSeg(v.kernel.cost.GuestIRQEntry, "irq-entry")
+		switch {
+		case vec == hw.LocalTimerVector:
+			// The one-shot deadline timer fired; guest-visible state
+			// reflects that before the handler runs.
+			v.timerArmed = false
+			v.timerDeadline = sim.Forever
+			v.policy.OnTick(v)
+		case vec == hw.ParatickVector:
+			v.policy.OnVirtualTick(v)
+		case vec == hw.RescheduleVector:
+			// Wakeup IPI: the waker already queued the task; entry cost
+			// plus wheel service (softirqs run on IRQ exit).
+			v.wheel.AdvanceTo(v.Now())
+		case vec == hw.CallFuncVector:
+			v.addKernelSeg(400, "call-func")
+		default:
+			v.deliverDeviceIRQ(vec)
+		}
+	})
+	v.pushFront(segs...)
+}
+
+// deliverDeviceIRQ drains completions destined for this vCPU from every
+// attached device using the vector, waking the blocked submitters.
+func (v *VCPU) deliverDeviceIRQ(vec hw.Vector) {
+	k := v.kernel
+	for _, d := range k.devices {
+		if d.Vector() != vec {
+			continue
+		}
+		for _, req := range d.DrainCompletedFor(v.id) {
+			v.addKernelSeg(k.cost.GuestIOCompleteWork, "io-complete")
+			if req.Write {
+				k.counters.IOWrites++
+				k.counters.IOBytesWritten += uint64(req.Bytes)
+			} else {
+				k.counters.IOReads++
+				k.counters.IOBytesRead += uint64(req.Bytes)
+			}
+			if t, ok := req.Cookie.(*Task); ok && t != nil {
+				k.wake(t, v)
+			}
+		}
+	}
+}
+
+// --- scheduler ---------------------------------------------------------------
+
+// schedule refills the segment queue: it resolves idle transitions, picks
+// tasks, and advances the current task's program.
+func (v *VCPU) schedule() {
+	if v.idle {
+		if v.current == nil && len(v.runq) == 0 {
+			// Spurious wakeup: re-evaluate idle entry (Fig. 1b / 3c) and
+			// halt again.
+			v.policy.OnIdleEnter(v)
+			v.queueSeg(&Segment{Kind: SegHLT, Label: "re-idle"})
+			return
+		}
+		v.exitIdle()
+	}
+	if v.needResched {
+		v.needResched = false
+		if v.current != nil && len(v.runq) > 0 {
+			v.current.state = TaskRunnable
+			v.runq = append(v.runq, v.current)
+			v.current = nil
+		}
+	}
+	if v.current == nil {
+		if len(v.runq) == 0 {
+			v.enterIdle()
+			return
+		}
+		next := v.runq[0]
+		v.runq = v.runq[0:copy(v.runq, v.runq[1:])]
+		next.state = TaskRunning
+		v.current = next
+		v.contextSwitch()
+	}
+	v.advanceTask()
+}
+
+func (v *VCPU) contextSwitch() {
+	k := v.kernel
+	k.counters.ContextSw++
+	v.switchCount++
+	v.addKernelSeg(k.cost.GuestSchedSwitch, "ctx-switch")
+	if k.cfg.RCUEveryNSwitches > 0 && v.switchCount%k.cfg.RCUEveryNSwitches == 0 && !v.rcuPending {
+		v.rcuPending = true
+		v.rcuDeadline = v.Now() + v.TickPeriod()
+	}
+}
+
+func (v *VCPU) enterIdle() {
+	v.idle = true
+	v.kernel.counters.IdleEnters++
+	v.policy.OnIdleEnter(v)
+	v.queueSeg(&Segment{Kind: SegHLT, Label: "idle"})
+}
+
+func (v *VCPU) exitIdle() {
+	v.idle = false
+	v.kernel.counters.IdleExits++
+	v.policy.OnIdleExit(v)
+}
+
+// advanceTask pushes the current task's next work onto the queue.
+func (v *VCPU) advanceTask() {
+	t := v.current
+	if t == nil {
+		return
+	}
+	if t.remaining > 0 {
+		v.pushTaskRun(t)
+		return
+	}
+	v.stepComplete(t)
+}
+
+func (v *VCPU) pushTaskRun(t *Task) {
+	v.queueSeg(&Segment{
+		Kind:     SegRun,
+		Duration: t.remaining,
+		Label:    t.Name,
+		OnDone: func() {
+			t.remaining = 0
+			v.stepComplete(t)
+		},
+	})
+}
+
+// stepComplete fetches and applies the task's next program step.
+func (v *VCPU) stepComplete(t *Task) {
+	ctx := &StepCtx{Now: v.Now(), Rand: t.rng, TaskID: t.ID}
+	v.applyStep(t, t.prog.Next(ctx))
+}
+
+func (v *VCPU) applyStep(t *Task, step Step) {
+	k := v.kernel
+	switch step.Kind {
+	case StepCompute:
+		if step.D <= 0 {
+			v.stepComplete(t)
+			return
+		}
+		t.remaining = step.D
+		v.pushTaskRun(t)
+
+	case StepSleep:
+		v.addKernelSeg(k.cost.GuestSyscall, "nanosleep")
+		t.sleepTimer = SoftTimer{
+			Deadline: v.Now() + step.D,
+			Fire:     func(sim.Time) { k.wake(t, v) },
+		}
+		v.wheel.Add(&t.sleepTimer)
+		v.block(t, "sleep")
+
+	case StepLock:
+		v.addKernelSeg(250, "lock-fast-path")
+		if step.L.tryAcquireFast(t) {
+			v.stepComplete(t)
+			return
+		}
+		if spin := k.cfg.AdaptiveSpin; spin > 0 {
+			// Optimistic spinning: burn CPU in a pause loop, then re-probe;
+			// only block if the lock is still held. This is the behaviour
+			// pause-loop exiting (PLE) targets — and why the paper disables
+			// PLE when studying pure blocking synchronization (§6).
+			lock := step.L
+			v.queueSeg(&Segment{
+				Kind:     SegRun,
+				Duration: t.rng.Jitter(spin, 0.2),
+				Kernel:   true,
+				Spin:     true,
+				Label:    "lock-spin",
+				OnDone: func() {
+					if lock.tryAcquireFast(t) {
+						v.stepComplete(t)
+						return
+					}
+					lock.enqueueWaiter(t)
+					v.addKernelSeg(k.cost.GuestSyscall, "futex-wait")
+					v.block(t, "lock:"+lock.name)
+				},
+			})
+			return
+		}
+		step.L.enqueueWaiter(t)
+		v.addKernelSeg(k.cost.GuestSyscall, "futex-wait")
+		v.block(t, "lock:"+step.L.name)
+
+	case StepUnlock:
+		next := step.L.release(t)
+		v.addKernelSeg(250, "unlock")
+		if next != nil {
+			k.wake(next, v)
+		}
+		v.stepComplete(t)
+
+	case StepBarrier:
+		toWake, release := step.B.arrive(t)
+		v.addKernelSeg(k.cost.GuestSyscall, "barrier")
+		if release {
+			for _, w := range toWake {
+				k.wake(w, v)
+			}
+			v.stepComplete(t)
+			return
+		}
+		v.block(t, "barrier:"+step.B.name)
+
+	case StepCondWait:
+		v.addKernelSeg(k.cost.GuestSyscall, "cond-wait")
+		step.C.wait(t) // panics unless t holds the paired lock
+		if next := step.C.lock.release(t); next != nil {
+			k.wake(next, v)
+		}
+		v.block(t, "cond:"+step.C.name)
+
+	case StepCondSignal, StepCondBroadcast:
+		n := 1
+		if step.Kind == StepCondBroadcast {
+			n = -1
+		}
+		v.addKernelSeg(250, "cond-signal")
+		for _, w := range step.C.signal(n) {
+			// The woken task resumes inside its wait: it must re-acquire
+			// the paired lock first. If the lock is free it grabs it and
+			// wakes immediately; otherwise it queues as a lock waiter and
+			// the eventual release hands off and wakes it — no thundering
+			// herd.
+			if step.C.lock.tryAcquireFast(w) {
+				k.wake(w, v)
+			} else {
+				step.C.lock.enqueueWaiter(w)
+			}
+		}
+		v.stepComplete(t)
+
+	case StepBarrierLeave:
+		v.addKernelSeg(250, "barrier-leave")
+		for _, w := range step.B.detach() {
+			k.wake(w, v)
+		}
+		v.stepComplete(t)
+
+	case StepIO:
+		v.addKernelSeg(k.cost.GuestIOSubmitWork, "io-submit")
+		req := &iodev.Request{
+			Write:      step.Write,
+			Sequential: step.Sequential,
+			Bytes:      step.Bytes,
+			VCPU:       v.id,
+		}
+		if step.Blocking {
+			req.Cookie = t
+		}
+		v.queueSeg(&Segment{Kind: SegIOSubmit, Req: req, Dev: step.Dev, Label: "io-kick"})
+		if step.Blocking {
+			v.block(t, "io")
+			return
+		}
+		v.stepComplete(t)
+
+	case StepYield:
+		v.addKernelSeg(k.cost.GuestSyscall, "yield")
+		if len(v.runq) > 0 {
+			t.state = TaskRunnable
+			v.runq = append(v.runq, t)
+			v.current = nil
+		}
+		// With an empty run queue the task just continues.
+		if v.current == t {
+			v.stepComplete(t)
+		}
+
+	case StepDone:
+		v.addKernelSeg(k.cost.GuestSyscall, "exit")
+		v.current = nil
+		k.taskDone(t)
+
+	default:
+		panic(fmt.Sprintf("guest: unknown step kind %v", step.Kind))
+	}
+}
+
+// block marks the current task blocked and frees the CPU.
+func (v *VCPU) block(t *Task, reason string) {
+	t.state = TaskBlocked
+	t.blockReason = reason
+	if v.current == t {
+		v.current = nil
+	}
+}
+
+// wake makes t runnable on its home vCPU. Wakes from a different vCPU send
+// a reschedule IPI (a VM exit for the waker) so a halted target is brought
+// out of idle — the cross-vCPU path §4.2 analyzes.
+func (k *Kernel) wake(t *Task, waker *VCPU) {
+	if t.state != TaskBlocked {
+		return
+	}
+	if t.sleepTimer.Pending() {
+		t.vcpu.wheel.Cancel(&t.sleepTimer)
+	}
+	t.state = TaskRunnable
+	t.blockReason = ""
+	k.counters.Wakeups++
+	t.vcpu.runq = append(t.vcpu.runq, t)
+	if waker != nil && waker != t.vcpu {
+		waker.addKernelSeg(k.cost.GuestWakeup, "wakeup-remote")
+		waker.queueSeg(&Segment{Kind: SegIPI, Target: t.vcpu.id, Label: "resched-ipi"})
+	}
+}
+
+// WakeTask wakes a blocked task from outside any vCPU context (used by
+// tests and by host-driven events that bypass the IPI path).
+func (k *Kernel) WakeTask(t *Task) { k.wake(t, nil) }

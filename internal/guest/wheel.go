@@ -1,0 +1,237 @@
+// Package guest models the guest operating-system kernel: per-vCPU task
+// scheduling, the idle loop that drives the tick policies of internal/core,
+// a Linux-style hierarchical timer wheel for soft timers (§2 of the paper:
+// "the application timer is added to a dedicated data structure (e.g. the
+// timer wheel in Linux)"), blocking synchronization primitives, an
+// RCU-callback model, and the segment stream the hypervisor executes.
+package guest
+
+import (
+	"fmt"
+
+	"paratick/internal/sim"
+)
+
+const (
+	wheelLevels     = 6
+	wheelSlots      = 64
+	wheelLevelShift = 3 // each level is 8× coarser
+)
+
+// SoftTimer is one entry in the timer wheel: an application or kernel soft
+// timer serviced as a soft interrupt (§2).
+type SoftTimer struct {
+	// Deadline is the requested expiry; the wheel fires it at the first
+	// jiffy boundary at or after the deadline (timer-wheel granularity).
+	Deadline sim.Time
+	// Fire runs when the timer expires.
+	Fire func(now sim.Time)
+
+	level, slot int
+	index       int // position within the bucket while queued
+	queued      bool
+}
+
+// Pending reports whether the timer is queued in a wheel.
+func (t *SoftTimer) Pending() bool { return t != nil && t.queued }
+
+// TimerWheel is a hierarchical timer wheel in the style of Linux's
+// kernel/time/timer.c: 64-slot levels, each level 8× coarser than the one
+// below, timers cascading downward as time advances. Granularity is one
+// jiffy; timers never fire early.
+type TimerWheel struct {
+	jiffy   sim.Time
+	curJiff int64 // jiffies fully processed
+	buckets [wheelLevels][wheelSlots][]*SoftTimer
+	count   int
+	// nextCache caches the earliest deadline (sim.Forever when empty or
+	// stale-free); recomputed lazily.
+	nextCache sim.Time
+}
+
+// NewTimerWheel creates a wheel with the given jiffy duration.
+func NewTimerWheel(jiffy sim.Time) *TimerWheel {
+	if jiffy <= 0 {
+		panic(fmt.Sprintf("guest: timer wheel jiffy must be positive, got %v", jiffy))
+	}
+	return &TimerWheel{jiffy: jiffy, nextCache: sim.Forever}
+}
+
+// Jiffy returns the wheel granularity.
+func (w *TimerWheel) Jiffy() sim.Time { return w.jiffy }
+
+// Len returns the number of pending timers.
+func (w *TimerWheel) Len() int { return w.count }
+
+// levelSpan returns the number of jiffies one slot covers at a level.
+func levelSpan(level int) int64 {
+	return 1 << (uint(level) * wheelLevelShift)
+}
+
+// levelReach returns how many jiffies ahead a level can represent.
+func levelReach(level int) int64 {
+	return wheelSlots * levelSpan(level)
+}
+
+// place computes (level, slot) for a deadline given the current jiffy.
+func (w *TimerWheel) place(deadlineJiff int64) (int, int) {
+	delta := deadlineJiff - w.curJiff
+	if delta < 1 {
+		delta = 1
+	}
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		if delta < levelReach(lvl) {
+			slot := (deadlineJiff / levelSpan(lvl)) % wheelSlots
+			return lvl, int(slot)
+		}
+	}
+	// Beyond the top level's horizon: clamp into the top level's furthest
+	// slot; the timer will cascade (and be re-placed) as time advances.
+	lvl := wheelLevels - 1
+	slot := ((w.curJiff + levelReach(lvl) - levelSpan(lvl)) / levelSpan(lvl)) % wheelSlots
+	return lvl, int(slot)
+}
+
+func (w *TimerWheel) deadlineJiffies(deadline sim.Time) int64 {
+	// Round up: a timer never fires before its deadline.
+	return int64((deadline + w.jiffy - 1) / w.jiffy)
+}
+
+// Add queues a timer. Adding an already-pending timer panics — cancel it
+// first, mirroring the kernel's add_timer contract.
+func (w *TimerWheel) Add(t *SoftTimer) {
+	if t == nil || t.Fire == nil {
+		panic("guest: Add of nil timer or timer without Fire")
+	}
+	if t.Pending() {
+		panic("guest: Add of already-pending timer")
+	}
+	lvl, slot := w.place(w.deadlineJiffies(t.Deadline))
+	t.level, t.slot = lvl, slot
+	t.index = len(w.buckets[lvl][slot])
+	t.queued = true
+	w.buckets[lvl][slot] = append(w.buckets[lvl][slot], t)
+	w.count++
+	if t.Deadline < w.nextCache {
+		w.nextCache = t.Deadline
+	}
+}
+
+// Cancel removes a pending timer; a no-op for detached timers. Returns
+// whether the timer was pending.
+func (w *TimerWheel) Cancel(t *SoftTimer) bool {
+	if !t.Pending() {
+		return false
+	}
+	b := w.buckets[t.level][t.slot]
+	last := len(b) - 1
+	b[t.index] = b[last]
+	b[t.index].index = t.index
+	w.buckets[t.level][t.slot] = b[:last]
+	t.queued = false
+	w.count--
+	// nextCache may now be stale (too early); that only costs a recompute.
+	return true
+}
+
+// NextExpiry returns the earliest pending *fire time* — the deadline
+// rounded up to wheel granularity — or sim.Forever when the wheel is empty.
+// This is the guest's get_next_timer_interrupt, used by the tick policies'
+// idle-entry evaluation (Fig. 1b / Fig. 3c); returning the rounded time
+// matters: a wakeup timer armed at the raw deadline would fire a jiffy
+// before the wheel is willing to expire the soft timer.
+func (w *TimerWheel) NextExpiry() sim.Time {
+	if w.count == 0 {
+		return sim.Forever
+	}
+	if w.nextCache != sim.Forever {
+		// Verify the cache still points at a live deadline.
+		if w.cacheLive() {
+			return w.fireTime(w.nextCache)
+		}
+	}
+	w.recomputeNext()
+	return w.fireTime(w.nextCache)
+}
+
+// fireTime rounds a deadline up to the jiffy boundary the wheel fires at.
+func (w *TimerWheel) fireTime(deadline sim.Time) sim.Time {
+	if deadline == sim.Forever {
+		return sim.Forever
+	}
+	return sim.Time(w.deadlineJiffies(deadline)) * w.jiffy
+}
+
+func (w *TimerWheel) cacheLive() bool {
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		for slot := 0; slot < wheelSlots; slot++ {
+			for _, t := range w.buckets[lvl][slot] {
+				if t.Deadline == w.nextCache {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (w *TimerWheel) recomputeNext() {
+	w.nextCache = sim.Forever
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		for slot := 0; slot < wheelSlots; slot++ {
+			for _, t := range w.buckets[lvl][slot] {
+				if t.Deadline < w.nextCache {
+					w.nextCache = t.Deadline
+				}
+			}
+		}
+	}
+}
+
+// AdvanceTo processes all jiffies up to now, firing expired timers in
+// deadline order within each jiffy. It returns the number fired.
+func (w *TimerWheel) AdvanceTo(now sim.Time) int {
+	target := int64(now / w.jiffy)
+	fired := 0
+	for w.curJiff < target {
+		w.curJiff++
+		fired += w.expireJiffy(now)
+	}
+	if fired > 0 {
+		w.recomputeNext()
+	}
+	return fired
+}
+
+func (w *TimerWheel) expireJiffy(now sim.Time) int {
+	fired := 0
+	// Cascade higher levels whose slot boundary we crossed.
+	for lvl := 1; lvl < wheelLevels; lvl++ {
+		if w.curJiff%levelSpan(lvl) != 0 {
+			break
+		}
+		slot := int((w.curJiff / levelSpan(lvl)) % wheelSlots)
+		pending := w.buckets[lvl][slot]
+		w.buckets[lvl][slot] = nil
+		for _, t := range pending {
+			t.queued = false
+			w.count--
+			w.Add(t) // re-place at a finer level
+		}
+	}
+	slot := int(w.curJiff % wheelSlots)
+	b := w.buckets[0][slot]
+	w.buckets[0][slot] = nil
+	for _, t := range b {
+		t.queued = false
+		w.count--
+		if w.deadlineJiffies(t.Deadline) > w.curJiff {
+			// Lives in a future lap of this slot.
+			w.Add(t)
+			continue
+		}
+		fired++
+		t.Fire(now)
+	}
+	return fired
+}

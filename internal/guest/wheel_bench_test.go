@@ -1,0 +1,64 @@
+package guest
+
+import (
+	"testing"
+
+	"paratick/internal/sim"
+)
+
+// BenchmarkWheelAddCancel measures the hot add/cancel path (every guest
+// sleep and wake touches it).
+func BenchmarkWheelAddCancel(b *testing.B) {
+	w := NewTimerWheel(sim.Millisecond)
+	tm := &SoftTimer{Deadline: 100 * sim.Millisecond, Fire: func(sim.Time) {}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Deadline = sim.Time(i%1000+1) * sim.Millisecond
+		w.Add(tm)
+		w.Cancel(tm)
+	}
+}
+
+// BenchmarkWheelAdvance measures jiffy processing with a populated wheel.
+func BenchmarkWheelAdvance(b *testing.B) {
+	w := NewTimerWheel(sim.Millisecond)
+	rng := sim.NewRand(1)
+	// Keep ~64 timers alive: each firing re-queues itself further out.
+	var requeue func(t *SoftTimer) func(sim.Time)
+	requeue = func(t *SoftTimer) func(sim.Time) {
+		return func(now sim.Time) {
+			t.Deadline = now + rng.Between(sim.Millisecond, 200*sim.Millisecond)
+			t.Fire = requeue(t)
+			w.Add(t)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		t := &SoftTimer{Deadline: rng.Between(sim.Millisecond, 200*sim.Millisecond)}
+		t.Fire = requeue(t)
+		w.Add(t)
+	}
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		now += sim.Millisecond
+		w.AdvanceTo(now)
+	}
+}
+
+// BenchmarkWheelNextExpiry measures the idle-entry lookup.
+func BenchmarkWheelNextExpiry(b *testing.B) {
+	w := NewTimerWheel(sim.Millisecond)
+	rng := sim.NewRand(1)
+	for i := 0; i < 32; i++ {
+		w.Add(&SoftTimer{
+			Deadline: rng.Between(sim.Millisecond, sim.Second),
+			Fire:     func(sim.Time) {},
+		})
+	}
+	b.ResetTimer()
+	var sink sim.Time
+	for i := 0; i < b.N; i++ {
+		sink = w.NextExpiry()
+	}
+	_ = sink
+}

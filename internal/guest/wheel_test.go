@@ -1,0 +1,349 @@
+package guest
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"paratick/internal/sim"
+)
+
+const testJiffy = 4 * sim.Millisecond
+
+func TestWheelBasicsEmpty(t *testing.T) {
+	w := NewTimerWheel(testJiffy)
+	if w.Len() != 0 {
+		t.Fatal("new wheel not empty")
+	}
+	if w.NextExpiry() != sim.Forever {
+		t.Fatal("empty wheel NextExpiry != Forever")
+	}
+	if w.AdvanceTo(sim.Second) != 0 {
+		t.Fatal("empty wheel fired timers")
+	}
+	if w.Jiffy() != testJiffy {
+		t.Fatal("Jiffy accessor")
+	}
+}
+
+func TestWheelBadJiffyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero jiffy did not panic")
+		}
+	}()
+	NewTimerWheel(0)
+}
+
+func TestWheelFiresAtOrAfterDeadline(t *testing.T) {
+	w := NewTimerWheel(testJiffy)
+	var firedAt sim.Time
+	tm := &SoftTimer{Deadline: 10 * sim.Millisecond, Fire: func(now sim.Time) { firedAt = now }}
+	w.Add(tm)
+	if !tm.Pending() {
+		t.Fatal("added timer not pending")
+	}
+	// Advance to just before: must not fire (10ms rounds up to jiffy 3 = 12ms).
+	w.AdvanceTo(11 * sim.Millisecond)
+	if firedAt != 0 {
+		t.Fatalf("fired early at %v", firedAt)
+	}
+	w.AdvanceTo(12 * sim.Millisecond)
+	if firedAt == 0 {
+		t.Fatal("did not fire by 12ms")
+	}
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if w.Len() != 0 {
+		t.Fatal("wheel not empty after firing")
+	}
+}
+
+func TestWheelNeverFiresEarlyJiffyGranularity(t *testing.T) {
+	// A deadline exactly on a jiffy boundary fires at that boundary.
+	w := NewTimerWheel(testJiffy)
+	fired := false
+	w.Add(&SoftTimer{Deadline: 2 * testJiffy, Fire: func(sim.Time) { fired = true }})
+	w.AdvanceTo(2*testJiffy - 1)
+	if fired {
+		t.Fatal("fired before boundary")
+	}
+	w.AdvanceTo(2 * testJiffy)
+	if !fired {
+		t.Fatal("did not fire at boundary")
+	}
+}
+
+func TestWheelNextExpiry(t *testing.T) {
+	w := NewTimerWheel(testJiffy)
+	w.Add(&SoftTimer{Deadline: 100 * sim.Millisecond, Fire: func(sim.Time) {}})
+	w.Add(&SoftTimer{Deadline: 20 * sim.Millisecond, Fire: func(sim.Time) {}})
+	w.Add(&SoftTimer{Deadline: 300 * sim.Millisecond, Fire: func(sim.Time) {}})
+	if got := w.NextExpiry(); got != 20*sim.Millisecond {
+		t.Fatalf("NextExpiry = %v, want 20ms", got)
+	}
+	w.AdvanceTo(25 * sim.Millisecond)
+	if got := w.NextExpiry(); got != 100*sim.Millisecond {
+		t.Fatalf("after advance NextExpiry = %v, want 100ms", got)
+	}
+}
+
+func TestWheelCancel(t *testing.T) {
+	w := NewTimerWheel(testJiffy)
+	fired := false
+	tm := &SoftTimer{Deadline: 20 * sim.Millisecond, Fire: func(sim.Time) { fired = true }}
+	w.Add(tm)
+	if !w.Cancel(tm) {
+		t.Fatal("Cancel returned false")
+	}
+	if w.Cancel(tm) {
+		t.Fatal("double Cancel returned true")
+	}
+	w.AdvanceTo(sim.Second)
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+	if w.Len() != 0 {
+		t.Fatal("count wrong after cancel")
+	}
+	// NextExpiry after canceling the cached minimum must not return the
+	// stale deadline.
+	w2 := NewTimerWheel(testJiffy)
+	a := &SoftTimer{Deadline: 8 * sim.Millisecond, Fire: func(sim.Time) {}}
+	b := &SoftTimer{Deadline: 80 * sim.Millisecond, Fire: func(sim.Time) {}}
+	w2.Add(a)
+	w2.Add(b)
+	w2.Cancel(a)
+	if got := w2.NextExpiry(); got != 80*sim.Millisecond {
+		t.Fatalf("stale cache: NextExpiry = %v, want 80ms", got)
+	}
+}
+
+func TestWheelCancelMiddleBucket(t *testing.T) {
+	// Swap-removal inside one bucket keeps the other timers intact.
+	w := NewTimerWheel(testJiffy)
+	count := 0
+	var timers []*SoftTimer
+	for i := 0; i < 5; i++ {
+		tm := &SoftTimer{Deadline: testJiffy, Fire: func(sim.Time) { count++ }}
+		w.Add(tm)
+		timers = append(timers, tm)
+	}
+	w.Cancel(timers[1])
+	w.Cancel(timers[3])
+	w.AdvanceTo(2 * testJiffy)
+	if count != 3 {
+		t.Fatalf("fired %d, want 3", count)
+	}
+}
+
+func TestWheelAddPanics(t *testing.T) {
+	w := NewTimerWheel(testJiffy)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add(nil) did not panic")
+			}
+		}()
+		w.Add(nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add without Fire did not panic")
+			}
+		}()
+		w.Add(&SoftTimer{Deadline: 1})
+	}()
+	tm := &SoftTimer{Deadline: testJiffy, Fire: func(sim.Time) {}}
+	w.Add(tm)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Add did not panic")
+			}
+		}()
+		w.Add(tm)
+	}()
+}
+
+func TestWheelLongDeadlineCascades(t *testing.T) {
+	// A timer several levels up must cascade down and fire on time.
+	w := NewTimerWheel(sim.Millisecond)
+	deadline := 700 * sim.Millisecond // level ≥ 1 territory (64 jiffies per level-0 lap)
+	var firedAt sim.Time
+	w.Add(&SoftTimer{Deadline: deadline, Fire: func(now sim.Time) { firedAt = now }})
+	for now := sim.Time(0); now <= sim.Second; now += sim.Millisecond {
+		w.AdvanceTo(now)
+		if firedAt != 0 {
+			break
+		}
+	}
+	if firedAt == 0 {
+		t.Fatal("long timer never fired")
+	}
+	if firedAt < deadline {
+		t.Fatalf("fired at %v before deadline %v", firedAt, deadline)
+	}
+	if firedAt > deadline+2*sim.Millisecond {
+		t.Fatalf("fired at %v, too long after deadline %v", firedAt, deadline)
+	}
+}
+
+func TestWheelVeryLongDeadlineBeyondHorizon(t *testing.T) {
+	// Deadlines beyond the top level's reach are clamped and still fire
+	// (eventually, never early).
+	w := NewTimerWheel(sim.Millisecond)
+	deadline := sim.Time(levelReach(wheelLevels-1)+1000) * sim.Millisecond
+	fired := false
+	w.Add(&SoftTimer{Deadline: deadline, Fire: func(sim.Time) { fired = true }})
+	// Advance in coarse steps to keep the test fast.
+	step := 50 * sim.Millisecond
+	for now := sim.Time(0); now < deadline; now += step {
+		w.AdvanceTo(now)
+		if fired {
+			t.Fatalf("fired before deadline (at ≤ %v < %v)", now, deadline)
+		}
+	}
+	w.AdvanceTo(deadline + step)
+	if !fired {
+		t.Fatal("beyond-horizon timer never fired")
+	}
+}
+
+func TestWheelManyTimersAllFireOnce(t *testing.T) {
+	w := NewTimerWheel(sim.Millisecond)
+	const n = 500
+	counts := make([]int, n)
+	rng := sim.NewRand(42)
+	maxDeadline := sim.Time(0)
+	for i := 0; i < n; i++ {
+		i := i
+		d := rng.Between(sim.Millisecond, 2*sim.Second)
+		if d > maxDeadline {
+			maxDeadline = d
+		}
+		w.Add(&SoftTimer{Deadline: d, Fire: func(sim.Time) { counts[i]++ }})
+	}
+	for now := sim.Time(0); now <= maxDeadline+10*sim.Millisecond; now += sim.Millisecond {
+		w.AdvanceTo(now)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("timer %d fired %d times", i, c)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel left %d timers", w.Len())
+	}
+}
+
+// Property: for random deadlines and a random advance schedule, every timer
+// fires exactly once, never before its deadline, and never more than one
+// jiffy after the advance that covered it.
+func TestWheelCorrectnessProperty(t *testing.T) {
+	f := func(raw []uint16, stepsRaw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := NewTimerWheel(sim.Millisecond)
+		type rec struct {
+			deadline sim.Time
+			firedAt  sim.Time
+			fires    int
+		}
+		recs := make([]*rec, len(raw))
+		for i, r := range raw {
+			d := sim.Time(r%2000+1) * sim.Millisecond / 2 // up to 1s, off-boundary
+			recs[i] = &rec{deadline: d}
+			rc := recs[i]
+			w.Add(&SoftTimer{Deadline: d, Fire: func(now sim.Time) {
+				rc.fires++
+				rc.firedAt = now
+			}})
+		}
+		now := sim.Time(0)
+		for _, s := range stepsRaw {
+			now += sim.Time(s%50+1) * sim.Millisecond
+			w.AdvanceTo(now)
+		}
+		w.AdvanceTo(2 * sim.Second)
+		for _, rc := range recs {
+			if rc.fires != 1 {
+				return false
+			}
+			if rc.firedAt < rc.deadline {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextExpiry is always ≤ the true minimum pending deadline's
+// jiffy-rounded value and equals Forever iff empty.
+func TestWheelNextExpiryProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		w := NewTimerWheel(sim.Millisecond)
+		var deadlines []sim.Time
+		for _, r := range raw {
+			d := sim.Time(r%5000+1) * sim.Millisecond
+			deadlines = append(deadlines, d)
+			w.Add(&SoftTimer{Deadline: d, Fire: func(sim.Time) {}})
+		}
+		if len(deadlines) == 0 {
+			return w.NextExpiry() == sim.Forever
+		}
+		sort.Slice(deadlines, func(i, j int) bool { return deadlines[i] < deadlines[j] })
+		return w.NextExpiry() == deadlines[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftTimerPendingNil(t *testing.T) {
+	var tm *SoftTimer
+	if tm.Pending() {
+		t.Fatal("nil timer pending")
+	}
+}
+
+func TestWheelCancelThenReAdd(t *testing.T) {
+	w := NewTimerWheel(testJiffy)
+	fired := 0
+	tm := &SoftTimer{Deadline: 2 * testJiffy, Fire: func(sim.Time) { fired++ }}
+	w.Add(tm)
+	w.Cancel(tm)
+	tm.Deadline = 3 * testJiffy
+	w.Add(tm) // re-add after cancel is legal
+	w.AdvanceTo(4 * testJiffy)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestWheelFireCanAddTimers(t *testing.T) {
+	// A firing timer that re-queues itself (periodic soft timer pattern).
+	w := NewTimerWheel(testJiffy)
+	count := 0
+	var tm *SoftTimer
+	tm = &SoftTimer{Deadline: testJiffy, Fire: func(now sim.Time) {
+		count++
+		if count < 3 {
+			tm.Deadline = now + testJiffy
+			w.Add(tm)
+		}
+	}}
+	w.Add(tm)
+	for now := sim.Time(0); now <= 20*testJiffy; now += testJiffy {
+		w.AdvanceTo(now)
+	}
+	if count != 3 {
+		t.Fatalf("periodic re-add fired %d times, want 3", count)
+	}
+}

@@ -1,0 +1,150 @@
+package hw
+
+import (
+	"fmt"
+
+	"paratick/internal/sim"
+)
+
+// DeadlineTimer models a one-shot hardware timer armed by writing an
+// absolute deadline — the programming model of both the x86 TSC-deadline
+// LAPIC timer and the VMX preemption timer (§3 of the paper). Re-arming an
+// armed timer replaces the previous deadline, exactly like overwriting the
+// TSC_DEADLINE MSR; writing a deadline in the past fires immediately
+// (scheduled at "now"); Cancel disarms it.
+type DeadlineTimer struct {
+	name     string
+	engine   *sim.Engine
+	fire     func(now sim.Time)
+	ev       *sim.Event
+	deadline sim.Time
+	armCount uint64
+	expireCt uint64
+}
+
+// NewDeadlineTimer creates a disarmed timer that invokes fire on expiry.
+func NewDeadlineTimer(engine *sim.Engine, name string, fire func(now sim.Time)) *DeadlineTimer {
+	if engine == nil || fire == nil {
+		panic("hw: DeadlineTimer requires an engine and a fire callback")
+	}
+	return &DeadlineTimer{name: name, engine: engine, fire: fire}
+}
+
+// Arm programs the timer to expire at deadline, replacing any previous
+// deadline. A deadline at or before the current time fires at the current
+// time (hardware behaviour for a stale TSC_DEADLINE write).
+func (t *DeadlineTimer) Arm(deadline sim.Time) {
+	t.Cancel()
+	if deadline == sim.Forever {
+		return
+	}
+	if deadline < t.engine.Now() {
+		deadline = t.engine.Now()
+	}
+	t.deadline = deadline
+	t.armCount++
+	t.ev = t.engine.At(deadline, fmt.Sprintf("timer:%s", t.name), func(e *sim.Engine) {
+		t.ev = nil
+		t.expireCt++
+		t.fire(e.Now())
+	})
+}
+
+// ArmAfter programs the timer to expire delay from now.
+func (t *DeadlineTimer) ArmAfter(delay sim.Time) {
+	if delay == sim.Forever {
+		t.Cancel()
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	t.Arm(t.engine.Now() + delay)
+}
+
+// Cancel disarms the timer; it is a no-op when the timer is not armed.
+func (t *DeadlineTimer) Cancel() {
+	if t.ev != nil {
+		t.engine.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer is currently programmed.
+func (t *DeadlineTimer) Armed() bool { return t.ev != nil }
+
+// Deadline returns the programmed expiry time, or sim.Forever when the
+// timer is disarmed.
+func (t *DeadlineTimer) Deadline() sim.Time {
+	if t.ev == nil {
+		return sim.Forever
+	}
+	return t.deadline
+}
+
+// ArmCount returns how many times the timer has been (re)programmed.
+func (t *DeadlineTimer) ArmCount() uint64 { return t.armCount }
+
+// Expirations returns how many times the timer has fired.
+func (t *DeadlineTimer) Expirations() uint64 { return t.expireCt }
+
+// PeriodicTimer models a free-running periodic interrupt source — the host
+// LAPIC programmed in periodic mode for the host scheduler tick. The phase
+// offset staggers ticks across physical CPUs the way real LAPIC calibration
+// does, preventing the model from firing every host tick in lockstep.
+type PeriodicTimer struct {
+	name   string
+	engine *sim.Engine
+	period sim.Time
+	fire   func(now sim.Time)
+	ev     *sim.Event
+	ticks  uint64
+}
+
+// NewPeriodicTimer creates a stopped periodic timer.
+func NewPeriodicTimer(engine *sim.Engine, name string, period sim.Time, fire func(now sim.Time)) *PeriodicTimer {
+	if engine == nil || fire == nil {
+		panic("hw: PeriodicTimer requires an engine and a fire callback")
+	}
+	if period <= 0 {
+		panic(fmt.Sprintf("hw: PeriodicTimer %q period must be positive, got %v", name, period))
+	}
+	return &PeriodicTimer{name: name, engine: engine, period: period, fire: fire}
+}
+
+// Start begins ticking; the first tick fires phase nanoseconds from now and
+// subsequent ticks follow every period. Starting a started timer panics.
+func (t *PeriodicTimer) Start(phase sim.Time) {
+	if t.ev != nil {
+		panic(fmt.Sprintf("hw: PeriodicTimer %q started twice", t.name))
+	}
+	if phase < 0 {
+		phase = 0
+	}
+	t.schedule(t.engine.Now() + phase)
+}
+
+func (t *PeriodicTimer) schedule(when sim.Time) {
+	t.ev = t.engine.At(when, fmt.Sprintf("ptimer:%s", t.name), func(e *sim.Engine) {
+		t.ticks++
+		t.schedule(e.Now() + t.period)
+		t.fire(e.Now())
+	})
+}
+
+// Stop halts the timer.
+func (t *PeriodicTimer) Stop() {
+	if t.ev != nil {
+		t.engine.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Running reports whether the timer is ticking.
+func (t *PeriodicTimer) Running() bool { return t.ev != nil }
+
+// Period returns the tick period.
+func (t *PeriodicTimer) Period() sim.Time { return t.period }
+
+// Ticks returns the number of ticks fired so far.
+func (t *PeriodicTimer) Ticks() uint64 { return t.ticks }

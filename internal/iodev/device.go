@@ -1,0 +1,303 @@
+// Package iodev models block I/O devices: latency profiles, a bounded
+// submission queue, and completion interrupts. It substitutes for the
+// paper's physical storage (§6.3 runs fio against the test system's disk;
+// the paper notes it lacks an SR-IOV SSD). The profiles let experiments
+// explore the paper's claim that paratick's benefit grows as device
+// latencies shrink.
+package iodev
+
+import (
+	"fmt"
+
+	"paratick/internal/hw"
+	"paratick/internal/sim"
+)
+
+// Profile characterizes a device's service latency.
+type Profile struct {
+	Name      string
+	ReadBase  sim.Time // fixed service latency per read
+	WriteBase sim.Time // fixed service latency per write
+	PerKiB    sim.Time // transfer time per KiB
+	// SeqFactor discounts the base latency of sequential accesses
+	// (read-ahead / write coalescing); 1.0 = no discount.
+	SeqFactor float64
+	// QueueDepth bounds requests in flight; excess requests queue.
+	QueueDepth int
+	// Jitter is the uniform latency perturbation fraction.
+	Jitter float64
+	// CoalesceWindow, when positive, enables interrupt coalescing: after a
+	// completion the interrupt is deferred up to this long (or until
+	// CoalesceMax completions accumulate), batching completions into one
+	// interrupt — standard NIC/NVMe moderation.
+	CoalesceWindow sim.Time
+	// CoalesceMax flushes a coalesced batch early once this many
+	// completions are pending (0 = window only).
+	CoalesceMax int
+}
+
+// NVMe returns a modern low-latency NVMe-class SSD profile. The paper
+// predicts paratick's I/O benefit grows on such devices (§6.3).
+func NVMe() Profile {
+	return Profile{
+		Name:     "nvme",
+		ReadBase: 8 * sim.Microsecond, WriteBase: 14 * sim.Microsecond,
+		PerKiB: 150, SeqFactor: 0.7, QueueDepth: 64, Jitter: 0.1,
+	}
+}
+
+// SataSSD returns a SATA-SSD profile comparable to the paper's test system
+// ("does not possess a high-end SSD device supporting SR-IOV", §6.3).
+func SataSSD() Profile {
+	return Profile{
+		Name:     "sata-ssd",
+		ReadBase: 55 * sim.Microsecond, WriteBase: 70 * sim.Microsecond,
+		PerKiB: 250, SeqFactor: 0.6, QueueDepth: 32, Jitter: 0.15,
+	}
+}
+
+// HDD returns a rotational-disk profile (high latency; §4.2 predicts little
+// paratick benefit here).
+func HDD() Profile {
+	return Profile{
+		Name:     "hdd",
+		ReadBase: 4 * sim.Millisecond, WriteBase: 5 * sim.Millisecond,
+		PerKiB: 30 * sim.Microsecond / 1024, SeqFactor: 0.15, QueueDepth: 4, Jitter: 0.3,
+	}
+}
+
+// Validate checks profile ranges.
+func (p Profile) Validate() error {
+	if p.ReadBase <= 0 || p.WriteBase <= 0 {
+		return fmt.Errorf("iodev: %s: base latencies must be positive", p.Name)
+	}
+	if p.PerKiB < 0 {
+		return fmt.Errorf("iodev: %s: per-KiB cost must be non-negative", p.Name)
+	}
+	if p.SeqFactor <= 0 || p.SeqFactor > 1 {
+		return fmt.Errorf("iodev: %s: SeqFactor must be in (0,1], got %v", p.Name, p.SeqFactor)
+	}
+	if p.QueueDepth <= 0 {
+		return fmt.Errorf("iodev: %s: queue depth must be positive", p.Name)
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		return fmt.Errorf("iodev: %s: jitter must be in [0,1), got %v", p.Name, p.Jitter)
+	}
+	if p.CoalesceWindow < 0 || p.CoalesceMax < 0 {
+		return fmt.Errorf("iodev: %s: negative coalescing parameter", p.Name)
+	}
+	return nil
+}
+
+// Latency returns the nominal (un-jittered) service time for an operation.
+func (p Profile) Latency(write, sequential bool, bytes int) sim.Time {
+	base := p.ReadBase
+	if write {
+		base = p.WriteBase
+	}
+	if sequential {
+		base = sim.Time(float64(base) * p.SeqFactor)
+	}
+	transfer := p.PerKiB * sim.Time((bytes+1023)/1024)
+	return base + transfer
+}
+
+// Request is one block-I/O operation.
+type Request struct {
+	Write      bool
+	Sequential bool
+	Bytes      int
+	VCPU       int // submitting vCPU; completion interrupt targets it
+	Cookie     any // opaque guest payload (the blocked task)
+	Submitted  sim.Time
+	Completed  sim.Time
+	done       bool
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done }
+
+// Device is a block device with a bounded in-flight window. Completions are
+// announced through the OnComplete callback (wired to the hypervisor's
+// interrupt-raising path) and held until the guest drains them.
+type Device struct {
+	name    string
+	engine  *sim.Engine
+	rng     *sim.Rand
+	profile Profile
+	vector  hw.Vector
+
+	// OnComplete is invoked at completion time, before the request is
+	// queued for draining (per-request observation; tests and metrics).
+	OnComplete func(req *Request)
+	// OnInterrupt raises the completion interrupt toward the given vCPU.
+	// With coalescing enabled it fires once per batch rather than once per
+	// request. The hypervisor wires this to its interrupt-injection path.
+	OnInterrupt func(vcpu int)
+
+	inflight  int
+	waiting   []*Request
+	completed []*Request
+
+	// Per-vCPU coalescing state: pending completion count and the flush
+	// event.
+	coalesce map[int]*coalesceState
+
+	ops           uint64
+	bytesRead     uint64
+	bytesWritten  uint64
+	coalescedIRQs uint64
+}
+
+// New creates a device. The vector is the interrupt it raises on
+// completions.
+func New(engine *sim.Engine, name string, profile Profile, vector hw.Vector) (*Device, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("iodev: nil engine")
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{
+		name:     name,
+		engine:   engine,
+		rng:      engine.Rand().Fork(uint64(vector) + 0x10dead),
+		profile:  profile,
+		vector:   vector,
+		coalesce: make(map[int]*coalesceState),
+	}, nil
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Vector returns the completion interrupt vector.
+func (d *Device) Vector() hw.Vector { return d.vector }
+
+// Profile returns the latency profile.
+func (d *Device) Profile() Profile { return d.profile }
+
+// Inflight returns the number of requests currently being serviced.
+func (d *Device) Inflight() int { return d.inflight }
+
+// QueuedWaiting returns the number of requests waiting for a device slot.
+func (d *Device) QueuedWaiting() int { return len(d.waiting) }
+
+// Ops returns the number of completed operations.
+func (d *Device) Ops() uint64 { return d.ops }
+
+// BytesRead and BytesWritten return completed transfer totals.
+func (d *Device) BytesRead() uint64    { return d.bytesRead }
+func (d *Device) BytesWritten() uint64 { return d.bytesWritten }
+
+// CoalescedInterrupts returns how many batched interrupts were raised
+// (0 unless the profile enables coalescing).
+func (d *Device) CoalescedInterrupts() uint64 { return d.coalescedIRQs }
+
+// Submit enqueues a request; it starts servicing immediately if the device
+// has a free slot.
+func (d *Device) Submit(req *Request) {
+	if req == nil || req.Bytes <= 0 {
+		panic(fmt.Sprintf("iodev: %s: invalid request %+v", d.name, req))
+	}
+	req.Submitted = d.engine.Now()
+	if d.inflight < d.profile.QueueDepth {
+		d.start(req)
+	} else {
+		d.waiting = append(d.waiting, req)
+	}
+}
+
+func (d *Device) start(req *Request) {
+	d.inflight++
+	lat := d.profile.Latency(req.Write, req.Sequential, req.Bytes)
+	lat = d.rng.Jitter(lat, d.profile.Jitter)
+	d.engine.After(lat, "io:"+d.name, func(e *sim.Engine) {
+		d.finish(req)
+	})
+}
+
+func (d *Device) finish(req *Request) {
+	d.inflight--
+	req.Completed = d.engine.Now()
+	req.done = true
+	d.ops++
+	if req.Write {
+		d.bytesWritten += uint64(req.Bytes)
+	} else {
+		d.bytesRead += uint64(req.Bytes)
+	}
+	d.completed = append(d.completed, req)
+	if len(d.waiting) > 0 {
+		next := d.waiting[0]
+		d.waiting = d.waiting[0:copy(d.waiting, d.waiting[1:])]
+		d.start(next)
+	}
+	if d.OnComplete != nil {
+		d.OnComplete(req)
+	}
+	d.raiseOrCoalesce(req.VCPU)
+}
+
+// coalesceState tracks one vCPU's pending batch.
+type coalesceState struct {
+	pending int
+	flush   *sim.Event
+}
+
+// raiseOrCoalesce delivers the completion interrupt, batching when the
+// profile enables moderation.
+func (d *Device) raiseOrCoalesce(vcpu int) {
+	if d.OnInterrupt == nil {
+		return
+	}
+	if d.profile.CoalesceWindow <= 0 {
+		d.OnInterrupt(vcpu)
+		return
+	}
+	st := d.coalesce[vcpu]
+	if st == nil {
+		st = &coalesceState{}
+		d.coalesce[vcpu] = st
+	}
+	st.pending++
+	if d.profile.CoalesceMax > 0 && st.pending >= d.profile.CoalesceMax {
+		d.flushCoalesced(vcpu, st)
+		return
+	}
+	if st.flush == nil {
+		st.flush = d.engine.After(d.profile.CoalesceWindow, "io-coalesce:"+d.name,
+			func(*sim.Engine) {
+				st.flush = nil
+				d.flushCoalesced(vcpu, st)
+			})
+	}
+}
+
+func (d *Device) flushCoalesced(vcpu int, st *coalesceState) {
+	if st.flush != nil {
+		d.engine.Cancel(st.flush)
+		st.flush = nil
+	}
+	if st.pending == 0 {
+		return
+	}
+	st.pending = 0
+	d.coalescedIRQs++
+	d.OnInterrupt(vcpu)
+}
+
+// DrainCompletedFor removes and returns completed requests whose submitting
+// vCPU matches id — the guest's completion-handler view.
+func (d *Device) DrainCompletedFor(vcpu int) []*Request {
+	var out, rest []*Request
+	for _, r := range d.completed {
+		if r.VCPU == vcpu {
+			out = append(out, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	d.completed = rest
+	return out
+}

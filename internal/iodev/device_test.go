@@ -1,0 +1,366 @@
+package iodev
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paratick/internal/hw"
+	"paratick/internal/sim"
+)
+
+func newTestDevice(t *testing.T, p Profile) (*sim.Engine, *Device) {
+	t.Helper()
+	e := sim.NewEngine(7)
+	p.Jitter = 0 // deterministic latencies for exact assertions
+	d, err := New(e, "disk0", p, hw.IODeviceBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range []Profile{NVMe(), SataSSD(), HDD()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileValidateRejectsBad(t *testing.T) {
+	bad := []Profile{
+		{Name: "a", ReadBase: 0, WriteBase: 1, SeqFactor: 1, QueueDepth: 1},
+		{Name: "b", ReadBase: 1, WriteBase: 0, SeqFactor: 1, QueueDepth: 1},
+		{Name: "c", ReadBase: 1, WriteBase: 1, PerKiB: -1, SeqFactor: 1, QueueDepth: 1},
+		{Name: "d", ReadBase: 1, WriteBase: 1, SeqFactor: 0, QueueDepth: 1},
+		{Name: "e", ReadBase: 1, WriteBase: 1, SeqFactor: 1.5, QueueDepth: 1},
+		{Name: "f", ReadBase: 1, WriteBase: 1, SeqFactor: 1, QueueDepth: 0},
+		{Name: "g", ReadBase: 1, WriteBase: 1, SeqFactor: 1, QueueDepth: 1, Jitter: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %s accepted", p.Name)
+		}
+	}
+}
+
+func TestLatencyShape(t *testing.T) {
+	p := NVMe()
+	// Writes slower than reads.
+	if p.Latency(true, false, 4096) <= p.Latency(false, false, 4096) {
+		t.Error("write latency should exceed read latency")
+	}
+	// Sequential faster than random.
+	if p.Latency(false, true, 4096) >= p.Latency(false, false, 4096) {
+		t.Error("sequential should be faster than random")
+	}
+	// Bigger transfers take longer.
+	if p.Latency(false, false, 256*1024) <= p.Latency(false, false, 4096) {
+		t.Error("256k should take longer than 4k")
+	}
+	// Exact: 4k random read on NVMe = 8us + 4*150ns.
+	want := 8*sim.Microsecond + 4*150
+	if got := p.Latency(false, false, 4096); got != want {
+		t.Errorf("4k read latency = %v, want %v", got, want)
+	}
+}
+
+func TestDeviceOrderingAcrossLatencyClasses(t *testing.T) {
+	// The §4.2/§6.3 premise: NVMe ≪ SATA ≪ HDD.
+	if NVMe().Latency(false, false, 4096) >= SataSSD().Latency(false, false, 4096) {
+		t.Error("NVMe should be faster than SATA SSD")
+	}
+	if SataSSD().Latency(false, false, 4096) >= HDD().Latency(false, false, 4096) {
+		t.Error("SATA SSD should be faster than HDD")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, "x", NVMe(), hw.IODeviceBase); err == nil {
+		t.Error("nil engine accepted")
+	}
+	e := sim.NewEngine(1)
+	if _, err := New(e, "x", Profile{}, hw.IODeviceBase); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestSubmitCompletes(t *testing.T) {
+	e, d := newTestDevice(t, NVMe())
+	var completions []*Request
+	d.OnComplete = func(r *Request) { completions = append(completions, r) }
+	req := &Request{Bytes: 4096, VCPU: 0, Cookie: "task1"}
+	d.Submit(req)
+	if d.Inflight() != 1 {
+		t.Fatalf("inflight = %d", d.Inflight())
+	}
+	e.Run()
+	if !req.Done() {
+		t.Fatal("request not done")
+	}
+	if len(completions) != 1 || completions[0] != req {
+		t.Fatalf("completions = %v", completions)
+	}
+	if req.Completed != 8*sim.Microsecond+4*150 {
+		t.Fatalf("completed at %v", req.Completed)
+	}
+	if d.Ops() != 1 || d.BytesRead() != 4096 || d.BytesWritten() != 0 {
+		t.Fatalf("stats: ops=%d read=%d written=%d", d.Ops(), d.BytesRead(), d.BytesWritten())
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	e, d := newTestDevice(t, NVMe())
+	d.Submit(&Request{Write: true, Bytes: 8192})
+	e.Run()
+	if d.BytesWritten() != 8192 || d.BytesRead() != 0 {
+		t.Fatalf("write accounting: read=%d written=%d", d.BytesRead(), d.BytesWritten())
+	}
+}
+
+func TestQueueDepthLimits(t *testing.T) {
+	p := NVMe()
+	p.QueueDepth = 2
+	e, d := newTestDevice(t, p)
+	for i := 0; i < 5; i++ {
+		d.Submit(&Request{Bytes: 4096, VCPU: 0})
+	}
+	if d.Inflight() != 2 {
+		t.Fatalf("inflight = %d, want 2", d.Inflight())
+	}
+	if d.QueuedWaiting() != 3 {
+		t.Fatalf("waiting = %d, want 3", d.QueuedWaiting())
+	}
+	e.Run()
+	if d.Ops() != 5 {
+		t.Fatalf("ops = %d, want 5", d.Ops())
+	}
+	if d.Inflight() != 0 || d.QueuedWaiting() != 0 {
+		t.Fatal("device not drained")
+	}
+}
+
+func TestQueueDepthOneIsFIFO(t *testing.T) {
+	p := NVMe()
+	p.QueueDepth = 1
+	e, d := newTestDevice(t, p)
+	var order []any
+	d.OnComplete = func(r *Request) { order = append(order, r.Cookie) }
+	for i := 0; i < 4; i++ {
+		d.Submit(&Request{Bytes: 4096, Cookie: i})
+	}
+	e.Run()
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("completion order = %v", order)
+		}
+	}
+}
+
+func TestDrainCompletedFor(t *testing.T) {
+	e, d := newTestDevice(t, NVMe())
+	d.Submit(&Request{Bytes: 4096, VCPU: 0, Cookie: "a"})
+	d.Submit(&Request{Bytes: 4096, VCPU: 1, Cookie: "b"})
+	d.Submit(&Request{Bytes: 4096, VCPU: 0, Cookie: "c"})
+	e.Run()
+	got := d.DrainCompletedFor(0)
+	if len(got) != 2 {
+		t.Fatalf("drained %d for vcpu0, want 2", len(got))
+	}
+	for _, r := range got {
+		if r.VCPU != 0 {
+			t.Fatal("drained wrong vCPU's request")
+		}
+	}
+	// Draining again returns nothing for vcpu 0, one for vcpu 1.
+	if len(d.DrainCompletedFor(0)) != 0 {
+		t.Fatal("double drain returned requests")
+	}
+	if len(d.DrainCompletedFor(1)) != 1 {
+		t.Fatal("vcpu1's completion lost")
+	}
+}
+
+func TestSubmitPanicsOnBadRequest(t *testing.T) {
+	_, d := newTestDevice(t, NVMe())
+	for _, req := range []*Request{nil, {Bytes: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Submit(%+v) did not panic", req)
+				}
+			}()
+			d.Submit(req)
+		}()
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	e := sim.NewEngine(7)
+	p := NVMe() // 10% jitter
+	d, err := New(e, "j", p, hw.IODeviceBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := p.Latency(false, false, 4096)
+	lo := sim.Time(float64(nominal) * 0.9)
+	hi := sim.Time(float64(nominal) * 1.1)
+	for i := 0; i < 200; i++ {
+		req := &Request{Bytes: 4096}
+		start := e.Now()
+		d.Submit(req)
+		e.Run()
+		lat := req.Completed - start
+		if lat < lo || lat > hi {
+			t.Fatalf("jittered latency %v outside [%v,%v]", lat, lo, hi)
+		}
+	}
+}
+
+// Property: all submitted requests eventually complete exactly once, for
+// any queue depth and request count.
+func TestAllRequestsCompleteProperty(t *testing.T) {
+	f := func(nRaw, qdRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := NVMe()
+		p.QueueDepth = int(qdRaw%8) + 1
+		p.Jitter = 0
+		e := sim.NewEngine(11)
+		d, err := New(e, "p", p, hw.IODeviceBase)
+		if err != nil {
+			return false
+		}
+		completions := 0
+		d.OnComplete = func(*Request) { completions++ }
+		reqs := make([]*Request, n)
+		for i := range reqs {
+			reqs[i] = &Request{Bytes: 4096 * (i%4 + 1), VCPU: i % 3, Write: i%2 == 0}
+			d.Submit(reqs[i])
+		}
+		e.Run()
+		if completions != n || d.Ops() != uint64(n) {
+			return false
+		}
+		for _, r := range reqs {
+			if !r.Done() || r.Completed < r.Submitted {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceAccessors(t *testing.T) {
+	_, d := newTestDevice(t, NVMe())
+	if d.Name() != "disk0" {
+		t.Error("Name")
+	}
+	if d.Vector() != hw.IODeviceBase {
+		t.Error("Vector")
+	}
+	if d.Profile().Name != "nvme" {
+		t.Error("Profile")
+	}
+}
+
+func TestCoalescingBatchesInterrupts(t *testing.T) {
+	p := NVMe()
+	p.Jitter = 0
+	p.CoalesceWindow = 50 * sim.Microsecond
+	p.CoalesceMax = 0 // window only
+	e := sim.NewEngine(3)
+	d, err := New(e, "c", p, hw.IODeviceBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irqs := 0
+	completions := 0
+	d.OnInterrupt = func(vcpu int) { irqs++ }
+	d.OnComplete = func(*Request) { completions++ }
+	// 8 requests complete within ~9.2us of each other (QD 64, same
+	// latency): one coalesced interrupt covers them all.
+	for i := 0; i < 8; i++ {
+		d.Submit(&Request{Bytes: 4096, VCPU: 0})
+	}
+	e.Run()
+	if completions != 8 {
+		t.Fatalf("completions = %d", completions)
+	}
+	if irqs != 1 {
+		t.Fatalf("interrupts = %d, want 1 coalesced", irqs)
+	}
+	if d.CoalescedInterrupts() != 1 {
+		t.Fatalf("CoalescedInterrupts = %d", d.CoalescedInterrupts())
+	}
+}
+
+func TestCoalescingMaxFlushesEarly(t *testing.T) {
+	p := NVMe()
+	p.Jitter = 0
+	p.CoalesceWindow = sim.Second // effectively never by window
+	p.CoalesceMax = 4
+	e := sim.NewEngine(3)
+	d, err := New(e, "c", p, hw.IODeviceBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irqs := 0
+	d.OnInterrupt = func(int) { irqs++ }
+	for i := 0; i < 8; i++ {
+		d.Submit(&Request{Bytes: 4096, VCPU: 0})
+	}
+	e.RunUntil(10 * sim.Millisecond)
+	if irqs != 2 {
+		t.Fatalf("interrupts = %d, want 2 (batches of 4)", irqs)
+	}
+}
+
+func TestCoalescingPerVCPU(t *testing.T) {
+	p := NVMe()
+	p.Jitter = 0
+	p.CoalesceWindow = 50 * sim.Microsecond
+	e := sim.NewEngine(3)
+	d, err := New(e, "c", p, hw.IODeviceBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]int{}
+	d.OnInterrupt = func(v int) { got[v]++ }
+	d.Submit(&Request{Bytes: 4096, VCPU: 0})
+	d.Submit(&Request{Bytes: 4096, VCPU: 1})
+	e.Run()
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("per-vcpu interrupts = %v", got)
+	}
+}
+
+func TestNoCoalescingImmediateInterrupt(t *testing.T) {
+	e, d := newTestDevice(t, NVMe())
+	irqs := 0
+	d.OnInterrupt = func(int) { irqs++ }
+	d.Submit(&Request{Bytes: 4096})
+	d.Submit(&Request{Bytes: 4096})
+	e.Run()
+	if irqs != 2 {
+		t.Fatalf("interrupts = %d, want one per completion", irqs)
+	}
+	if d.CoalescedInterrupts() != 0 {
+		t.Fatal("coalesced count should be 0 when disabled")
+	}
+}
+
+func TestCoalescingValidation(t *testing.T) {
+	p := NVMe()
+	p.CoalesceWindow = -1
+	if p.Validate() == nil {
+		t.Error("negative window accepted")
+	}
+	p = NVMe()
+	p.CoalesceMax = -1
+	if p.Validate() == nil {
+		t.Error("negative max accepted")
+	}
+}

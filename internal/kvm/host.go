@@ -1,0 +1,135 @@
+// Package kvm models the hypervisor: a KVM-like run loop executing guest
+// segment streams on physical CPUs, with VM exits priced and counted by
+// reason, interrupt injection on VM entry, HLT handling, wakeup IPIs, a
+// host scheduler tick per pCPU, optional halt polling, and pCPU time
+// sharing for overcommitted placements. The paratick host side (Fig. 2 of
+// the paper) plugs in as a core.EntryHook invoked on every VM entry.
+package kvm
+
+import (
+	"fmt"
+
+	"paratick/internal/hw"
+	"paratick/internal/sim"
+	"paratick/internal/trace"
+)
+
+// Config describes the host.
+type Config struct {
+	// Topology is the physical CPU layout.
+	Topology hw.Topology
+	// Cost prices every modeled interaction.
+	Cost hw.CostModel
+	// HostHz is the host scheduler-tick frequency (250 in the paper's
+	// kernels).
+	HostHz int
+	// Timeslice bounds a vCPU's turn on a shared pCPU (overcommit).
+	Timeslice sim.Time
+	// HaltPoll is KVM's halt-polling window; the paper disables it (§6),
+	// so 0 is the default. When positive, a halting vCPU busy-waits up to
+	// this long for an interrupt before truly descheduling.
+	HaltPoll sim.Time
+	// PLEWindow enables pause-loop exiting: a guest spinning longer than
+	// this window takes a PLE exit per window. The paper disables PLE
+	// (§6: "only beneficial in overcommitted environments"), so 0 is the
+	// default.
+	PLEWindow sim.Time
+}
+
+// DefaultConfig returns the paper's host setup: the 80-CPU NUMA box,
+// 250 Hz host tick, 6 ms timeslices, halt polling disabled.
+func DefaultConfig() Config {
+	return Config{
+		Topology:  hw.PaperTopology(),
+		Cost:      hw.DefaultCostModel(),
+		HostHz:    250,
+		Timeslice: 6 * sim.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	if c.HostHz <= 0 {
+		return fmt.Errorf("kvm: HostHz must be positive, got %d", c.HostHz)
+	}
+	if c.Timeslice <= 0 {
+		return fmt.Errorf("kvm: Timeslice must be positive, got %v", c.Timeslice)
+	}
+	if c.HaltPoll < 0 {
+		return fmt.Errorf("kvm: HaltPoll must be non-negative, got %v", c.HaltPoll)
+	}
+	if c.PLEWindow < 0 {
+		return fmt.Errorf("kvm: PLEWindow must be non-negative, got %v", c.PLEWindow)
+	}
+	return nil
+}
+
+// HostTickPeriod returns the host tick period.
+func (c Config) HostTickPeriod() sim.Time { return sim.PeriodFromHz(c.HostHz) }
+
+// Host is the hypervisor instance.
+type Host struct {
+	engine *sim.Engine
+	cfg    Config
+	cost   hw.CostModel
+	pcpus  []*PCPU
+	vms    []*VM
+
+	nextIOVector hw.Vector
+
+	// tracer, when set, records exits/injections (perf-style; see
+	// internal/trace). nil disables tracing.
+	tracer *trace.Buffer
+}
+
+// NewHost creates a host on the engine.
+func NewHost(engine *sim.Engine, cfg Config) (*Host, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("kvm: NewHost requires an engine")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Host{engine: engine, cfg: cfg, cost: cfg.Cost, nextIOVector: hw.IODeviceBase}
+	n := cfg.Topology.NumCPUs()
+	period := cfg.HostTickPeriod()
+	for i := 0; i < n; i++ {
+		p := &PCPU{host: h, id: hw.CPUID(i)}
+		// Stagger host ticks across pCPUs deterministically, like LAPIC
+		// calibration skew on real machines. The offset starts away from 0
+		// so host ticks do not land exactly on guest tick deadlines (which
+		// are armed at whole tick periods from boot).
+		phase := period * sim.Time(i+1) / sim.Time(n+1)
+		p.tick = hw.NewPeriodicTimer(engine, "host-tick", period, p.onHostTick)
+		p.tick.Start(phase)
+		h.pcpus = append(h.pcpus, p)
+	}
+	return h, nil
+}
+
+// Engine returns the simulation engine.
+func (h *Host) Engine() *sim.Engine { return h.engine }
+
+// Config returns the host configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// PCPUs returns the physical CPUs.
+func (h *Host) PCPUs() []*PCPU { return h.pcpus }
+
+// VMs returns the created VMs.
+func (h *Host) VMs() []*VM { return h.vms }
+
+// Now returns current simulated time.
+func (h *Host) Now() sim.Time { return h.engine.Now() }
+
+// SetTracer attaches a trace buffer recording exits and injections.
+func (h *Host) SetTracer(t *trace.Buffer) { h.tracer = t }
+
+// Tracer returns the attached trace buffer (nil when tracing is off).
+func (h *Host) Tracer() *trace.Buffer { return h.tracer }

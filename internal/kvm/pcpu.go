@@ -1,0 +1,390 @@
+package kvm
+
+import (
+	"paratick/internal/guest"
+	"paratick/internal/hw"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+	"paratick/internal/trace"
+)
+
+// guestSegment aliases the guest's execution unit; the hypervisor executes
+// these.
+type guestSegment = guest.Segment
+
+// PCPU is one physical CPU: it runs at most one vCPU at a time, fires the
+// host scheduler tick, and executes the current vCPU's segment stream,
+// charging exit costs as they occur.
+type PCPU struct {
+	host *Host
+	id   hw.CPUID
+	tick *hw.PeriodicTimer
+
+	runq    []*VCPU
+	current *VCPU
+
+	// seg is the in-flight segment: a SegRun in guest context, or any
+	// other kind while the host handles its exit. nil while the host is in
+	// scheduling/interrupt bookkeeping.
+	seg      *guestSegment
+	segEvent *sim.Event
+	segStart sim.Time
+
+	polling         bool
+	pollStart       sim.Time
+	pollEvent       *sim.Event
+	dispatchPending bool
+}
+
+// ID returns the physical CPU id.
+func (p *PCPU) ID() hw.CPUID { return p.id }
+
+// Current returns the vCPU currently owning this pCPU (nil when idle).
+func (p *PCPU) Current() *VCPU { return p.current }
+
+// RunQueueLen returns the number of runnable vCPUs waiting for this pCPU.
+func (p *PCPU) RunQueueLen() int { return len(p.runq) }
+
+func (p *PCPU) cost() *hw.CostModel { return &p.host.cost }
+
+// traceEvent records into the host tracer (no-op when tracing is off).
+func (p *PCPU) traceEvent(kind trace.Kind, v *VCPU, detail string) {
+	if p.host.tracer == nil {
+		return
+	}
+	p.host.tracer.Record(trace.Event{
+		When: p.now(), Kind: kind, PCPU: int(p.id),
+		VM: v.vm.name, VCPU: v.id, Detail: detail,
+	})
+}
+
+func (p *PCPU) now() sim.Time { return p.host.engine.Now() }
+
+func (p *PCPU) enqueue(v *VCPU) {
+	v.state = VCPURunnable
+	p.runq = append(p.runq, v)
+}
+
+// maybeDispatch enters the next runnable vCPU if the pCPU is free.
+func (p *PCPU) maybeDispatch() {
+	if p.current != nil || p.dispatchPending || len(p.runq) == 0 {
+		return
+	}
+	v := p.runq[0]
+	p.runq = p.runq[0:copy(p.runq, p.runq[1:])]
+	v.vm.counters.HostOverhead += p.cost().HostSchedSwitch
+	p.enter(v)
+}
+
+func (p *PCPU) enter(v *VCPU) {
+	v.state = VCPURunning
+	v.sliceStart = p.now()
+	p.current = v
+	p.execNext()
+}
+
+// execNext performs one VM entry — entry hook, pending-interrupt injection
+// — then fetches and executes the next guest segment.
+func (p *PCPU) execNext() { p.exec(true) }
+
+// continueGuest fetches the next segment without a VM entry: the previous
+// run segment completed naturally and the guest simply keeps executing.
+// (A pending interrupt still forces entry semantics — hardware would exit.)
+func (p *PCPU) continueGuest() { p.exec(false) }
+
+func (p *PCPU) exec(entry bool) {
+	v := p.current
+	if v == nil {
+		p.maybeDispatch()
+		return
+	}
+	if entry || v.hasPending() {
+		if hook := v.vm.hook; hook != nil {
+			hook.OnVMEntry(v)
+		}
+	}
+	if v.hasPending() {
+		vecs := v.drainPending()
+		cnt := v.vm.counters
+		cnt.Injections += uint64(len(vecs))
+		cnt.HostOverhead += p.cost().InjectIRQ
+		for _, vec := range vecs {
+			p.traceEvent(trace.KindInject, v, vec.String())
+			v.gcpu.Deliver(vec)
+		}
+	}
+	seg := v.gcpu.Next()
+	p.seg = seg
+	p.segStart = p.now()
+	c := p.cost()
+	switch seg.Kind {
+	case guest.SegRun:
+		if seg.Spin {
+			p.chargePLE(v, seg)
+		}
+		p.segEvent = p.host.engine.After(seg.Duration, "pcpu-run", func(*sim.Engine) {
+			p.runDone()
+		})
+
+	case guest.SegMSRWrite:
+		p.atomic(metrics.ExitMSRWrite, c.ExitMSRWrite+c.HostTimerArm, func() {
+			if seg.Deadline == sim.Forever {
+				v.guestTimer.Cancel()
+			} else {
+				v.guestTimer.Arm(seg.Deadline)
+			}
+		})
+
+	case guest.SegHLT:
+		if !v.gcpu.ShouldHalt() {
+			// need_resched raced ahead of HLT: abort the halt.
+			p.seg = nil
+			p.execNext()
+			return
+		}
+		p.halt(v)
+
+	case guest.SegIOSubmit:
+		p.atomic(metrics.ExitIOKick, c.ExitIOKick, func() {
+			seg.Dev.Submit(seg.Req)
+		})
+
+	case guest.SegIPI:
+		p.atomic(metrics.ExitIPI, p.ipiCost(v, seg.Target), func() {
+			target := v.vm.vcpus[seg.Target]
+			target.pendIRQ(hw.RescheduleVector)
+		})
+
+	case guest.SegHypercall:
+		p.atomic(metrics.ExitHypercall, c.ExitHypercall, func() {
+			v.vm.applyHypercall(seg.HKind, seg.HArg)
+		})
+
+	default:
+		panic("kvm: unknown segment kind")
+	}
+}
+
+// chargePLE accounts pause-loop exits for a spin segment: one exit per
+// elapsed PLE window. (The spin still runs its full duration; PLE's yield
+// benefit matters only under overcommit, which is exactly the paper's
+// argument for disabling it otherwise.)
+func (p *PCPU) chargePLE(v *VCPU, seg *guestSegment) {
+	w := p.host.cfg.PLEWindow
+	if w <= 0 {
+		return
+	}
+	n := int64(seg.Duration / w)
+	cnt := v.vm.counters
+	for i := int64(0); i < n; i++ {
+		cnt.AddExit(metrics.ExitPLE)
+	}
+	cnt.HostOverhead += sim.Time(n) * p.cost().ExitPLE
+}
+
+// ipiCost prices a wakeup IPI, taxing cross-socket delivery.
+func (p *PCPU) ipiCost(v *VCPU, target int) sim.Time {
+	c := p.cost().ExitIPI
+	topo := p.host.cfg.Topology
+	tgt := v.vm.vcpus[target].pcpu.id
+	if !topo.SameSocket(p.id, tgt) {
+		c = sim.Time(float64(c) * topo.CrossSocketTax)
+	}
+	return c
+}
+
+// runDone completes a guest-run segment.
+func (p *PCPU) runDone() {
+	v := p.current
+	seg := p.seg
+	p.seg = nil
+	p.segEvent = nil
+	p.chargeRun(v, seg, seg.Duration)
+	if seg.OnDone != nil {
+		seg.OnDone()
+	}
+	p.continueGuest()
+}
+
+func (p *PCPU) chargeRun(v *VCPU, seg *guestSegment, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	if seg.Kernel {
+		v.vm.counters.GuestKernel += d
+	} else {
+		v.vm.counters.GuestUseful += d
+	}
+}
+
+// atomic executes a non-run segment: a VM exit of the given reason whose
+// handling occupies the pCPU for hostCost, then applies its effect.
+func (p *PCPU) atomic(reason metrics.ExitReason, hostCost sim.Time, apply func()) {
+	v := p.current
+	cnt := v.vm.counters
+	cnt.AddExit(reason)
+	cnt.HostOverhead += hostCost
+	p.traceEvent(trace.KindExit, v, reason.String())
+	p.segEvent = p.host.engine.After(hostCost, "pcpu-exit", func(*sim.Engine) {
+		p.seg = nil
+		p.segEvent = nil
+		apply()
+		p.execNext()
+	})
+}
+
+// halt processes a SegHLT: the HLT exit, then either halt polling or
+// descheduling.
+func (p *PCPU) halt(v *VCPU) {
+	c := p.cost()
+	cnt := v.vm.counters
+	cnt.AddExit(metrics.ExitHLT)
+	cnt.HostOverhead += c.ExitHLT
+	p.traceEvent(trace.KindExit, v, metrics.ExitHLT.String())
+	p.segEvent = p.host.engine.After(c.ExitHLT, "pcpu-hlt", func(*sim.Engine) {
+		p.seg = nil
+		p.segEvent = nil
+		if v.hasPending() {
+			// An interrupt raced with the halt: stay on the CPU.
+			p.execNext()
+			return
+		}
+		if hp := p.host.cfg.HaltPoll; hp > 0 {
+			v.state = VCPUHalted
+			p.polling = true
+			p.pollStart = p.now()
+			p.pollEvent = p.host.engine.After(hp, "pcpu-poll", func(*sim.Engine) {
+				p.polling = false
+				p.pollEvent = nil
+				cnt.HostOverhead += hp // cycles burned polling
+				p.deschedule(v)
+			})
+			return
+		}
+		p.deschedule(v)
+	})
+}
+
+func (p *PCPU) deschedule(v *VCPU) {
+	v.state = VCPUHalted
+	p.current = nil
+	p.maybeDispatch()
+}
+
+// wake transitions a halted vCPU toward running: instantly when it is
+// still inside its halt-poll window, otherwise through the run queue with
+// the host's wake-to-schedule latency.
+func (p *PCPU) wake(v *VCPU) {
+	if p.polling && p.current == v {
+		p.polling = false
+		p.host.engine.Cancel(p.pollEvent)
+		p.pollEvent = nil
+		v.vm.counters.HostOverhead += p.now() - p.pollStart
+		v.state = VCPURunning
+		p.execNext()
+		return
+	}
+	p.enqueue(v)
+	if p.current == nil && !p.dispatchPending {
+		p.dispatchPending = true
+		p.host.engine.After(p.cost().HostSchedDelay, "pcpu-wakeup", func(*sim.Engine) {
+			p.dispatchPending = false
+			p.maybeDispatch()
+		})
+	}
+}
+
+// interruptIfInGuest forces an external-interrupt exit when v is executing
+// guest code on this pCPU (a physical interrupt — device or IPI — arrived
+// for it).
+func (p *PCPU) interruptIfInGuest(v *VCPU) {
+	if p.current != v || p.seg == nil || p.seg.Kind != guest.SegRun {
+		return // in host context: delivered at the next entry
+	}
+	p.interruptGuest(v, metrics.ExitExternalIRQ, p.cost().ExitExternalIRQ, false)
+}
+
+// preemptTimerExit handles the guest deadline timer firing while v runs:
+// KVM's (cheaper) preemption-timer exit (§3).
+func (p *PCPU) preemptTimerExit(v *VCPU) {
+	v.queuePendingNoReact(hw.LocalTimerVector)
+	if p.current != v || p.seg == nil || p.seg.Kind != guest.SegRun {
+		return
+	}
+	p.interruptGuest(v, metrics.ExitPreemptTimer, p.cost().ExitPreemptTimer, false)
+}
+
+// forceEntryExit takes a bare preemption-timer exit on a running vCPU so
+// the next VM entry (and its hook) happens now — the §4.1 top-up mechanism.
+func (p *PCPU) forceEntryExit(v *VCPU) {
+	if p.current != v || p.seg == nil || p.seg.Kind != guest.SegRun {
+		return // already exiting; the entry hook will run shortly anyway
+	}
+	p.interruptGuest(v, metrics.ExitPreemptTimer, p.cost().ExitPreemptTimer, false)
+}
+
+// timerStealExit charges a running vCPU for a physical timer interrupt that
+// belongs to a different (descheduled) vCPU sharing this pCPU.
+func (p *PCPU) timerStealExit(victim *VCPU) {
+	if p.current != victim || p.seg == nil || p.seg.Kind != guest.SegRun {
+		// Already in host context: the interrupt is absorbed there.
+		return
+	}
+	p.interruptGuest(victim, metrics.ExitTimerSteal, p.cost().ExitExternalIRQ, false)
+}
+
+// onHostTick is the host scheduler tick on this pCPU.
+func (p *PCPU) onHostTick(now sim.Time) {
+	v := p.current
+	if v == nil {
+		return // idle pCPU: host housekeeping is free for our accounting
+	}
+	cnt := v.vm.counters
+	// The host tick handler's work varies (load balancing, accounting);
+	// jittering it also prevents same-period timers from phase-locking
+	// onto the handling window deterministically.
+	tickWork := p.host.engine.Rand().Jitter(p.cost().HostTickWork, 0.2)
+	if p.seg != nil && p.seg.Kind == guest.SegRun {
+		// The tick interrupts guest execution: an external-interrupt exit
+		// plus the host tick handler. This is the exit paratick reuses for
+		// virtual-tick injection on the subsequent entry.
+		expire := len(p.runq) > 0 && now-v.sliceStart >= p.host.cfg.Timeslice
+		p.interruptGuest(v, metrics.ExitExternalIRQ,
+			p.cost().ExitExternalIRQ+tickWork, expire)
+		return
+	}
+	// Already in host context: the tick is handled without an extra exit.
+	cnt.HostOverhead += tickWork
+}
+
+// interruptGuest preempts the in-flight run segment, charges the exit, and
+// afterwards resumes the vCPU — or rotates it out when its timeslice
+// expired.
+func (p *PCPU) interruptGuest(v *VCPU, reason metrics.ExitReason, hostCost sim.Time, expireSlice bool) {
+	seg := p.seg
+	elapsed := p.now() - p.segStart
+	p.host.engine.Cancel(p.segEvent)
+	p.segEvent = nil
+	p.seg = nil
+	p.chargeRun(v, seg, elapsed)
+	if remaining := seg.Duration - elapsed; remaining > 0 {
+		v.gcpu.Preempt(seg, remaining)
+	} else if seg.OnDone != nil {
+		seg.OnDone()
+	}
+	cnt := v.vm.counters
+	cnt.AddExit(reason)
+	cnt.HostOverhead += hostCost
+	p.traceEvent(trace.KindExit, v, reason.String())
+	p.segEvent = p.host.engine.After(hostCost, "pcpu-irq-exit", func(*sim.Engine) {
+		p.segEvent = nil
+		if expireSlice {
+			cnt.HostOverhead += p.cost().HostSchedSwitch
+			p.enqueue(v)
+			p.current = nil
+			p.maybeDispatch()
+			return
+		}
+		p.execNext()
+	})
+}

@@ -1,0 +1,223 @@
+package kvm
+
+import (
+	"fmt"
+
+	"paratick/internal/core"
+	"paratick/internal/hw"
+	"paratick/internal/sim"
+	"paratick/internal/trace"
+)
+
+// VCPUState is a vCPU's host-side scheduling state.
+type VCPUState int
+
+const (
+	// VCPUStopped has not been started.
+	VCPUStopped VCPUState = iota
+	// VCPURunnable is queued on its pCPU waiting for a turn.
+	VCPURunnable
+	// VCPURunning is the pCPU's current vCPU (in guest or in an exit).
+	VCPURunning
+	// VCPUHalted executed HLT and waits for an interrupt.
+	VCPUHalted
+)
+
+// String names the state.
+func (s VCPUState) String() string {
+	names := [...]string{"stopped", "runnable", "running", "halted"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("vcpu-state(%d)", int(s))
+}
+
+// VCPU is the host-side representation of a guest CPU — the model's
+// kvm_vcpu. The lastVirtualTick field is the last_tick the paper adds in
+// §5.1.
+type VCPU struct {
+	vm   *VM
+	id   int
+	gcpu guestCPU
+	pcpu *PCPU
+
+	state   VCPUState
+	pending []hw.Vector
+
+	// guestTimer realizes the guest's TSC-deadline timer: while the vCPU
+	// runs, its expiry models a VMX preemption-timer exit; while the vCPU
+	// is descheduled or halted it is the host-armed hrtimer.
+	guestTimer *hw.DeadlineTimer
+	// topUpTimer implements the §4.1 frequency-mismatch extension.
+	topUpTimer *hw.DeadlineTimer
+
+	lastVirtualTick sim.Time
+	sliceStart      sim.Time
+	wakePending     bool // dispatch already scheduled after a wake
+}
+
+// guestCPU is what the hypervisor needs from a guest vCPU; implemented by
+// *guest.VCPU. Narrowing it to an interface keeps the dependency one-way
+// and makes the run loop testable with scripted guests.
+type guestCPU interface {
+	Boot()
+	Next() *guestSegment
+	Deliver(vec hw.Vector)
+	Preempt(seg *guestSegment, remaining sim.Time)
+	ShouldHalt() bool
+}
+
+// ID returns the vCPU index within its VM.
+func (v *VCPU) ID() int { return v.id }
+
+// VM returns the owning VM.
+func (v *VCPU) VM() *VM { return v.vm }
+
+// State returns the scheduling state.
+func (v *VCPU) State() VCPUState { return v.state }
+
+// PCPU returns the physical CPU this vCPU is pinned to.
+func (v *VCPU) PCPU() *PCPU { return v.pcpu }
+
+// PendingIRQs returns a copy of the pending vector list.
+func (v *VCPU) PendingIRQs() []hw.Vector {
+	out := make([]hw.Vector, len(v.pending))
+	copy(out, v.pending)
+	return out
+}
+
+// pendIRQ queues vec for injection (deduplicated, like the LAPIC IRR) and
+// wakes or interrupts the vCPU as its state demands.
+func (v *VCPU) pendIRQ(vec hw.Vector) {
+	for _, p := range v.pending {
+		if p == vec {
+			// Already pending; hardware coalesces.
+			v.reactToIRQ()
+			return
+		}
+	}
+	v.pending = append(v.pending, vec)
+	v.reactToIRQ()
+}
+
+func (v *VCPU) reactToIRQ() {
+	switch v.state {
+	case VCPUHalted:
+		v.pcpu.wake(v)
+	case VCPURunning:
+		v.pcpu.interruptIfInGuest(v)
+	case VCPURunnable, VCPUStopped:
+		// Delivered at next entry.
+	}
+}
+
+// queuePendingNoReact queues a vector without triggering wake/interrupt
+// handling — used when the caller performs the exit itself.
+func (v *VCPU) queuePendingNoReact(vec hw.Vector) {
+	for _, p := range v.pending {
+		if p == vec {
+			return
+		}
+	}
+	v.pending = append(v.pending, vec)
+}
+
+// hasPending reports whether any interrupt is queued.
+func (v *VCPU) hasPending() bool { return len(v.pending) > 0 }
+
+// drainPending empties and returns the pending vectors.
+func (v *VCPU) drainPending() []hw.Vector {
+	out := v.pending
+	v.pending = nil
+	return out
+}
+
+// onGuestTimer fires when the guest's armed deadline passes.
+func (v *VCPU) onGuestTimer(now sim.Time) {
+	switch v.state {
+	case VCPURunning:
+		// Expiry hits a running vCPU: KVM's preemption-timer exit (§3).
+		v.pcpu.preemptTimerExit(v)
+	default:
+		// Host hrtimer on behalf of a descheduled/halted vCPU: queue the
+		// interrupt (wakes a halted vCPU). If another vCPU currently
+		// occupies this pCPU, the physical timer interrupt suspends it —
+		// the §3.1 overcommit cost: "the running vCPU is suspended
+		// whenever a tick interrupt arrives for a descheduled vCPU".
+		victim := v.pcpu.current
+		v.pendLocalTimer()
+		if victim != nil && victim != v {
+			v.pcpu.timerStealExit(victim)
+		}
+	}
+}
+
+func (v *VCPU) pendLocalTimer() {
+	v.pendIRQ(hw.LocalTimerVector)
+}
+
+// onTopUpTimer fires the §4.1 top-up deadline: a bare preemption-timer exit
+// that forces a VM entry, so the paratick hook observes the elapsed guest
+// tick period and injects the due virtual tick. Unlike the guest's own
+// deadline timer, no local-timer vector is queued — this timer is
+// host-internal.
+func (v *VCPU) onTopUpTimer(now sim.Time) {
+	if v.state == VCPURunning {
+		v.pcpu.forceEntryExit(v)
+	}
+	// Halted/descheduled vCPUs don't need top-up ticks.
+}
+
+// --- core.HostVCPU implementation (the Fig. 2 hook surface) ---------------
+
+// Now returns current simulated time.
+func (v *VCPU) Now() sim.Time { return v.vm.host.Now() }
+
+// GuestTickPeriod returns the declared guest tick period.
+func (v *VCPU) GuestTickPeriod() sim.Time { return v.vm.GuestTickPeriod() }
+
+// HostTickPeriod returns the host scheduler-tick period.
+func (v *VCPU) HostTickPeriod() sim.Time { return v.vm.host.cfg.HostTickPeriod() }
+
+// HasPendingLocalTimer reports a queued local-timer interrupt.
+func (v *VCPU) HasPendingLocalTimer() bool {
+	for _, p := range v.pending {
+		if p == hw.LocalTimerVector {
+			return true
+		}
+	}
+	return false
+}
+
+// InjectVirtualTick queues the vector-235 virtual tick.
+func (v *VCPU) InjectVirtualTick() {
+	v.vm.counters.VirtualTicks++
+	if tr := v.vm.host.tracer; tr != nil {
+		tr.Record(trace.Event{
+			When: v.Now(), Kind: trace.KindVirtualTick, PCPU: int(v.pcpu.id),
+			VM: v.vm.name, VCPU: v.id, Detail: "vector-235",
+		})
+	}
+	for _, p := range v.pending {
+		if p == hw.ParatickVector {
+			return
+		}
+	}
+	v.pending = append(v.pending, hw.ParatickVector)
+}
+
+// LastVirtualTick returns the §5.1 last_tick field.
+func (v *VCPU) LastVirtualTick() sim.Time { return v.lastVirtualTick }
+
+// SetLastVirtualTick records a tick injection.
+func (v *VCPU) SetLastVirtualTick(t sim.Time) { v.lastVirtualTick = t }
+
+// ArmTopUpTimer programs the §4.1 top-up deadline.
+func (v *VCPU) ArmTopUpTimer(deadline sim.Time) {
+	if v.topUpTimer.Armed() && v.topUpTimer.Deadline() <= deadline {
+		return
+	}
+	v.topUpTimer.Arm(deadline)
+}
+
+var _ core.HostVCPU = (*VCPU)(nil)

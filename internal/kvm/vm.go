@@ -1,0 +1,170 @@
+package kvm
+
+import (
+	"fmt"
+
+	"paratick/internal/core"
+	"paratick/internal/guest"
+	"paratick/internal/hw"
+	"paratick/internal/iodev"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+)
+
+// VM is one virtual machine: a guest kernel plus its host-side vCPUs and
+// devices. All of a VM's exits and cycles accumulate in one counter set.
+type VM struct {
+	host     *Host
+	name     string
+	kernel   *guest.Kernel
+	counters *metrics.Counters
+	vcpus    []*VCPU
+	hook     core.EntryHook
+
+	declaredTickHz int
+	started        bool
+	doneAt         sim.Time
+	workloadDone   bool
+
+	// OnWorkloadDone fires when the guest's last task completes; the
+	// experiment harness uses it to record wall time and stop the run.
+	OnWorkloadDone func(now sim.Time)
+}
+
+// NewVM creates a VM whose vCPUs are pinned one-to-one onto placement.
+// Multiple vCPUs (from this or other VMs) may share a pCPU — that is the
+// overcommit scenario of §3.1.
+func (h *Host) NewVM(name string, gcfg guest.Config, placement []hw.CPUID) (*VM, error) {
+	if len(placement) == 0 {
+		return nil, fmt.Errorf("kvm: VM %q needs at least one vCPU placement", name)
+	}
+	counters := &metrics.Counters{}
+	kernel, err := guest.NewKernel(h.engine, h.cost, gcfg, counters)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{host: h, name: name, kernel: kernel, counters: counters}
+	if gcfg.Mode == core.Paratick {
+		vm.hook = &core.ParatickHost{}
+	}
+	for i, cpu := range placement {
+		if cpu < 0 || int(cpu) >= h.cfg.Topology.NumCPUs() {
+			return nil, fmt.Errorf("kvm: VM %q vCPU %d placed on invalid pCPU %d", name, i, cpu)
+		}
+		gv := kernel.AddVCPU()
+		v := &VCPU{
+			vm:    vm,
+			id:    i,
+			gcpu:  gv,
+			pcpu:  h.pcpus[cpu],
+			state: VCPUStopped,
+		}
+		v.guestTimer = hw.NewDeadlineTimer(h.engine, "guest-timer", v.onGuestTimer)
+		v.topUpTimer = hw.NewDeadlineTimer(h.engine, "topup-timer", v.onTopUpTimer)
+		vm.vcpus = append(vm.vcpus, v)
+	}
+	vm.kernel.OnAllDone = func(now sim.Time) {
+		vm.workloadDone = true
+		vm.doneAt = now
+		if vm.OnWorkloadDone != nil {
+			vm.OnWorkloadDone(now)
+		}
+	}
+	h.vms = append(h.vms, vm)
+	return vm, nil
+}
+
+// SetEntryHook overrides the VM-entry hook (nil disables). NewVM installs
+// core.ParatickHost automatically for paratick guests; this override exists
+// for ablations (e.g. enabling the §4.1 frequency top-up).
+func (vm *VM) SetEntryHook(hook core.EntryHook) { vm.hook = hook }
+
+// Name returns the VM name.
+func (vm *VM) Name() string { return vm.name }
+
+// Kernel returns the guest kernel, used to spawn tasks and create locks.
+func (vm *VM) Kernel() *guest.Kernel { return vm.kernel }
+
+// Counters returns the VM's metric counters.
+func (vm *VM) Counters() *metrics.Counters { return vm.counters }
+
+// VCPUs returns the host-side vCPUs.
+func (vm *VM) VCPUs() []*VCPU { return vm.vcpus }
+
+// WorkloadDone reports whether all guest tasks have finished, and when.
+func (vm *VM) WorkloadDone() (bool, sim.Time) { return vm.workloadDone, vm.doneAt }
+
+// AttachDevice creates a block device with the given profile, wires its
+// completion interrupts into this VM, and registers it with the guest.
+func (vm *VM) AttachDevice(name string, profile iodev.Profile) (*iodev.Device, error) {
+	h := vm.host
+	dev, err := iodev.New(h.engine, name, profile, h.nextIOVector)
+	if err != nil {
+		return nil, err
+	}
+	h.nextIOVector++
+	dev.OnInterrupt = func(vcpu int) {
+		if vcpu < 0 || vcpu >= len(vm.vcpus) {
+			panic(fmt.Sprintf("kvm: completion for invalid vCPU %d", vcpu))
+		}
+		vm.vcpus[vcpu].pendIRQ(dev.Vector())
+	}
+	vm.kernel.AttachDevice(dev)
+	return dev, nil
+}
+
+// Start boots every vCPU and makes it runnable. Call after spawning the
+// initial tasks.
+func (vm *VM) Start() {
+	if vm.started {
+		panic(fmt.Sprintf("kvm: VM %q started twice", vm.name))
+	}
+	vm.started = true
+	for _, v := range vm.vcpus {
+		v.gcpu.Boot()
+		v.state = VCPURunnable
+		v.pcpu.enqueue(v)
+	}
+	for _, v := range vm.vcpus {
+		v.pcpu.maybeDispatch()
+	}
+}
+
+// applyHypercall processes a guest paravirtual call.
+func (vm *VM) applyHypercall(kind core.HypercallKind, arg int64) {
+	switch kind {
+	case core.HypercallDeclareTickHz:
+		if arg > 0 {
+			vm.declaredTickHz = int(arg)
+		}
+	}
+}
+
+// DeclaredTickHz returns the tick frequency the guest announced via
+// hypercall (0 before the paratick boot sequence ran).
+func (vm *VM) DeclaredTickHz() int { return vm.declaredTickHz }
+
+// GuestTickPeriod returns the declared guest tick period, defaulting to the
+// guest kernel's configured rate when no hypercall has arrived.
+func (vm *VM) GuestTickPeriod() sim.Time {
+	if vm.declaredTickHz > 0 {
+		return sim.PeriodFromHz(vm.declaredTickHz)
+	}
+	return vm.kernel.Config().TickPeriod()
+}
+
+// Result snapshots the VM's metrics as a metrics.Result. The wall time is
+// the workload completion time when the workload has finished, otherwise
+// the current time.
+func (vm *VM) Result(workload string) metrics.Result {
+	wall := vm.host.Now()
+	if vm.workloadDone {
+		wall = vm.doneAt
+	}
+	return metrics.Result{
+		Name:     workload,
+		Mode:     vm.kernel.Config().Mode.String(),
+		Counters: *vm.counters,
+		WallTime: wall,
+	}
+}

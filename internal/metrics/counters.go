@@ -1,0 +1,167 @@
+// Package metrics defines the measurement plane of the reproduction: VM-exit
+// counters by reason, cycle accounting, run results, comparisons between
+// configurations, aggregation across benchmarks, and text/CSV rendering of
+// the paper's tables and figures.
+//
+// The paper measures three metrics (§6): VM exits, system throughput (CPU
+// cycles via perf), and application execution time. This package records the
+// simulator's exact equivalents.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"paratick/internal/sim"
+)
+
+// ExitReason enumerates the VM-exit causes the model distinguishes. They
+// mirror the hardware exit reasons relevant to the paper's analysis (§3).
+type ExitReason int
+
+const (
+	ExitMSRWrite     ExitReason = iota // TSC_DEADLINE MSR write intercepted
+	ExitPreemptTimer                   // VMX preemption-timer expiry
+	ExitExternalIRQ                    // physical interrupt while guest running
+	ExitHLT                            // guest idle entry
+	ExitIOKick                         // emulated I/O doorbell
+	ExitIPI                            // guest APIC ICR write (wakeup IPI)
+	ExitHypercall                      // paravirtual hypercall
+	ExitPLE                            // pause-loop exiting
+	ExitTimerSteal                     // another vCPU's tick timer interrupted this one (§3.1)
+	NumExitReasons
+)
+
+var exitNames = [NumExitReasons]string{
+	"msr-write", "preempt-timer", "external-irq", "hlt", "io-kick", "ipi", "hypercall", "ple",
+	"timer-steal",
+}
+
+// String returns the short name of the exit reason.
+func (r ExitReason) String() string {
+	if r < 0 || r >= NumExitReasons {
+		return fmt.Sprintf("exit(%d)", int(r))
+	}
+	return exitNames[r]
+}
+
+// IsTimerRelated reports whether the exit reason belongs to scheduler-tick /
+// timer management, the class of exits paratick eliminates (§4.2). MSR
+// writes arm the tick; preemption-timer exits deliver it; timer-steal exits
+// are tick interrupts arriving for descheduled vCPUs and suspending the
+// running one (§3.1's overcommit cost).
+func (r ExitReason) IsTimerRelated() bool {
+	return r == ExitMSRWrite || r == ExitPreemptTimer || r == ExitTimerSteal
+}
+
+// Counters accumulates every countable event of one simulation run.
+// The zero value is ready to use.
+type Counters struct {
+	Exits [NumExitReasons]uint64
+
+	// Interrupt bookkeeping.
+	Injections   uint64 // interrupts injected on VM entry
+	VirtualTicks uint64 // paratick vector-235 injections (§5.1)
+	GuestTicks   uint64 // guest tick-handler invocations (any mechanism)
+	TimerArms    uint64 // guest tick/wakeup timer programming operations
+	IdleEnters   uint64 // vCPU idle-loop entries
+	IdleExits    uint64 // vCPU idle-loop exits
+	Wakeups      uint64 // task wakeups
+	ContextSw    uint64 // guest context switches
+
+	// Cycle (simulated-time) accounting. BusyCycles() is the paper's
+	// "CPU cycles" throughput metric.
+	HostOverhead sim.Time // exit handling, injection, host ticks, host sched
+	GuestUseful  sim.Time // application compute
+	GuestKernel  sim.Time // guest-kernel work (handlers, sched, idle logic)
+
+	// I/O accounting.
+	IOReads        uint64
+	IOWrites       uint64
+	IOBytesRead    uint64
+	IOBytesWritten uint64
+}
+
+// AddExit records one VM exit of the given reason.
+func (c *Counters) AddExit(r ExitReason) { c.Exits[r]++ }
+
+// TotalExits returns the total number of VM exits.
+func (c *Counters) TotalExits() uint64 {
+	var sum uint64
+	for _, v := range c.Exits {
+		sum += v
+	}
+	return sum
+}
+
+// TimerExits returns the number of timer-related VM exits (tick arming +
+// tick delivery), the quantity targeted by paratick.
+func (c *Counters) TimerExits() uint64 {
+	var sum uint64
+	for r := ExitReason(0); r < NumExitReasons; r++ {
+		if r.IsTimerRelated() {
+			sum += c.Exits[r]
+		}
+	}
+	return sum
+}
+
+// BusyCycles returns the total CPU time consumed — useful work plus all
+// overhead — the simulator's analogue of the paper's perf cycle counts.
+func (c *Counters) BusyCycles() sim.Time {
+	return c.HostOverhead + c.GuestUseful + c.GuestKernel
+}
+
+// OverheadCycles returns time spent on anything but application compute.
+func (c *Counters) OverheadCycles() sim.Time {
+	return c.HostOverhead + c.GuestKernel
+}
+
+// IOBytes returns total bytes moved.
+func (c *Counters) IOBytes() uint64 { return c.IOBytesRead + c.IOBytesWritten }
+
+// IOOps returns total I/O operations completed.
+func (c *Counters) IOOps() uint64 { return c.IOReads + c.IOWrites }
+
+// Add accumulates other into c (used to merge per-VM counters).
+func (c *Counters) Add(other *Counters) {
+	for i := range c.Exits {
+		c.Exits[i] += other.Exits[i]
+	}
+	c.Injections += other.Injections
+	c.VirtualTicks += other.VirtualTicks
+	c.GuestTicks += other.GuestTicks
+	c.TimerArms += other.TimerArms
+	c.IdleEnters += other.IdleEnters
+	c.IdleExits += other.IdleExits
+	c.Wakeups += other.Wakeups
+	c.ContextSw += other.ContextSw
+	c.HostOverhead += other.HostOverhead
+	c.GuestUseful += other.GuestUseful
+	c.GuestKernel += other.GuestKernel
+	c.IOReads += other.IOReads
+	c.IOWrites += other.IOWrites
+	c.IOBytesRead += other.IOBytesRead
+	c.IOBytesWritten += other.IOBytesWritten
+}
+
+// Summary renders a human-readable multi-line breakdown.
+func (c *Counters) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VM exits: %d total, %d timer-related\n", c.TotalExits(), c.TimerExits())
+	for r := ExitReason(0); r < NumExitReasons; r++ {
+		if c.Exits[r] > 0 {
+			fmt.Fprintf(&b, "  %-14s %d\n", r.String(), c.Exits[r])
+		}
+	}
+	fmt.Fprintf(&b, "injections: %d (virtual ticks: %d), guest ticks: %d, timer arms: %d\n",
+		c.Injections, c.VirtualTicks, c.GuestTicks, c.TimerArms)
+	fmt.Fprintf(&b, "idle enters/exits: %d/%d, wakeups: %d, ctx switches: %d\n",
+		c.IdleEnters, c.IdleExits, c.Wakeups, c.ContextSw)
+	fmt.Fprintf(&b, "cycles: busy=%v (useful=%v kernel=%v host=%v)\n",
+		c.BusyCycles(), c.GuestUseful, c.GuestKernel, c.HostOverhead)
+	if c.IOOps() > 0 {
+		fmt.Fprintf(&b, "io: %d reads / %d writes, %d bytes\n", c.IOReads, c.IOWrites, c.IOBytes())
+	}
+	return b.String()
+}

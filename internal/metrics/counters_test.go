@@ -1,0 +1,300 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"paratick/internal/sim"
+)
+
+func TestExitReasonStrings(t *testing.T) {
+	cases := map[ExitReason]string{
+		ExitMSRWrite:     "msr-write",
+		ExitPreemptTimer: "preempt-timer",
+		ExitExternalIRQ:  "external-irq",
+		ExitHLT:          "hlt",
+		ExitIOKick:       "io-kick",
+		ExitIPI:          "ipi",
+		ExitHypercall:    "hypercall",
+		ExitPLE:          "ple",
+		ExitTimerSteal:   "timer-steal",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
+		}
+	}
+	if got := ExitReason(99).String(); got != "exit(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestIsTimerRelated(t *testing.T) {
+	if !ExitMSRWrite.IsTimerRelated() || !ExitPreemptTimer.IsTimerRelated() || !ExitTimerSteal.IsTimerRelated() {
+		t.Error("timer exits not classified as timer-related")
+	}
+	for _, r := range []ExitReason{ExitExternalIRQ, ExitHLT, ExitIOKick, ExitIPI, ExitHypercall, ExitPLE} {
+		if r.IsTimerRelated() {
+			t.Errorf("%v wrongly classified as timer-related", r)
+		}
+	}
+}
+
+func TestCountersTotals(t *testing.T) {
+	var c Counters
+	c.AddExit(ExitMSRWrite)
+	c.AddExit(ExitMSRWrite)
+	c.AddExit(ExitPreemptTimer)
+	c.AddExit(ExitHLT)
+	c.AddExit(ExitIOKick)
+	if c.TotalExits() != 5 {
+		t.Fatalf("TotalExits = %d", c.TotalExits())
+	}
+	if c.TimerExits() != 3 {
+		t.Fatalf("TimerExits = %d", c.TimerExits())
+	}
+}
+
+func TestBusyCycles(t *testing.T) {
+	c := Counters{HostOverhead: 10, GuestUseful: 100, GuestKernel: 5}
+	if c.BusyCycles() != 115 {
+		t.Fatalf("BusyCycles = %v", c.BusyCycles())
+	}
+	if c.OverheadCycles() != 15 {
+		t.Fatalf("OverheadCycles = %v", c.OverheadCycles())
+	}
+}
+
+func TestIOTotals(t *testing.T) {
+	c := Counters{IOReads: 3, IOWrites: 2, IOBytesRead: 4096, IOBytesWritten: 8192}
+	if c.IOOps() != 5 {
+		t.Fatalf("IOOps = %d", c.IOOps())
+	}
+	if c.IOBytes() != 12288 {
+		t.Fatalf("IOBytes = %d", c.IOBytes())
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{GuestTicks: 1, HostOverhead: 10, IOReads: 2}
+	a.Exits[ExitHLT] = 5
+	b := Counters{GuestTicks: 2, HostOverhead: 20, IOReads: 3}
+	b.Exits[ExitHLT] = 7
+	b.Exits[ExitIPI] = 1
+	a.Add(&b)
+	if a.GuestTicks != 3 || a.HostOverhead != 30 || a.IOReads != 5 {
+		t.Fatalf("Add merged wrong: %+v", a)
+	}
+	if a.Exits[ExitHLT] != 12 || a.Exits[ExitIPI] != 1 {
+		t.Fatalf("Add exits wrong: %v", a.Exits)
+	}
+}
+
+func TestCountersSummary(t *testing.T) {
+	var c Counters
+	c.AddExit(ExitMSRWrite)
+	c.IOReads = 1
+	c.IOBytesRead = 4096
+	s := c.Summary()
+	for _, want := range []string{"VM exits: 1 total", "msr-write", "io: 1 reads"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Result{Name: "w", Mode: "dynticks", WallTime: 100}
+	base.Counters.Exits[ExitMSRWrite] = 100
+	base.Counters.Exits[ExitHLT] = 100
+	base.Counters.GuestUseful = 800
+	base.Counters.HostOverhead = 200
+
+	opt := Result{Name: "w", Mode: "paratick", WallTime: 90}
+	opt.Counters.Exits[ExitMSRWrite] = 20
+	opt.Counters.Exits[ExitHLT] = 100
+	opt.Counters.GuestUseful = 800
+	opt.Counters.HostOverhead = 0
+
+	c := Compare(base, opt)
+	if !close(c.ExitsDelta, -0.4) {
+		t.Errorf("ExitsDelta = %v, want -0.4", c.ExitsDelta)
+	}
+	if !close(c.TimerExitsDelta, -0.8) {
+		t.Errorf("TimerExitsDelta = %v, want -0.8", c.TimerExitsDelta)
+	}
+	if !close(c.ThroughputDelta, 0.25) { // 1000/800 - 1
+		t.Errorf("ThroughputDelta = %v, want 0.25", c.ThroughputDelta)
+	}
+	if !close(c.RuntimeDelta, -0.1) {
+		t.Errorf("RuntimeDelta = %v, want -0.1", c.RuntimeDelta)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	var base, opt Result
+	c := Compare(base, opt)
+	if c.ExitsDelta != 0 || c.ThroughputDelta != 0 || c.RuntimeDelta != 0 {
+		t.Errorf("zero baselines should give zero deltas: %+v", c)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	r := Result{}
+	r.Counters.GuestUseful = 80
+	r.Counters.HostOverhead = 20
+	if !close(r.Throughput(), 0.8) {
+		t.Errorf("Throughput = %v", r.Throughput())
+	}
+	var empty Result
+	if empty.Throughput() != 0 {
+		t.Error("empty Throughput should be 0")
+	}
+}
+
+func TestIOThroughputMBps(t *testing.T) {
+	r := Result{WallTime: sim.Second}
+	r.Counters.IOBytesRead = 100e6
+	if !close(r.IOThroughputMBps(), 100) {
+		t.Errorf("IOThroughputMBps = %v", r.IOThroughputMBps())
+	}
+	var empty Result
+	if empty.IOThroughputMBps() != 0 {
+		t.Error("empty IOThroughputMBps should be 0")
+	}
+}
+
+func TestAggregated(t *testing.T) {
+	comps := []Comparison{
+		{ExitsDelta: -0.4, ThroughputDelta: 0.10, RuntimeDelta: -0.02},
+		{ExitsDelta: -0.6, ThroughputDelta: 0.20, RuntimeDelta: -0.04},
+	}
+	agg := Aggregated(comps)
+	if agg.N != 2 {
+		t.Fatalf("N = %d", agg.N)
+	}
+	if !close(agg.ExitsDelta, -0.5) || !close(agg.ThroughputDelta, 0.15) || !close(agg.RuntimeDelta, -0.03) {
+		t.Errorf("aggregate = %+v", agg)
+	}
+	if empty := Aggregated(nil); empty.N != 0 || empty.ExitsDelta != 0 {
+		t.Error("empty aggregate should be zero")
+	}
+}
+
+func TestGeoMeanRatios(t *testing.T) {
+	if !close(GeoMeanRatios([]float64{0.1, 0.1}), 0.1) {
+		t.Error("geomean of equal ratios should equal them")
+	}
+	// geomean of (2x, 0.5x) is 1x → delta 0.
+	if !close(GeoMeanRatios([]float64{1.0, -0.5}), 0) {
+		t.Errorf("GeoMeanRatios([2x,0.5x]) = %v", GeoMeanRatios([]float64{1.0, -0.5}))
+	}
+	if GeoMeanRatios(nil) != 0 {
+		t.Error("empty geomean should be 0")
+	}
+	// A pathological -100% delta must not produce NaN/Inf.
+	v := GeoMeanRatios([]float64{-1})
+	if v != v || v < -1 {
+		t.Errorf("degenerate geomean = %v", v)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !close(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean broken")
+	}
+}
+
+func TestPctFormats(t *testing.T) {
+	if Pct(-0.5) != "-50%" {
+		t.Errorf("Pct(-0.5) = %q", Pct(-0.5))
+	}
+	if Pct(0.07) != "+7%" {
+		t.Errorf("Pct(0.07) = %q", Pct(0.07))
+	}
+	if Pct1(0.125) != "+12.5%" {
+		t.Errorf("Pct1(0.125) = %q", Pct1(0.125))
+	}
+}
+
+// Property: Add is commutative in its observable totals.
+func TestCountersAddCommutativeProperty(t *testing.T) {
+	f := func(e1, e2 [NumExitReasons]uint8, g1, g2 uint16) bool {
+		var a, b Counters
+		for i := range e1 {
+			a.Exits[i] = uint64(e1[i])
+			b.Exits[i] = uint64(e2[i])
+		}
+		a.GuestTicks, b.GuestTicks = uint64(g1), uint64(g2)
+		x := a
+		x.Add(&b)
+		y2 := b
+		y2.Add(&a)
+		return x.TotalExits() == y2.TotalExits() &&
+			x.TimerExits() == y2.TimerExits() &&
+			x.GuestTicks == y2.GuestTicks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatal("empty stats not zero")
+	}
+	s = ComputeStats([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Std != 0 || s.Min != 5 || s.Max != 5 {
+		t.Fatalf("single-sample stats: %+v", s)
+	}
+	s = ComputeStats([]float64{1, 2, 3, 4})
+	if !close(s.Mean, 2.5) || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// Sample std of 1,2,3,4 = sqrt(5/3) ≈ 1.29099.
+	if !close(s.Std, 1.2909944487358056) {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestStatsPctRange(t *testing.T) {
+	one := ComputeStats([]float64{-0.492})
+	if one.PctRange() != "-49.2%" {
+		t.Errorf("single-sample PctRange = %q", one.PctRange())
+	}
+	many := ComputeStats([]float64{-0.48, -0.50, -0.52})
+	got := many.PctRange()
+	if !strings.Contains(got, "-50.0%") || !strings.Contains(got, "±") {
+		t.Errorf("multi-sample PctRange = %q", got)
+	}
+}
+
+func TestSpreadOf(t *testing.T) {
+	aggs := []Aggregate{
+		{ExitsDelta: -0.4, ThroughputDelta: 0.1, RuntimeDelta: -0.02},
+		{ExitsDelta: -0.6, ThroughputDelta: 0.2, RuntimeDelta: -0.04},
+	}
+	sp := SpreadOf(aggs)
+	if !close(sp.Exits.Mean, -0.5) || !close(sp.Throughput.Mean, 0.15) {
+		t.Fatalf("spread means: %+v", sp)
+	}
+	if sp.Exits.N != 2 {
+		t.Fatal("spread N")
+	}
+	if !strings.Contains(sp.String(), "n=2") {
+		t.Errorf("spread string = %q", sp.String())
+	}
+}

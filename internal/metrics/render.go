@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text/CSV table used to render the paper's
+// tables and per-benchmark figure series.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are kept.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		// Trim trailing spaces from padding.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes around cells containing
+// commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// BarChart renders a horizontal ASCII bar chart for a series of signed
+// percentages, used to present the paper's figures (relative performance of
+// paratick vs vanilla) in the terminal.
+type BarChart struct {
+	Title  string
+	labels []string
+	values []float64 // fractions, e.g. -0.5 for -50%
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(title string) *BarChart { return &BarChart{Title: title} }
+
+// Add appends one labeled bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// String renders the chart. Negative values grow left from a center axis,
+// positive values grow right; scale adapts to the largest magnitude.
+func (c *BarChart) String() string {
+	const half = 30 // columns per side
+	maxAbs := 0.0
+	for _, v := range c.values {
+		if a := abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	labelW := 0
+	for _, l := range c.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s (full bar = %.0f%%)\n", c.Title, maxAbs*100)
+	}
+	for i, v := range c.values {
+		n := int(abs(v)/maxAbs*half + 0.5)
+		if n > half {
+			n = half
+		}
+		left := strings.Repeat(" ", half)
+		right := strings.Repeat(" ", half)
+		if v < 0 {
+			left = strings.Repeat(" ", half-n) + strings.Repeat("#", n)
+		} else if v > 0 {
+			right = strings.Repeat("#", n) + strings.Repeat(" ", half-n)
+		}
+		line := fmt.Sprintf("%-*s %s|%s %s", labelW, c.labels[i], left, right, Pct1(v))
+		b.WriteString(strings.TrimRight(line, " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

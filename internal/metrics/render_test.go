@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Table X: demo", "name", "exits", "delta")
+	tb.AddRow("dedup", "1234", "-50%")
+	tb.AddRow("x264", "99", "+7%")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Table X: demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "exits") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	if !strings.Contains(s, "dedup") || !strings.Contains(s, "-50%") {
+		t.Errorf("rows missing:\n%s", s)
+	}
+	// Columns align: "exits" column starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "exits")
+	if !strings.HasPrefix(lines[3][idx:], "1234") {
+		t.Errorf("column misaligned:\n%s", s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "z")
+	s := tb.String()
+	if !strings.Contains(s, "only") || !strings.Contains(s, "z") {
+		t.Errorf("ragged rows mishandled:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "name", "note")
+	tb.AddRow("a", `has "quotes", and comma`)
+	csv := tb.CSV()
+	want := "name,note\na,\"has \"\"quotes\"\", and comma\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Figure N: relative exits")
+	c.Add("dedup", -0.5)
+	c.Add("x264", 0.25)
+	c.Add("zero", 0)
+	s := c.String()
+	if !strings.Contains(s, "Figure N") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), s)
+	}
+	// dedup bar is left of the axis; x264 bar right of the axis.
+	dedupLine, x264Line, zeroLine := lines[1], lines[2], lines[3]
+	if !strings.Contains(dedupLine, "#|") && !strings.Contains(dedupLine, "# |") {
+		if strings.Index(dedupLine, "#") > strings.Index(dedupLine, "|") {
+			t.Errorf("negative bar on wrong side: %q", dedupLine)
+		}
+	}
+	if strings.Contains(dedupLine, "|#") {
+		t.Errorf("negative bar grew right: %q", dedupLine)
+	}
+	if !strings.Contains(x264Line, "|#") {
+		t.Errorf("positive bar missing right of axis: %q", x264Line)
+	}
+	if strings.Count(zeroLine, "#") != 0 {
+		t.Errorf("zero bar should be empty: %q", zeroLine)
+	}
+	if !strings.Contains(dedupLine, "-50.0%") || !strings.Contains(x264Line, "+25.0%") {
+		t.Errorf("percent labels missing:\n%s", s)
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	c := NewBarChart("flat")
+	c.Add("a", 0)
+	s := c.String()
+	if strings.Contains(s, "#") {
+		t.Errorf("all-zero chart drew bars:\n%s", s)
+	}
+}
+
+func TestBarChartScales(t *testing.T) {
+	c := NewBarChart("scaled")
+	c.Add("big", -1.0)
+	c.Add("small", -0.5)
+	s := c.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	big := strings.Count(lines[1], "#")
+	small := strings.Count(lines[2], "#")
+	if big != 30 {
+		t.Errorf("largest bar should fill half-width 30, got %d", big)
+	}
+	if small != 15 {
+		t.Errorf("half-magnitude bar should be 15, got %d", small)
+	}
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"paratick/internal/sim"
+)
+
+// Result captures the outcome of one simulated run: what ran, under which
+// tick mode, its counters, and its wall-clock (simulated) execution time.
+type Result struct {
+	Name     string // workload identifier, e.g. "parsec/dedup"
+	Mode     string // tick mode, e.g. "dynticks" or "paratick"
+	Counters Counters
+	WallTime sim.Time // application execution time
+}
+
+// Throughput returns useful work per busy cycle — the efficiency the paper's
+// "system throughput" metric tracks: the same work done in fewer total
+// cycles means higher throughput (§6.1).
+func (r Result) Throughput() float64 {
+	busy := r.Counters.BusyCycles()
+	if busy <= 0 {
+		return 0
+	}
+	return float64(r.Counters.GuestUseful) / float64(busy)
+}
+
+// IOThroughputMBps returns I/O throughput in MB/s of simulated time, the
+// direct throughput measurement used for the fio experiments (§6.3).
+func (r Result) IOThroughputMBps() float64 {
+	if r.WallTime <= 0 {
+		return 0
+	}
+	return float64(r.Counters.IOBytes()) / 1e6 / r.WallTime.Seconds()
+}
+
+// Comparison holds the paper's three headline metrics for one workload as
+// relative changes of an optimized run against a baseline run:
+//
+//	ExitsDelta      — relative change in total VM exits (negative = fewer)
+//	ThroughputDelta — relative change in system throughput (positive = better)
+//	RuntimeDelta    — relative change in execution time (negative = faster)
+type Comparison struct {
+	Name            string
+	Baseline        Result
+	Optimized       Result
+	ExitsDelta      float64
+	TimerExitsDelta float64
+	ThroughputDelta float64
+	RuntimeDelta    float64
+}
+
+// Compare derives the paper's relative metrics for optimized vs baseline.
+// Throughput change is computed from busy cycles for the same completed
+// work: doing it in k× fewer cycles = k× higher throughput.
+func Compare(baseline, optimized Result) Comparison {
+	c := Comparison{Name: baseline.Name, Baseline: baseline, Optimized: optimized}
+	c.ExitsDelta = relChange(float64(optimized.Counters.TotalExits()), float64(baseline.Counters.TotalExits()))
+	c.TimerExitsDelta = relChange(float64(optimized.Counters.TimerExits()), float64(baseline.Counters.TimerExits()))
+	// Throughput = work/cycles. With equal work, throughput ratio is the
+	// inverse cycle ratio.
+	bc, oc := float64(baseline.Counters.BusyCycles()), float64(optimized.Counters.BusyCycles())
+	if oc > 0 {
+		c.ThroughputDelta = bc/oc - 1
+	}
+	c.RuntimeDelta = relChange(float64(optimized.WallTime), float64(baseline.WallTime))
+	return c
+}
+
+// relChange returns (new-old)/old, or 0 when old is 0.
+func relChange(new, old float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+// Pct formats a fraction as a signed percentage, e.g. -0.5 → "-50%".
+func Pct(f float64) string {
+	return fmt.Sprintf("%+.0f%%", f*100)
+}
+
+// Pct1 formats a fraction as a signed percentage with one decimal.
+func Pct1(f float64) string {
+	return fmt.Sprintf("%+.1f%%", f*100)
+}
+
+// Aggregate summarizes a set of comparisons with arithmetic means of the
+// relative deltas, matching how the paper aggregates "average performance
+// improvement across all benchmarks" (Tables 2–4).
+type Aggregate struct {
+	N               int
+	ExitsDelta      float64
+	TimerExitsDelta float64
+	ThroughputDelta float64
+	RuntimeDelta    float64
+}
+
+// Aggregated computes the mean deltas over comps.
+func Aggregated(comps []Comparison) Aggregate {
+	agg := Aggregate{N: len(comps)}
+	if len(comps) == 0 {
+		return agg
+	}
+	for _, c := range comps {
+		agg.ExitsDelta += c.ExitsDelta
+		agg.TimerExitsDelta += c.TimerExitsDelta
+		agg.ThroughputDelta += c.ThroughputDelta
+		agg.RuntimeDelta += c.RuntimeDelta
+	}
+	n := float64(len(comps))
+	agg.ExitsDelta /= n
+	agg.TimerExitsDelta /= n
+	agg.ThroughputDelta /= n
+	agg.RuntimeDelta /= n
+	return agg
+}
+
+// GeoMeanRatios computes the geometric mean of (1+delta) ratios and returns
+// it as a delta. Robust against a single outlier benchmark; reported
+// alongside the arithmetic mean.
+func GeoMeanRatios(deltas []float64) float64 {
+	if len(deltas) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range deltas {
+		r := 1 + d
+		if r <= 0 {
+			r = 1e-9
+		}
+		sum += math.Log(r)
+	}
+	return math.Exp(sum/float64(len(deltas))) - 1
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stats summarizes repeated measurements — the paper averages 3–15
+// iterations per experiment and reports a possible ±5% deviation (§6).
+type Stats struct {
+	N    int
+	Mean float64
+	Std  float64 // sample standard deviation (n-1)
+	Min  float64
+	Max  float64
+}
+
+// ComputeStats summarizes xs; the zero Stats is returned for empty input.
+func ComputeStats(xs []float64) Stats {
+	s := Stats{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// PctRange renders the stats as a percentage with spread, e.g.
+// "-49.2% ± 1.3%". With a single sample the spread is omitted.
+func (s Stats) PctRange() string {
+	if s.N <= 1 {
+		return Pct1(s.Mean)
+	}
+	return fmt.Sprintf("%s ± %.1f%%", Pct1(s.Mean), s.Std*100)
+}
+
+// AggregateSpread carries repeat-to-repeat statistics of an experiment's
+// aggregate deltas.
+type AggregateSpread struct {
+	Exits      Stats
+	TimerExits Stats
+	Throughput Stats
+	Runtime    Stats
+}
+
+// SpreadOf computes the spread over per-repeat aggregates.
+func SpreadOf(aggs []Aggregate) *AggregateSpread {
+	ex := make([]float64, len(aggs))
+	tx := make([]float64, len(aggs))
+	th := make([]float64, len(aggs))
+	rt := make([]float64, len(aggs))
+	for i, a := range aggs {
+		ex[i], tx[i], th[i], rt[i] = a.ExitsDelta, a.TimerExitsDelta, a.ThroughputDelta, a.RuntimeDelta
+	}
+	return &AggregateSpread{
+		Exits:      ComputeStats(ex),
+		TimerExits: ComputeStats(tx),
+		Throughput: ComputeStats(th),
+		Runtime:    ComputeStats(rt),
+	}
+}
+
+// String renders the spread on one line.
+func (s *AggregateSpread) String() string {
+	return fmt.Sprintf("exits %s, throughput %s, runtime %s (n=%d)",
+		s.Exits.PctRange(), s.Throughput.PctRange(), s.Runtime.PctRange(), s.Exits.N)
+}

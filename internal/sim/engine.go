@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is the callback type for scheduled events. It receives the engine
+// so that handlers can schedule follow-up events without capturing it.
+type Handler func(e *Engine)
+
+// Event is a scheduled occurrence in the simulation. Events are created with
+// Engine.At / Engine.After and may be canceled until they fire. The zero
+// value is not usable.
+type Event struct {
+	when    Time
+	seq     uint64
+	index   int // heap index, -1 once fired/canceled
+	fn      Handler
+	label   string
+	expired bool
+}
+
+// When returns the time the event is (or was) scheduled to fire.
+func (ev *Event) When() Time { return ev.when }
+
+// Label returns the diagnostic label assigned at scheduling time.
+func (ev *Event) Label() string { return ev.label }
+
+// Pending reports whether the event is still queued (not fired, not canceled).
+func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+
+// eventQueue implements heap.Interface ordered by (when, seq). The seq
+// tie-break makes event ordering — and therefore entire simulations —
+// deterministic.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation core: a clock plus an event queue.
+// It is single-threaded by design; determinism is a core requirement for the
+// reproduction experiments, so no goroutines or wall-clock time are involved.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	rand    *Rand
+	stopped bool
+}
+
+// NewEngine returns an engine at time zero with an RNG seeded by seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rand: NewRand(seed)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rand }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time when. Scheduling in the past
+// panics: it always indicates a model bug, and silently reordering time
+// would corrupt every metric downstream.
+func (e *Engine) At(when Time, label string, fn Handler) *Event {
+	if fn == nil {
+		panic("sim: nil event handler")
+	}
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, when, e.now))
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay nanoseconds from now.
+func (e *Engine) After(delay Time, label string, fn Handler) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", delay, label))
+	}
+	return e.At(e.now+delay, label, fn)
+}
+
+// Cancel removes a pending event from the queue. Canceling a nil, fired, or
+// already-canceled event is a harmless no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.expired = true
+	return true
+}
+
+// Step dispatches the single earliest event. It returns false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.when
+	e.fired++
+	ev.expired = true
+	ev.fn(e)
+	return true
+}
+
+// Run dispatches events until the queue empties or the engine is stopped.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time ≤ deadline, then advances the clock
+// to exactly the deadline (if it is later than the last event).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].when <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop halts Run/RunUntil after the current event handler returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called during the current run.
+func (e *Engine) Stopped() bool { return e.stopped }

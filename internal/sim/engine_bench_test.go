@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleFire measures raw event throughput: schedule one
+// event and dispatch it, repeatedly.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, "b", func(*Engine) {})
+		e.Step()
+	}
+}
+
+// BenchmarkEngineDeepQueue measures heap behaviour with many queued events.
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	e := NewEngine(1)
+	const depth = 4096
+	var chain func(en *Engine)
+	chain = func(en *Engine) {
+		// Every firing schedules a replacement, keeping depth constant.
+		en.After(depth, "chain", chain)
+	}
+	for i := 0; i < depth; i++ {
+		e.After(Time(i+1), "seed", chain)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Step() {
+			b.Fatal("queue drained")
+		}
+	}
+}
+
+// BenchmarkEngineCancel measures schedule+cancel cycles.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(1000, "c", func(*Engine) {})
+		e.Cancel(ev)
+	}
+}
+
+// BenchmarkRandUint64 measures the generator.
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+// BenchmarkRandExp measures the exponential sampler used by workloads.
+func BenchmarkRandExp(b *testing.B) {
+	r := NewRand(1)
+	var sink Time
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(Microsecond)
+	}
+	_ = sink
+}

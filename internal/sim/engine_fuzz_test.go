@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// FuzzEngine drives the event queue with a byte-coded script of schedules,
+// cancels, and steps, checking that dispatch times never go backwards and
+// that canceled events never fire.
+func FuzzEngine(f *testing.F) {
+	f.Add([]byte{0x01, 0x10, 0x02, 0x20, 0xFF})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x03, 0x03, 0x03, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		e := NewEngine(1)
+		type rec struct {
+			ev       *Event
+			canceled bool
+			fired    *bool
+		}
+		var recs []*rec
+		lastDispatch := Time(-1)
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i]%3, Time(script[i+1])
+			switch op {
+			case 0: // schedule
+				fired := false
+				r := &rec{fired: &fired}
+				r.ev = e.After(arg, "f", func(en *Engine) {
+					if en.Now() < lastDispatch {
+						t.Fatalf("time went backwards: %v after %v", en.Now(), lastDispatch)
+					}
+					lastDispatch = en.Now()
+					fired = true
+				})
+				recs = append(recs, r)
+			case 1: // cancel
+				if len(recs) == 0 {
+					continue
+				}
+				r := recs[int(arg)%len(recs)]
+				if e.Cancel(r.ev) {
+					r.canceled = true
+				}
+			case 2: // step a few events
+				for n := Time(0); n < arg%8; n++ {
+					e.Step()
+				}
+			}
+		}
+		e.Run()
+		for i, r := range recs {
+			if r.canceled && *r.fired {
+				t.Fatalf("canceled event %d fired", i)
+			}
+			if !r.canceled && !*r.fired {
+				t.Fatalf("live event %d never fired", i)
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("queue retains %d events after Run", e.Pending())
+		}
+	})
+}

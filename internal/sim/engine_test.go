@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ns"},
+		{250, "250ns"},
+		{Microsecond, "1us"},
+		{1500 * Nanosecond, "1.5us"},
+		{2500 * Microsecond, "2.5ms"},
+		{3 * Second, "3s"},
+		{-2 * Millisecond, "-2ms"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPeriodFromHz(t *testing.T) {
+	if got := PeriodFromHz(250); got != 4*Millisecond {
+		t.Errorf("PeriodFromHz(250) = %v, want 4ms", got)
+	}
+	if got := PeriodFromHz(1000); got != Millisecond {
+		t.Errorf("PeriodFromHz(1000) = %v, want 1ms", got)
+	}
+	if got := PeriodFromHz(0); got != Forever {
+		t.Errorf("PeriodFromHz(0) = %v, want Forever", got)
+	}
+	if got := PeriodFromHz(-5); got != Forever {
+		t.Errorf("PeriodFromHz(-5) = %v, want Forever", got)
+	}
+}
+
+func TestMinMaxTime(t *testing.T) {
+	if MinTime(1, 2) != 1 || MinTime(2, 1) != 1 {
+		t.Error("MinTime broken")
+	}
+	if MaxTime(1, 2) != 2 || MaxTime(2, 1) != 2 {
+		t.Error("MaxTime broken")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30, "c", func(*Engine) { got = append(got, 3) })
+	e.At(10, "a", func(*Engine) { got = append(got, 1) })
+	e.At(20, "b", func(*Engine) { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, "tie", func(*Engine) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.After(100, "x", func(en *Engine) {
+		en.After(50, "y", func(en *Engine) { at = en.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("nested After fired at %v, want 150", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(10, "x", func(*Engine) { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending after scheduling")
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if ev.Pending() {
+		t.Fatal("event still pending after cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double cancel should return false")
+	}
+	if e.Cancel(nil) {
+		t.Fatal("cancel(nil) should return false")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	var evs []*Event
+	for i := 1; i <= 10; i++ {
+		w := Time(i * 10)
+		evs = append(evs, e.At(w, "x", func(en *Engine) { got = append(got, en.Now()) }))
+	}
+	e.Cancel(evs[4]) // t=50
+	e.Cancel(evs[7]) // t=80
+	e.Run()
+	want := []Time{10, 20, 30, 40, 60, 70, 90, 100}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineCancelFromHandler(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	var victim *Event
+	victim = e.At(20, "victim", func(*Engine) { fired = true })
+	e.At(10, "killer", func(en *Engine) { en.Cancel(victim) })
+	e.Run()
+	if fired {
+		t.Fatal("victim fired despite cancellation from an earlier handler")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, w := range []Time{10, 20, 30, 40} {
+		w := w
+		e.At(w, "x", func(en *Engine) { got = append(got, en.Now()) })
+	}
+	e.RunUntil(25)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("RunUntil(25) fired %v", got)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v after RunUntil(25)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.RunUntil(100)
+	if len(got) != 4 || e.Now() != 100 {
+		t.Fatalf("second RunUntil: got %v now %v", got, e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), "x", func(en *Engine) {
+			count++
+			if count == 3 {
+				en.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt Run: count = %d", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() should be true")
+	}
+	// A later Run resumes.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("resumed Run processed %d total", count)
+	}
+}
+
+func TestEnginePanicsOnPastSchedule(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, "x", func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		en.At(50, "bad", func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, "bad", func(*Engine) {})
+}
+
+func TestEnginePanicsOnNilHandler(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	e.At(1, "bad", nil)
+}
+
+func TestEngineFiredCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), "x", func(*Engine) {})
+	}
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5", e.Fired())
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.At(42, "mylabel", func(*Engine) {})
+	if ev.When() != 42 {
+		t.Errorf("When() = %v", ev.When())
+	}
+	if ev.Label() != "mylabel" {
+		t.Errorf("Label() = %q", ev.Label())
+	}
+	var nilEv *Event
+	if nilEv.Pending() {
+		t.Error("nil event reports pending")
+	}
+}
+
+// Property: any set of scheduled times is dispatched in sorted order.
+func TestEngineDispatchSortedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine(7)
+		var got []Time
+		for _, r := range raw {
+			w := Time(r)
+			e.At(w, "p", func(en *Engine) { got = append(got, en.Now()) })
+		}
+		e.Run()
+		if len(got) != len(raw) {
+			return false
+		}
+		want := make([]Time, len(raw))
+		for i, r := range raw {
+			want[i] = Time(r)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after random interleaved schedule/cancel operations, exactly the
+// non-canceled events fire, each exactly once.
+func TestEngineCancelExactnessProperty(t *testing.T) {
+	f := func(times []uint16, cancelMask []bool) bool {
+		e := NewEngine(3)
+		fireCount := make(map[int]int)
+		var evs []*Event
+		for i, r := range times {
+			i := i
+			evs = append(evs, e.At(Time(r), "p", func(*Engine) { fireCount[i]++ }))
+		}
+		canceled := make(map[int]bool)
+		for i := range evs {
+			if i < len(cancelMask) && cancelMask[i] {
+				e.Cancel(evs[i])
+				canceled[i] = true
+			}
+		}
+		e.Run()
+		for i := range evs {
+			want := 1
+			if canceled[i] {
+				want = 0
+			}
+			if fireCount[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(99)
+		var got []Time
+		// A chain of randomly scheduled events using the engine RNG.
+		var step func(en *Engine)
+		n := 0
+		step = func(en *Engine) {
+			got = append(got, en.Now())
+			n++
+			if n < 100 {
+				en.After(en.Rand().Between(1, 1000), "chain", step)
+			}
+		}
+		e.After(1, "start", step)
+		e.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic event count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRandZeroSeedWorks(t *testing.T) {
+	r := NewRand(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("zero-seeded generator looks degenerate: %d distinct of 100", len(seen))
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	r := NewRand(7)
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestInt63nPanics(t *testing.T) {
+	r := NewRand(7)
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(0) did not panic")
+		}
+	}()
+	r.Int63n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(11)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean = %v, expected ~0.5", mean)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Between(100, 200)
+		if v < 100 || v >= 200 {
+			t.Fatalf("Between(100,200) = %v", v)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Between(5,5) did not panic")
+			}
+		}()
+		r.Between(5, 5)
+	}()
+}
+
+func TestExpMeanAndPositivity(t *testing.T) {
+	r := NewRand(13)
+	const mean = 100 * Microsecond
+	var sum Time
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 1 {
+			t.Fatalf("Exp returned %v < 1ns", v)
+		}
+		sum += v
+	}
+	got := float64(sum) / n
+	if math.Abs(got-float64(mean))/float64(mean) > 0.05 {
+		t.Fatalf("Exp mean = %v, want ~%v", Time(got), mean)
+	}
+	if r.Exp(0) != 1 || r.Exp(-5) != 1 {
+		t.Fatal("Exp of non-positive mean should return 1ns")
+	}
+}
+
+func TestJitter(t *testing.T) {
+	r := NewRand(17)
+	const d = 1000 * Nanosecond
+	for i := 0; i < 10000; i++ {
+		v := r.Jitter(d, 0.25)
+		if v < 750 || v > 1250 {
+			t.Fatalf("Jitter(1000, .25) = %v", v)
+		}
+	}
+	if r.Jitter(0, 0.5) != 1 {
+		t.Fatal("Jitter(0) should clamp to 1ns")
+	}
+	if r.Jitter(d, 0) != d {
+		t.Fatal("Jitter with f=0 should return d")
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := NewRand(19)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) rate = %v", p)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	base := NewRand(23)
+	a := base.Fork(1)
+	b := base.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams overlap: %d/100", same)
+	}
+}
+
+// Property: Duration always lands inside [0, d).
+func TestDurationRangeProperty(t *testing.T) {
+	r := NewRand(29)
+	f := func(d uint32) bool {
+		dd := Time(d%1000000) + 1
+		v := r.Duration(dd)
+		return v >= 0 && v < dd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: uniformity sanity — over many draws of Intn(k), every residue
+// class appears.
+func TestIntnCoverageProperty(t *testing.T) {
+	r := NewRand(31)
+	for _, k := range []int{2, 3, 7, 16} {
+		seen := make([]bool, k)
+		for i := 0; i < k*200; i++ {
+			seen[r.Intn(k)] = true
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("Intn(%d) never produced %d", k, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that every other package in this repository is built on.
+//
+// The kernel consists of three pieces:
+//
+//   - a nanosecond-resolution simulated clock (Time),
+//   - a cancelable event queue (Engine) with deterministic tie-breaking,
+//   - a seeded pseudo-random number generator (Rand) so that runs are
+//     reproducible bit for bit.
+//
+// Nothing in this package knows about virtualization; it is a generic DES
+// core comparable to the event loops found in architectural simulators.
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation. It is also used for durations; the zero value is the epoch.
+type Time int64
+
+// Common durations, for readable scenario definitions.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Forever is a sentinel deadline meaning "never expires". It sorts after any
+// realistic simulated instant.
+const Forever Time = 1<<63 - 1
+
+// Microseconds returns the time as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns the time as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit, e.g. "1.5ms" or "250ns".
+func (t Time) String() string {
+	neg := ""
+	if t < 0 {
+		neg, t = "-", -t
+	}
+	switch {
+	case t == Forever:
+		return "forever"
+	case t >= Second:
+		return fmt.Sprintf("%s%.6gs", neg, t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%s%.6gms", neg, t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%s%.6gus", neg, t.Microseconds())
+	default:
+		return fmt.Sprintf("%s%dns", neg, int64(t))
+	}
+}
+
+// PeriodFromHz converts an interrupt frequency in Hz to its period.
+// PeriodFromHz(250) == 4ms.
+func PeriodFromHz(hz int) Time {
+	if hz <= 0 {
+		return Forever
+	}
+	return Second / Time(hz)
+}
+
+// MinTime returns the earlier of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+// Package trace records simulator events — VM exits, injections, virtual
+// ticks — into a bounded ring buffer and renders perf(1)-style summaries.
+// It substitutes for the paper's use of `perf record` to measure VM exits
+// (§6.1).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paratick/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+const (
+	// KindExit is a VM exit; Detail carries the exit reason.
+	KindExit Kind = iota
+	// KindInject is an interrupt injection; Detail carries the vector.
+	KindInject
+	// KindVirtualTick is a paratick vector-235 injection decision.
+	KindVirtualTick
+	// KindSched is a host scheduling action (dispatch, halt, wake).
+	KindSched
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindExit:
+		return "exit"
+	case KindInject:
+		return "inject"
+	case KindVirtualTick:
+		return "vtick"
+	case KindSched:
+		return "sched"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	When   sim.Time
+	Kind   Kind
+	PCPU   int
+	VM     string
+	VCPU   int
+	Detail string
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v pcpu%-3d %s/vcpu%-3d %-7s %s",
+		e.When, e.PCPU, e.VM, e.VCPU, e.Kind, e.Detail)
+}
+
+// Buffer is a bounded ring of trace events plus running aggregates. A nil
+// *Buffer is a valid no-op tracer, so call sites need no nil checks.
+type Buffer struct {
+	cap    int
+	events []Event
+	next   int
+	full   bool
+	total  uint64
+	counts map[string]uint64 // "kind/detail" → occurrences
+	first  sim.Time
+	last   sim.Time
+}
+
+// NewBuffer creates a ring holding up to capacity events (aggregates are
+// unbounded).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Buffer{cap: capacity, counts: make(map[string]uint64)}
+}
+
+// Record appends an event; older events are overwritten once the ring is
+// full.
+func (b *Buffer) Record(e Event) {
+	if b == nil {
+		return
+	}
+	if b.total == 0 {
+		b.first = e.When
+	}
+	b.last = e.When
+	b.total++
+	b.counts[e.Kind.String()+"/"+e.Detail]++
+	if len(b.events) < b.cap {
+		b.events = append(b.events, e)
+		return
+	}
+	b.events[b.next] = e
+	b.next = (b.next + 1) % b.cap
+	b.full = true
+}
+
+// Total returns the number of events recorded (including overwritten ones).
+func (b *Buffer) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.total
+}
+
+// Events returns the retained events in chronological order.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	if !b.full {
+		out := make([]Event, len(b.events))
+		copy(out, b.events)
+		return out
+	}
+	out := make([]Event, 0, b.cap)
+	out = append(out, b.events[b.next:]...)
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Count returns the number of events with the given kind and detail.
+func (b *Buffer) Count(kind Kind, detail string) uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.counts[kind.String()+"/"+detail]
+}
+
+// Summary renders a perf-style aggregate: every kind/detail pair with its
+// count and rate over the traced window, sorted by count.
+func (b *Buffer) Summary() string {
+	if b == nil || b.total == 0 {
+		return "trace: no events\n"
+	}
+	type row struct {
+		key   string
+		count uint64
+	}
+	rows := make([]row, 0, len(b.counts))
+	for k, c := range b.counts {
+		rows = append(rows, row{k, c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].key < rows[j].key
+	})
+	window := b.last - b.first
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %d events over %v\n", b.total, window)
+	for _, r := range rows {
+		rate := ""
+		if window > 0 {
+			rate = fmt.Sprintf("%10.1f/s", float64(r.count)/window.Seconds())
+		}
+		fmt.Fprintf(&sb, "  %-32s %10d %s\n", r.key, r.count, rate)
+	}
+	return sb.String()
+}
+
+// Dump renders the retained events, newest last.
+func (b *Buffer) Dump() string {
+	evs := b.Events()
+	if len(evs) == 0 {
+		return "trace: empty\n"
+	}
+	var sb strings.Builder
+	for _, e := range evs {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,229 @@
+package paratick
+
+import (
+	"fmt"
+	"time"
+
+	"paratick/internal/core"
+	"paratick/internal/guest"
+	"paratick/internal/hw"
+	"paratick/internal/kvm"
+	"paratick/internal/sim"
+	"paratick/internal/trace"
+)
+
+// TickMode selects the guest's scheduler-tick management policy.
+type TickMode int
+
+const (
+	// ModeDynticks is the standard tickless kernel ("dynticks idle"),
+	// Linux's default and the paper's baseline. The zero value, so
+	// Scenario{} compares sensibly.
+	ModeDynticks TickMode = iota
+	// ModePeriodic is the classic fixed-rate scheduler tick.
+	ModePeriodic
+	// ModeParatick is the paper's virtual-scheduler-tick mechanism.
+	ModeParatick
+)
+
+// String names the mode.
+func (m TickMode) String() string { return m.internal().String() }
+
+func (m TickMode) internal() core.Mode {
+	switch m {
+	case ModePeriodic:
+		return core.Periodic
+	case ModeParatick:
+		return core.Paratick
+	default:
+		return core.DynticksIdle
+	}
+}
+
+// ParseTickMode parses "periodic", "dynticks"/"tickless", or "paratick".
+func ParseTickMode(s string) (TickMode, error) {
+	m, err := core.ParseMode(s)
+	if err != nil {
+		return 0, err
+	}
+	switch m {
+	case core.Periodic:
+		return ModePeriodic, nil
+	case core.Paratick:
+		return ModeParatick, nil
+	default:
+		return ModeDynticks, nil
+	}
+}
+
+// Scenario describes one simulated virtual machine and its workload.
+// The zero value of every field selects the paper's defaults.
+type Scenario struct {
+	// Name labels reports; defaults to the workload's name.
+	Name string
+	// Mode is the tick policy (default ModeDynticks).
+	Mode TickMode
+	// VCPUs is the VM size (default 1).
+	VCPUs int
+	// Sockets spreads the vCPUs over NUMA sockets (default 1). The host is
+	// the paper's 4-socket × 20-CPU machine.
+	Sockets int
+	// Overcommit pins that many vCPUs onto each physical CPU (default 1,
+	// no time sharing) — the consolidation scenario of §3.1.
+	Overcommit int
+	// GuestHz / HostHz are the tick frequencies (default 250, the paper's).
+	GuestHz int
+	HostHz  int
+	// Seed fixes all randomness (default 1); equal seeds reproduce runs
+	// bit for bit.
+	Seed uint64
+	// Duration bounds open-ended workloads (e.g. IdleWorkload). When zero,
+	// the run ends at workload completion.
+	Duration time.Duration
+	// HaltPoll enables KVM-style halt polling (the paper disables it).
+	HaltPoll time.Duration
+	// PLEWindow enables pause-loop exiting with the given detection window
+	// (the paper disables it).
+	PLEWindow time.Duration
+	// AdaptiveSpin makes contended guest locks spin this long before
+	// blocking (0 = pure blocking synchronization, the paper's workloads).
+	AdaptiveSpin time.Duration
+	// DisarmOnIdleExit inverts the paper's §5.2.5 heuristic (ablation).
+	DisarmOnIdleExit bool
+	// TopUpTimer enables the §4.1 frequency-mismatch extension.
+	TopUpTimer bool
+	// TraceCapacity, when positive, records the last N exit/injection
+	// events for Report.Trace.
+	TraceCapacity int
+	// Workload generates the guest's tasks. Required unless Duration > 0.
+	Workload Workload
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.VCPUs == 0 {
+		s.VCPUs = 1
+	}
+	if s.Sockets == 0 {
+		s.Sockets = 1
+	}
+	if s.GuestHz == 0 {
+		s.GuestHz = 250
+	}
+	if s.HostHz == 0 {
+		s.HostHz = 250
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Overcommit == 0 {
+		s.Overcommit = 1
+	}
+	if s.Name == "" && s.Workload != nil {
+		s.Name = s.Workload.name()
+	}
+	if s.Name == "" {
+		s.Name = "scenario"
+	}
+	return s
+}
+
+// Validate reports configuration errors without running anything.
+func (s Scenario) Validate() error {
+	s = s.withDefaults()
+	if s.VCPUs < 0 || s.Sockets < 0 || s.GuestHz < 0 || s.HostHz < 0 || s.Overcommit < 0 {
+		return fmt.Errorf("paratick: negative scenario parameter")
+	}
+	if s.Workload == nil && s.Duration <= 0 {
+		return fmt.Errorf("paratick: scenario %q needs a Workload or a Duration", s.Name)
+	}
+	if s.Duration < 0 || s.HaltPoll < 0 || s.PLEWindow < 0 || s.AdaptiveSpin < 0 {
+		return fmt.Errorf("paratick: negative duration")
+	}
+	return nil
+}
+
+// Run simulates the scenario and returns its report.
+func Run(s Scenario) (*Report, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(s.Seed)
+	cfg := kvm.DefaultConfig()
+	cfg.HostHz = s.HostHz
+	cfg.HaltPoll = sim.Time(s.HaltPoll.Nanoseconds())
+	cfg.PLEWindow = sim.Time(s.PLEWindow.Nanoseconds())
+	host, err := kvm.NewHost(engine, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var tracer *trace.Buffer
+	if s.TraceCapacity > 0 {
+		tracer = trace.NewBuffer(s.TraceCapacity)
+		host.SetTracer(tracer)
+	}
+	// With overcommit, groups of vCPUs share a physical CPU: vCPU i lands
+	// on the pCPU of slot i/Overcommit.
+	pcpus := (s.VCPUs + s.Overcommit - 1) / s.Overcommit
+	spread, err := cfg.Topology.SpreadAcross(pcpus, s.Sockets)
+	if err != nil {
+		return nil, err
+	}
+	placement := make([]hw.CPUID, s.VCPUs)
+	for i := range placement {
+		placement[i] = spread[i/s.Overcommit]
+	}
+	gcfg := guest.DefaultConfig()
+	gcfg.Mode = s.Mode.internal()
+	gcfg.TickHz = s.GuestHz
+	gcfg.PolicyOpts = core.Options{DisarmOnIdleExit: s.DisarmOnIdleExit}
+	gcfg.AdaptiveSpin = sim.Time(s.AdaptiveSpin.Nanoseconds())
+	vm, err := host.NewVM(s.Name, gcfg, placement)
+	if err != nil {
+		return nil, err
+	}
+	if s.Mode == ModeParatick && s.TopUpTimer {
+		vm.SetEntryHook(&core.ParatickHost{TopUp: true})
+	}
+	if s.Workload != nil {
+		if err := s.Workload.apply(vm); err != nil {
+			return nil, fmt.Errorf("paratick: workload setup: %w", err)
+		}
+	}
+	deadline := sim.Time(s.Duration.Nanoseconds())
+	if deadline == 0 {
+		deadline = 1000 * sim.Second
+		vm.OnWorkloadDone = func(sim.Time) { engine.Stop() }
+	}
+	vm.Start()
+	engine.RunUntil(deadline)
+	if s.Duration == 0 {
+		if done, _ := vm.WorkloadDone(); !done {
+			return nil, fmt.Errorf("paratick: scenario %q did not finish within %v (%d tasks alive)",
+				s.Name, deadline, vm.Kernel().LiveTasks())
+		}
+	}
+	return newReport(s, vm, tracer), nil
+}
+
+// CompareToBaseline runs the scenario twice — once under ModeDynticks (the
+// paper's vanilla baseline) and once under the scenario's own mode
+// (defaulting to ModeParatick when left as the baseline) — and returns the
+// paper's three relative metrics.
+func CompareToBaseline(s Scenario) (*Comparison, error) {
+	optimized := s
+	if optimized.Mode == ModeDynticks {
+		optimized.Mode = ModeParatick
+	}
+	base := s
+	base.Mode = ModeDynticks
+	baseRep, err := Run(base)
+	if err != nil {
+		return nil, err
+	}
+	optRep, err := Run(optimized)
+	if err != nil {
+		return nil, err
+	}
+	return compareReports(baseRep, optRep), nil
+}
