@@ -5,12 +5,17 @@
 //
 //	paratick-bench [-run all|table1|fig4|fig5|fig6|ablation] [-scale 1.0]
 //	               [-seed 1] [-device nvme|sata-ssd|hdd] [-out DIR]
+//	               [-workers N] [-bench-json FILE]
 //
 // -scale shrinks the workloads for quick runs (0.1 ≈ a tenth of the paper's
-// durations). -out additionally writes each table as CSV into DIR.
+// durations). -out additionally writes each table as CSV into DIR. -workers
+// fans independent simulation runs across N goroutines (0 = one per CPU);
+// output is byte-identical regardless of worker count. -bench-json writes
+// one timing record per experiment (wall clock, events fired, events/sec).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,13 +33,16 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	device := flag.String("device", "nvme", "block device profile: nvme, sata-ssd, hdd")
 	repeats := flag.Int("repeats", 1, "average each experiment over this many seeds (paper: 3-15)")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
 	out := flag.String("out", "", "directory for CSV output (optional)")
+	benchJSON := flag.String("bench-json", "", "file for per-experiment timing records as JSON (optional)")
 	flag.Parse()
 
 	opts := experiment.DefaultOptions()
 	opts.Seed = *seed
 	opts.Scale = *scale
 	opts.Repeats = *repeats
+	opts.Workers = *workers
 	switch *device {
 	case "nvme":
 		opts.Device = iodev.NVMe()
@@ -51,35 +59,89 @@ func main() {
 		}
 	}
 
+	b := &bench{opts: opts, out: *out}
 	all := *run == "all"
 	start := time.Now()
 	if all || *run == "table1" {
-		runTable1(opts, *out)
+		b.measure("table1", runTable1)
 	}
 	if all || *run == "fig4" {
-		runFig4(opts, *out)
+		b.measure("fig4", runFig4)
 	}
 	if all || *run == "fig5" {
-		runFig5(opts, *out)
+		b.measure("fig5", runFig5)
 	}
 	if all || *run == "fig6" {
-		runFig6(opts, *out)
+		b.measure("fig6", runFig6)
 	}
 	if all || *run == "crossover" {
-		runCrossover(opts, *out)
+		b.measure("crossover", runCrossover)
 	}
 	if all || *run == "consolidation" {
-		runConsolidation(opts)
+		b.measure("consolidation", runConsolidation)
 	}
 	if all || *run == "ablation" {
-		runAblation(opts)
+		b.measure("ablation", runAblation)
 	}
 	switch *run {
 	case "all", "table1", "fig4", "fig5", "fig6", "crossover", "consolidation", "ablation":
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *run))
 	}
-	fmt.Printf("done in %v (scale %.2f, seed %d)\n", time.Since(start).Round(time.Millisecond), *scale, *seed)
+	if *benchJSON != "" {
+		if err := b.writeJSON(*benchJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	fmt.Printf("done in %v (scale %.2f, seed %d, workers %d)\n",
+		time.Since(start).Round(time.Millisecond), *scale, *seed, b.opts.WorkerCount())
+}
+
+// benchRecord is one experiment's timing entry for -bench-json.
+type benchRecord struct {
+	Name         string  `json:"name"`
+	WallNs       int64   `json:"wall_ns"`
+	Runs         uint64  `json:"runs"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Workers      int     `json:"workers"`
+}
+
+// bench runs experiments with a fresh Meter each, recording wall-clock and
+// engine throughput per experiment.
+type bench struct {
+	opts    experiment.Options
+	out     string
+	records []benchRecord
+}
+
+func (b *bench) measure(name string, fn func(experiment.Options, string)) {
+	opts := b.opts
+	m := &metrics.Meter{}
+	opts.Meter = m
+	start := time.Now()
+	fn(opts, b.out)
+	wall := time.Since(start)
+	rec := benchRecord{
+		Name:         name,
+		WallNs:       wall.Nanoseconds(),
+		Runs:         m.Runs(),
+		Events:       m.Events(),
+		EventsPerSec: m.EventsPerSec(wall.Seconds()),
+		Workers:      b.opts.WorkerCount(),
+	}
+	b.records = append(b.records, rec)
+	fmt.Printf("[%s] %v wall, %d runs, %d events, %.0f events/sec\n\n",
+		name, wall.Round(time.Millisecond), rec.Runs, rec.Events, rec.EventsPerSec)
+}
+
+func (b *bench) writeJSON(path string) error {
+	data, err := json.MarshalIndent(b.records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {
@@ -157,7 +219,7 @@ func runCrossover(opts experiment.Options, out string) {
 	writeCSV(out, "crossover", res.Table())
 }
 
-func runConsolidation(opts experiment.Options) {
+func runConsolidation(opts experiment.Options, out string) {
 	fmt.Println("== §3.1 consolidation: mixed fleet, 2:1 overcommit ==")
 	res, err := experiment.RunConsolidation(opts)
 	if err != nil {
@@ -166,7 +228,7 @@ func runConsolidation(opts experiment.Options) {
 	fmt.Println(res.Render())
 }
 
-func runAblation(opts experiment.Options) {
+func runAblation(opts experiment.Options, out string) {
 	fmt.Println("== Ablations ==")
 	s, err := experiment.RunAllAblations(opts)
 	if err != nil {

@@ -133,19 +133,23 @@ func RunIdleExitAblation(opts Options) (*AblationResult, error) {
 		{"paratick (keep armed, paper)", core.Paratick, core.Options{}},
 		{"paratick (disarm on idle exit)", core.Paratick, core.Options{DisarmOnIdleExit: true}},
 	}
-	for _, v := range variants {
-		spec := Spec{
-			Name:       "ablation-idle-exit/" + v.name,
-			Mode:       v.mode,
-			VCPUs:      1,
-			PolicyOpts: v.opts,
-			Setup:      setup,
-		}
-		r, err := Run(spec, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res.add(v.name, r)
+	results, err := runParallel(opts.WorkerCount(), len(variants),
+		func(i int) (metrics.Result, error) {
+			v := variants[i]
+			spec := Spec{
+				Name:       "ablation-idle-exit/" + v.name,
+				Mode:       v.mode,
+				VCPUs:      1,
+				PolicyOpts: v.opts,
+				Setup:      setup,
+			}
+			return run(spec, opts.Seed, opts.Meter)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		res.add(v.name, results[i])
 	}
 	return res, nil
 }
@@ -171,21 +175,25 @@ func RunFrequencyMismatchAblation(opts Options) (*AblationResult, error) {
 		{"paratick 1000Hz, no top-up", false},
 		{"paratick 1000Hz, top-up", true},
 	}
-	for _, v := range variants {
-		spec := Spec{
-			Name:    "ablation-freq/" + v.name,
-			Mode:    core.Paratick,
-			VCPUs:   1,
-			GuestHz: 1000,
-			HostHz:  250,
-			TopUp:   v.topUp,
-			Setup:   setup,
-		}
-		r, err := Run(spec, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res.add(v.name, r)
+	results, err := runParallel(opts.WorkerCount(), len(variants),
+		func(i int) (metrics.Result, error) {
+			v := variants[i]
+			spec := Spec{
+				Name:    "ablation-freq/" + v.name,
+				Mode:    core.Paratick,
+				VCPUs:   1,
+				GuestHz: 1000,
+				HostHz:  250,
+				TopUp:   v.topUp,
+				Setup:   setup,
+			}
+			return run(spec, opts.Seed, opts.Meter)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		res.add(v.name, results[i])
 	}
 	return res, nil
 }
@@ -197,23 +205,28 @@ func RunHaltPollAblation(opts Options) (*AblationResult, error) {
 		return nil, err
 	}
 	res := &AblationResult{Title: "Ablation: KVM halt polling (fio rndr 4k, dynticks)"}
-	for _, hp := range []sim.Time{0, 50 * sim.Microsecond, 200 * sim.Microsecond} {
-		spec := Spec{
-			Name:     fmt.Sprintf("ablation-haltpoll/%v", hp),
-			Mode:     core.DynticksIdle,
-			VCPUs:    1,
-			HaltPoll: hp,
-			Setup:    fioSetup(opts),
-		}
-		r, err := Run(spec, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
+	windows := []sim.Time{0, 50 * sim.Microsecond, 200 * sim.Microsecond}
+	results, err := runParallel(opts.WorkerCount(), len(windows),
+		func(i int) (metrics.Result, error) {
+			hp := windows[i]
+			spec := Spec{
+				Name:     fmt.Sprintf("ablation-haltpoll/%v", hp),
+				Mode:     core.DynticksIdle,
+				VCPUs:    1,
+				HaltPoll: hp,
+				Setup:    fioSetup(opts),
+			}
+			return run(spec, opts.Seed, opts.Meter)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, hp := range windows {
 		name := "disabled (paper)"
 		if hp > 0 {
 			name = "window " + hp.String()
 		}
-		res.add(name, r)
+		res.add(name, results[i])
 	}
 	return res, nil
 }
@@ -268,36 +281,47 @@ func RunPLEAblation(opts Options) (*AblationResult, error) {
 		{"spin 25us, PLE off (paper host)", 25 * sim.Microsecond, 0},
 		{"spin 25us, PLE 10us window", 25 * sim.Microsecond, 10 * sim.Microsecond},
 	}
-	for _, v := range variants {
-		engine := sim.NewEngine(opts.Seed)
-		cfg := kvm.DefaultConfig()
-		cfg.PLEWindow = v.ple
-		host, err := kvm.NewHost(engine, cfg)
-		if err != nil {
-			return nil, err
-		}
-		gcfg := guest.DefaultConfig()
-		gcfg.Mode = core.DynticksIdle
-		gcfg.AdaptiveSpin = v.spin
-		placement, err := cfg.Topology.SpreadAcross(4, 1)
-		if err != nil {
-			return nil, err
-		}
-		vm, err := host.NewVM("ple", gcfg, placement)
-		if err != nil {
-			return nil, err
-		}
-		lock := vm.Kernel().NewLock("hot")
-		for i := 0; i < 4; i++ {
-			vm.Kernel().Spawn(fmt.Sprintf("t%d", i), i, &spinLockProgram{lock: lock, iters: iters})
-		}
-		vm.OnWorkloadDone = func(sim.Time) { engine.Stop() }
-		vm.Start()
-		engine.RunUntil(maxSimTime)
-		if done, _ := vm.WorkloadDone(); !done {
-			return nil, fmt.Errorf("experiment ple/%s: workload hung", v.name)
-		}
-		res.add(v.name, vm.Result("ple/"+v.name))
+	results, err := runParallel(opts.WorkerCount(), len(variants),
+		func(vi int) (metrics.Result, error) {
+			v := variants[vi]
+			engine := sim.NewEngine(opts.Seed)
+			cfg := kvm.DefaultConfig()
+			cfg.PLEWindow = v.ple
+			host, err := kvm.NewHost(engine, cfg)
+			if err != nil {
+				return metrics.Result{}, err
+			}
+			gcfg := guest.DefaultConfig()
+			gcfg.Mode = core.DynticksIdle
+			gcfg.AdaptiveSpin = v.spin
+			placement, err := cfg.Topology.SpreadAcross(4, 1)
+			if err != nil {
+				return metrics.Result{}, err
+			}
+			vm, err := host.NewVM("ple", gcfg, placement)
+			if err != nil {
+				return metrics.Result{}, err
+			}
+			lock := vm.Kernel().NewLock("hot")
+			for i := 0; i < 4; i++ {
+				vm.Kernel().Spawn(fmt.Sprintf("t%d", i), i, &spinLockProgram{lock: lock, iters: iters})
+			}
+			vm.OnWorkloadDone = func(sim.Time) { engine.Stop() }
+			vm.Start()
+			engine.RunUntil(maxSimTime)
+			opts.Meter.AddRun(engine.Fired())
+			if done, _ := vm.WorkloadDone(); !done {
+				return metrics.Result{}, fmt.Errorf("experiment ple/%s: workload hung", v.name)
+			}
+			r := vm.Result("ple/" + v.name)
+			r.Events = engine.Fired()
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		res.add(v.name, results[i])
 	}
 	return res, nil
 }
@@ -314,8 +338,11 @@ func RunCoalescingAblation(opts Options) (*AblationResult, error) {
 	res := &AblationResult{Title: "Ablation: device interrupt coalescing (fio seqwr 4k bursts)"}
 	job := workload.DefaultFioJob(workload.SeqWrite, 4096, fioTotalBytes(4096, opts.Scale))
 	job.WriteBehind = 8 // mostly async: bursts of in-flight writes
-	for _, coalesce := range []sim.Time{0, 30 * sim.Microsecond} {
-		for _, mode := range []core.Mode{core.DynticksIdle, core.Paratick} {
+	windows := []sim.Time{0, 30 * sim.Microsecond}
+	modes := []core.Mode{core.DynticksIdle, core.Paratick}
+	results, err := runParallel(opts.WorkerCount(), len(windows)*len(modes),
+		func(i int) (metrics.Result, error) {
+			coalesce, mode := windows[i/len(modes)], modes[i%len(modes)]
 			dev := opts.Device
 			dev.CoalesceWindow = coalesce
 			dev.CoalesceMax = 8
@@ -331,15 +358,18 @@ func RunCoalescingAblation(opts Options) (*AblationResult, error) {
 					return job.Spawn(vm.Kernel(), d)
 				},
 			}
-			r, err := Run(spec, opts.Seed)
-			if err != nil {
-				return nil, err
-			}
+			return run(spec, opts.Seed, opts.Meter)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, coalesce := range windows {
+		for j, mode := range modes {
 			name := mode.String() + ", no coalescing"
 			if coalesce > 0 {
 				name = mode.String() + ", coalesce " + coalesce.String()
 			}
-			res.add(name, r)
+			res.add(name, results[i*len(modes)+j])
 		}
 	}
 	return res, nil

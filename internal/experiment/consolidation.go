@@ -50,13 +50,15 @@ func RunConsolidation(opts Options) (*ConsolidationResult, error) {
 		dur = 100 * sim.Millisecond
 	}
 	res := &ConsolidationResult{Duration: dur}
-	for _, mode := range []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick} {
-		row, err := runConsolidationMode(opts, mode, dur)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	modes := []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick}
+	rows, err := runParallel(opts.WorkerCount(), len(modes),
+		func(i int) (ConsolidationRow, error) {
+			return runConsolidationMode(opts, modes[i], dur)
+		})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -130,6 +132,7 @@ func runConsolidationMode(opts Options, mode core.Mode, dur sim.Time) (Consolida
 		vm.Start()
 	}
 	engine.RunUntil(dur)
+	opts.Meter.AddRun(engine.Fired())
 
 	row := ConsolidationRow{Mode: mode}
 	for _, vm := range vms {

@@ -99,9 +99,12 @@ func RunCrossover(opts Options) (*CrossoverResult, error) {
 		EmpiricalCrossover: sim.Forever,
 	}
 	const busy = 50 * sim.Microsecond
-	for _, idle := range crossoverIdlePeriods() {
-		pt := CrossoverPoint{IdlePeriod: idle}
-		for _, mode := range []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick} {
+	idles := crossoverIdlePeriods()
+	modes := []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick}
+	// Flatten the (idle period, mode) grid into independent parallel jobs.
+	exits, err := runParallel(opts.WorkerCount(), len(idles)*len(modes),
+		func(i int) (uint64, error) {
+			idle, mode := idles[i/len(modes)], modes[i%len(modes)]
 			spec := Spec{
 				Name:     fmt.Sprintf("crossover/%v/%v", idle, mode),
 				Mode:     mode,
@@ -118,18 +121,21 @@ func RunCrossover(opts Options) (*CrossoverResult, error) {
 					return nil
 				},
 			}
-			r, err := Run(spec, opts.Seed)
+			r, err := run(spec, opts.Seed, opts.Meter)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			switch mode {
-			case core.Periodic:
-				pt.PeriodicExits = r.Counters.TimerExits()
-			case core.DynticksIdle:
-				pt.TicklessExits = r.Counters.TimerExits()
-			case core.Paratick:
-				pt.ParatickExits = r.Counters.TimerExits()
-			}
+			return r.Counters.TimerExits(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, idle := range idles {
+		pt := CrossoverPoint{
+			IdlePeriod:    idle,
+			PeriodicExits: exits[i*len(modes)],
+			TicklessExits: exits[i*len(modes)+1],
+			ParatickExits: exits[i*len(modes)+2],
 		}
 		res.Points = append(res.Points, pt)
 		if res.EmpiricalCrossover == sim.Forever && pt.TicklessExits <= pt.PeriodicExits {

@@ -33,6 +33,19 @@ func TestOptionsValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("invalid device accepted")
 	}
+	bad = DefaultOptions()
+	bad.Workers = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative workers accepted")
+	}
+	o := DefaultOptions()
+	if o.WorkerCount() < 1 {
+		t.Errorf("default WorkerCount = %d, want >= 1", o.WorkerCount())
+	}
+	o.Workers = 3
+	if o.WorkerCount() != 3 {
+		t.Errorf("WorkerCount = %d, want 3", o.WorkerCount())
+	}
 }
 
 func TestRunValidation(t *testing.T) {

@@ -33,31 +33,37 @@ func runFig4Once(opts Options) (*ParsecFigure, error) {
 		return nil, err
 	}
 	fig := &ParsecFigure{Title: "Figure 4: sequential PARSEC (1 vCPU)"}
-	for _, p := range workload.Profiles() {
-		p := p
-		spec := Spec{
-			Name:  "parsec-seq/" + p.Name,
-			VCPUs: 1,
-			Setup: func(vm *kvm.VM) error {
-				dev, err := vm.AttachDevice("disk0", opts.Device)
-				if err != nil {
-					return err
-				}
-				prog, err := p.SequentialProgram(dev, opts.Scale)
-				if err != nil {
-					return err
-				}
-				vm.Kernel().Spawn(p.Name, 0, prog)
-				return nil
-			},
-		}
-		cmp, err := CompareModes(spec, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		cmp.Name = p.Name
-		fig.Comparisons = append(fig.Comparisons, cmp)
+	profiles := workload.Profiles()
+	comps, err := runParallel(opts.WorkerCount(), len(profiles),
+		func(i int) (metrics.Comparison, error) {
+			p := profiles[i]
+			spec := Spec{
+				Name:  "parsec-seq/" + p.Name,
+				VCPUs: 1,
+				Setup: func(vm *kvm.VM) error {
+					dev, err := vm.AttachDevice("disk0", opts.Device)
+					if err != nil {
+						return err
+					}
+					prog, err := p.SequentialProgram(dev, opts.Scale)
+					if err != nil {
+						return err
+					}
+					vm.Kernel().Spawn(p.Name, 0, prog)
+					return nil
+				},
+			}
+			cmp, err := compareModes(spec, opts.Seed, opts.Meter)
+			if err != nil {
+				return metrics.Comparison{}, err
+			}
+			cmp.Name = p.Name
+			return cmp, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	fig.Comparisons = comps
 	fig.Aggregate = metrics.Aggregated(fig.Comparisons)
 	return fig, nil
 }
@@ -93,28 +99,34 @@ func runFig5SizeOnce(opts Options, size VMSize) (*ParsecFigure, error) {
 	}
 	fig := &ParsecFigure{Title: fmt.Sprintf("Figure 5 (%s VM, %d vCPUs over %d sockets)",
 		size.Name, size.VCPUs, size.Sockets)}
-	for _, p := range workload.Profiles() {
-		p := p
-		spec := Spec{
-			Name:    "parsec-par/" + size.Name + "/" + p.Name,
-			VCPUs:   size.VCPUs,
-			Sockets: size.Sockets,
-			Setup: func(vm *kvm.VM) error {
-				dev, err := vm.AttachDevice("disk0", opts.Device)
-				if err != nil {
+	profiles := workload.Profiles()
+	comps, err := runParallel(opts.WorkerCount(), len(profiles),
+		func(i int) (metrics.Comparison, error) {
+			p := profiles[i]
+			spec := Spec{
+				Name:    "parsec-par/" + size.Name + "/" + p.Name,
+				VCPUs:   size.VCPUs,
+				Sockets: size.Sockets,
+				Setup: func(vm *kvm.VM) error {
+					dev, err := vm.AttachDevice("disk0", opts.Device)
+					if err != nil {
+						return err
+					}
+					_, err = p.SpawnParallel(vm.Kernel(), size.VCPUs, dev, opts.Scale)
 					return err
-				}
-				_, err = p.SpawnParallel(vm.Kernel(), size.VCPUs, dev, opts.Scale)
-				return err
-			},
-		}
-		cmp, err := CompareModes(spec, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		cmp.Name = p.Name
-		fig.Comparisons = append(fig.Comparisons, cmp)
+				},
+			}
+			cmp, err := compareModes(spec, opts.Seed, opts.Meter)
+			if err != nil {
+				return metrics.Comparison{}, err
+			}
+			cmp.Name = p.Name
+			return cmp, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	fig.Comparisons = comps
 	fig.Aggregate = metrics.Aggregated(fig.Comparisons)
 	return fig, nil
 }
@@ -133,21 +145,26 @@ func RunFig5(opts Options) ([]*ParsecFigure, error) {
 }
 
 // repeatFigure runs a figure Options.Repeats times with consecutive seeds
-// and averages the per-benchmark deltas.
+// and averages the per-benchmark deltas. Repeats fan out across the worker
+// pool (each repeat's runs fan out further); figures are accumulated in
+// repeat order, so the float additions — and therefore the averaged output —
+// are byte-identical to a serial loop.
 func repeatFigure(opts Options, once func(Options) (*ParsecFigure, error)) (*ParsecFigure, error) {
 	n := opts.repeatCount()
 	if n == 1 {
 		return once(opts)
 	}
-	var base *ParsecFigure
-	var aggs []metrics.Aggregate
-	for r := 0; r < n; r++ {
+	figs, err := runParallel(opts.WorkerCount(), n, func(r int) (*ParsecFigure, error) {
 		o := opts
 		o.Seed = opts.Seed + uint64(r)
-		fig, err := once(o)
-		if err != nil {
-			return nil, err
-		}
+		return once(o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var base *ParsecFigure
+	var aggs []metrics.Aggregate
+	for _, fig := range figs {
 		aggs = append(aggs, fig.Aggregate)
 		if base == nil {
 			base = fig

@@ -67,15 +67,19 @@ func RunFig6(opts Options) (*FioFigure, error) {
 	patterns := []workload.FioPattern{
 		workload.SeqRead, workload.SeqWrite, workload.RandRead, workload.RandWrite,
 	}
-	for _, pat := range patterns {
-		cat := FioCategory{Pattern: pat}
-		for _, bs := range workload.FioBlockSizes() {
-			cell, err := runFioCell(opts, pat, bs)
-			if err != nil {
-				return nil, err
-			}
-			cat.Cells = append(cat.Cells, cell)
-		}
+	sizes := workload.FioBlockSizes()
+	// Flatten the (pattern, block size) grid so every cell is one parallel
+	// job; cells are regrouped by index, keeping category order identical to
+	// the serial nested loops.
+	cells, err := runParallel(opts.WorkerCount(), len(patterns)*len(sizes),
+		func(i int) (FioCell, error) {
+			return runFioCell(opts, patterns[i/len(sizes)], sizes[i%len(sizes)])
+		})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pat := range patterns {
+		cat := FioCategory{Pattern: pat, Cells: cells[pi*len(sizes) : (pi+1)*len(sizes)]}
 		n := float64(len(cat.Cells))
 		for _, c := range cat.Cells {
 			cat.ExitsDelta += c.ExitsDelta / n
@@ -109,13 +113,13 @@ func runFioCell(opts Options, pat workload.FioPattern, bs int) (FioCell, error) 
 	}
 	base := spec
 	base.Mode = core.DynticksIdle
-	baseRes, err := Run(base, opts.Seed)
+	baseRes, err := run(base, opts.Seed, opts.Meter)
 	if err != nil {
 		return FioCell{}, err
 	}
 	para := spec
 	para.Mode = core.Paratick
-	paraRes, err := Run(para, opts.Seed)
+	paraRes, err := run(para, opts.Seed, opts.Meter)
 	if err != nil {
 		return FioCell{}, err
 	}

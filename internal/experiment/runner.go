@@ -7,6 +7,9 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"paratick/internal/core"
 	"paratick/internal/guest"
@@ -29,6 +32,14 @@ type Options struct {
 	// and reports mean ± spread, the paper's 3–15-iteration methodology
 	// (§6). 0 or 1 = single run.
 	Repeats int
+	// Workers caps how many independent simulation runs execute
+	// concurrently; 0 means runtime.GOMAXPROCS(0). Every run owns a private
+	// sim.Engine and results are assembled by index, so any worker count
+	// produces byte-identical output.
+	Workers int
+	// Meter, when non-nil, accumulates run/event telemetry across all runs
+	// (including concurrent ones) for throughput reporting.
+	Meter *metrics.Meter
 }
 
 // DefaultOptions returns full-scale settings with the NVMe-class device.
@@ -44,6 +55,61 @@ func (o Options) repeatCount() int {
 	return o.Repeats
 }
 
+// WorkerCount is the effective worker-pool size: Workers, or one worker per
+// available CPU when Workers is 0.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runParallel executes n independent jobs across at most workers goroutines
+// and assembles the results by index, so output ordering — and therefore
+// every rendered table — is identical to a serial loop. Jobs must not share
+// mutable state; each experiment run builds its own sim.Engine, host, and
+// VMs. On failure the error of the lowest-index failing job is returned,
+// keeping even the error path deterministic.
+func runParallel[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // Validate checks the options.
 func (o Options) Validate() error {
 	if o.Scale <= 0 {
@@ -51,6 +117,9 @@ func (o Options) Validate() error {
 	}
 	if o.Repeats < 0 {
 		return fmt.Errorf("experiment: repeats must be non-negative, got %d", o.Repeats)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiment: workers must be non-negative, got %d", o.Workers)
 	}
 	return o.Device.Validate()
 }
@@ -79,6 +148,11 @@ const maxSimTime = 1000 * sim.Second
 
 // Run executes one spec and returns its result.
 func Run(spec Spec, seed uint64) (metrics.Result, error) {
+	return run(spec, seed, nil)
+}
+
+// run is Run with telemetry: engine event counts go to m (which may be nil).
+func run(spec Spec, seed uint64, m *metrics.Meter) (metrics.Result, error) {
 	if spec.Setup == nil && spec.Duration == 0 {
 		return metrics.Result{}, fmt.Errorf("experiment %s: no workload and no duration", spec.Name)
 	}
@@ -134,21 +208,29 @@ func Run(spec Spec, seed uint64) (metrics.Result, error) {
 				spec.Name, deadline, vm.Kernel().LiveTasks())
 		}
 	}
-	return vm.Result(spec.Name), nil
+	res := vm.Result(spec.Name)
+	res.Events = engine.Fired()
+	m.AddRun(res.Events)
+	return res, nil
 }
 
 // CompareModes runs the spec under the dynticks baseline and paratick and
 // returns the paper's relative metrics.
 func CompareModes(spec Spec, seed uint64) (metrics.Comparison, error) {
+	return compareModes(spec, seed, nil)
+}
+
+// compareModes is CompareModes with telemetry.
+func compareModes(spec Spec, seed uint64, m *metrics.Meter) (metrics.Comparison, error) {
 	base := spec
 	base.Mode = core.DynticksIdle
-	baseRes, err := Run(base, seed)
+	baseRes, err := run(base, seed, m)
 	if err != nil {
 		return metrics.Comparison{}, err
 	}
 	opt := spec
 	opt.Mode = core.Paratick
-	optRes, err := Run(opt, seed)
+	optRes, err := run(opt, seed, m)
 	if err != nil {
 		return metrics.Comparison{}, err
 	}

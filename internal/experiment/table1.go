@@ -46,28 +46,32 @@ func RunTable1(opts Options) (*Table1Result, error) {
 	paper := analytic.Table1(analytic.PaperTable)
 	strict := analytic.Table1(analytic.StrictFormula)
 
-	for i, w := range []string{"W1", "W2", "W3", "W4"} {
-		row := Table1Row{Workload: w, AnalyticPaper: paper[i], AnalyticStrict: strict[i]}
-		nVMs := 1
-		if w == "W2" || w == "W4" {
-			nVMs = 4
-		}
-		sync := w == "W3" || w == "W4"
-		for _, mode := range []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick} {
-			exits, err := runTable1Workload(opts, mode, nVMs, sync, dur)
-			if err != nil {
-				return nil, err
+	workloads := []string{"W1", "W2", "W3", "W4"}
+	modes := []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick}
+	// Flatten the (workload, mode) grid into independent parallel jobs and
+	// regroup by index.
+	exits, err := runParallel(opts.WorkerCount(), len(workloads)*len(modes),
+		func(i int) (uint64, error) {
+			w := workloads[i/len(modes)]
+			nVMs := 1
+			if w == "W2" || w == "W4" {
+				nVMs = 4
 			}
-			switch mode {
-			case core.Periodic:
-				row.SimPeriodic = exits
-			case core.DynticksIdle:
-				row.SimTickless = exits
-			case core.Paratick:
-				row.SimParatick = exits
-			}
-		}
-		res.Rows = append(res.Rows, row)
+			sync := w == "W3" || w == "W4"
+			return runTable1Workload(opts, modes[i%len(modes)], nVMs, sync, dur)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range workloads {
+		res.Rows = append(res.Rows, Table1Row{
+			Workload:       w,
+			AnalyticPaper:  paper[i],
+			AnalyticStrict: strict[i],
+			SimPeriodic:    exits[i*len(modes)],
+			SimTickless:    exits[i*len(modes)+1],
+			SimParatick:    exits[i*len(modes)+2],
+		})
 	}
 	return res, nil
 }
@@ -109,6 +113,7 @@ func runTable1Workload(opts Options, mode core.Mode, nVMs int, sync bool, dur si
 		vm.Start()
 	}
 	engine.RunUntil(dur)
+	opts.Meter.AddRun(engine.Fired())
 	var exits uint64
 	for _, vm := range vms {
 		exits += vm.Counters().TimerExits()

@@ -14,9 +14,10 @@ import (
 // (scheduled at "now"); Cancel disarms it.
 type DeadlineTimer struct {
 	name     string
+	label    string // precomputed event label; arming is a hot path
 	engine   *sim.Engine
 	fire     func(now sim.Time)
-	ev       *sim.Event
+	ev       sim.Event
 	deadline sim.Time
 	armCount uint64
 	expireCt uint64
@@ -27,7 +28,7 @@ func NewDeadlineTimer(engine *sim.Engine, name string, fire func(now sim.Time)) 
 	if engine == nil || fire == nil {
 		panic("hw: DeadlineTimer requires an engine and a fire callback")
 	}
-	return &DeadlineTimer{name: name, engine: engine, fire: fire}
+	return &DeadlineTimer{name: name, label: "timer:" + name, engine: engine, fire: fire}
 }
 
 // Arm programs the timer to expire at deadline, replacing any previous
@@ -43,8 +44,8 @@ func (t *DeadlineTimer) Arm(deadline sim.Time) {
 	}
 	t.deadline = deadline
 	t.armCount++
-	t.ev = t.engine.At(deadline, fmt.Sprintf("timer:%s", t.name), func(e *sim.Engine) {
-		t.ev = nil
+	t.ev = t.engine.At(deadline, t.label, func(e *sim.Engine) {
+		t.ev = sim.Event{}
 		t.expireCt++
 		t.fire(e.Now())
 	})
@@ -64,19 +65,17 @@ func (t *DeadlineTimer) ArmAfter(delay sim.Time) {
 
 // Cancel disarms the timer; it is a no-op when the timer is not armed.
 func (t *DeadlineTimer) Cancel() {
-	if t.ev != nil {
-		t.engine.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.engine.Cancel(t.ev)
+	t.ev = sim.Event{}
 }
 
 // Armed reports whether the timer is currently programmed.
-func (t *DeadlineTimer) Armed() bool { return t.ev != nil }
+func (t *DeadlineTimer) Armed() bool { return t.ev.Pending() }
 
 // Deadline returns the programmed expiry time, or sim.Forever when the
 // timer is disarmed.
 func (t *DeadlineTimer) Deadline() sim.Time {
-	if t.ev == nil {
+	if !t.ev.Pending() {
 		return sim.Forever
 	}
 	return t.deadline
@@ -94,10 +93,11 @@ func (t *DeadlineTimer) Expirations() uint64 { return t.expireCt }
 // does, preventing the model from firing every host tick in lockstep.
 type PeriodicTimer struct {
 	name   string
+	label  string
 	engine *sim.Engine
 	period sim.Time
 	fire   func(now sim.Time)
-	ev     *sim.Event
+	ev     sim.Event
 	ticks  uint64
 }
 
@@ -109,13 +109,13 @@ func NewPeriodicTimer(engine *sim.Engine, name string, period sim.Time, fire fun
 	if period <= 0 {
 		panic(fmt.Sprintf("hw: PeriodicTimer %q period must be positive, got %v", name, period))
 	}
-	return &PeriodicTimer{name: name, engine: engine, period: period, fire: fire}
+	return &PeriodicTimer{name: name, label: "ptimer:" + name, engine: engine, period: period, fire: fire}
 }
 
 // Start begins ticking; the first tick fires phase nanoseconds from now and
 // subsequent ticks follow every period. Starting a started timer panics.
 func (t *PeriodicTimer) Start(phase sim.Time) {
-	if t.ev != nil {
+	if t.ev.Pending() {
 		panic(fmt.Sprintf("hw: PeriodicTimer %q started twice", t.name))
 	}
 	if phase < 0 {
@@ -125,7 +125,7 @@ func (t *PeriodicTimer) Start(phase sim.Time) {
 }
 
 func (t *PeriodicTimer) schedule(when sim.Time) {
-	t.ev = t.engine.At(when, fmt.Sprintf("ptimer:%s", t.name), func(e *sim.Engine) {
+	t.ev = t.engine.At(when, t.label, func(e *sim.Engine) {
 		t.ticks++
 		t.schedule(e.Now() + t.period)
 		t.fire(e.Now())
@@ -134,14 +134,12 @@ func (t *PeriodicTimer) schedule(when sim.Time) {
 
 // Stop halts the timer.
 func (t *PeriodicTimer) Stop() {
-	if t.ev != nil {
-		t.engine.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.engine.Cancel(t.ev)
+	t.ev = sim.Event{}
 }
 
 // Running reports whether the timer is ticking.
-func (t *PeriodicTimer) Running() bool { return t.ev != nil }
+func (t *PeriodicTimer) Running() bool { return t.ev.Pending() }
 
 // Period returns the tick period.
 func (t *PeriodicTimer) Period() sim.Time { return t.period }

@@ -122,6 +122,7 @@ func (r *Request) Done() bool { return r.done }
 // interrupt-raising path) and held until the guest drains them.
 type Device struct {
 	name    string
+	ioLabel string // precomputed completion-event label; submit is a hot path
 	engine  *sim.Engine
 	rng     *sim.Rand
 	profile Profile
@@ -160,6 +161,7 @@ func New(engine *sim.Engine, name string, profile Profile, vector hw.Vector) (*D
 	}
 	return &Device{
 		name:     name,
+		ioLabel:  "io:" + name,
 		engine:   engine,
 		rng:      engine.Rand().Fork(uint64(vector) + 0x10dead),
 		profile:  profile,
@@ -212,7 +214,7 @@ func (d *Device) start(req *Request) {
 	d.inflight++
 	lat := d.profile.Latency(req.Write, req.Sequential, req.Bytes)
 	lat = d.rng.Jitter(lat, d.profile.Jitter)
-	d.engine.After(lat, "io:"+d.name, func(e *sim.Engine) {
+	d.engine.After(lat, d.ioLabel, func(e *sim.Engine) {
 		d.finish(req)
 	})
 }
@@ -242,7 +244,7 @@ func (d *Device) finish(req *Request) {
 // coalesceState tracks one vCPU's pending batch.
 type coalesceState struct {
 	pending int
-	flush   *sim.Event
+	flush   sim.Event
 }
 
 // raiseOrCoalesce delivers the completion interrupt, batching when the
@@ -265,20 +267,18 @@ func (d *Device) raiseOrCoalesce(vcpu int) {
 		d.flushCoalesced(vcpu, st)
 		return
 	}
-	if st.flush == nil {
+	if !st.flush.Pending() {
 		st.flush = d.engine.After(d.profile.CoalesceWindow, "io-coalesce:"+d.name,
 			func(*sim.Engine) {
-				st.flush = nil
+				st.flush = sim.Event{}
 				d.flushCoalesced(vcpu, st)
 			})
 	}
 }
 
 func (d *Device) flushCoalesced(vcpu int, st *coalesceState) {
-	if st.flush != nil {
-		d.engine.Cancel(st.flush)
-		st.flush = nil
-	}
+	d.engine.Cancel(st.flush)
+	st.flush = sim.Event{}
 	if st.pending == 0 {
 		return
 	}

@@ -27,12 +27,12 @@ type PCPU struct {
 	// other kind while the host handles its exit. nil while the host is in
 	// scheduling/interrupt bookkeeping.
 	seg      *guestSegment
-	segEvent *sim.Event
+	segEvent sim.Event
 	segStart sim.Time
 
 	polling         bool
 	pollStart       sim.Time
-	pollEvent       *sim.Event
+	pollEvent       sim.Event
 	dispatchPending bool
 }
 
@@ -198,7 +198,7 @@ func (p *PCPU) runDone() {
 	v := p.current
 	seg := p.seg
 	p.seg = nil
-	p.segEvent = nil
+	p.segEvent = sim.Event{}
 	p.chargeRun(v, seg, seg.Duration)
 	if seg.OnDone != nil {
 		seg.OnDone()
@@ -227,7 +227,7 @@ func (p *PCPU) atomic(reason metrics.ExitReason, hostCost sim.Time, apply func()
 	p.traceEvent(trace.KindExit, v, reason.String())
 	p.segEvent = p.host.engine.After(hostCost, "pcpu-exit", func(*sim.Engine) {
 		p.seg = nil
-		p.segEvent = nil
+		p.segEvent = sim.Event{}
 		apply()
 		p.execNext()
 	})
@@ -243,7 +243,7 @@ func (p *PCPU) halt(v *VCPU) {
 	p.traceEvent(trace.KindExit, v, metrics.ExitHLT.String())
 	p.segEvent = p.host.engine.After(c.ExitHLT, "pcpu-hlt", func(*sim.Engine) {
 		p.seg = nil
-		p.segEvent = nil
+		p.segEvent = sim.Event{}
 		if v.hasPending() {
 			// An interrupt raced with the halt: stay on the CPU.
 			p.execNext()
@@ -255,7 +255,7 @@ func (p *PCPU) halt(v *VCPU) {
 			p.pollStart = p.now()
 			p.pollEvent = p.host.engine.After(hp, "pcpu-poll", func(*sim.Engine) {
 				p.polling = false
-				p.pollEvent = nil
+				p.pollEvent = sim.Event{}
 				cnt.HostOverhead += hp // cycles burned polling
 				p.deschedule(v)
 			})
@@ -278,7 +278,7 @@ func (p *PCPU) wake(v *VCPU) {
 	if p.polling && p.current == v {
 		p.polling = false
 		p.host.engine.Cancel(p.pollEvent)
-		p.pollEvent = nil
+		p.pollEvent = sim.Event{}
 		v.vm.counters.HostOverhead += p.now() - p.pollStart
 		v.state = VCPURunning
 		p.execNext()
@@ -364,7 +364,7 @@ func (p *PCPU) interruptGuest(v *VCPU, reason metrics.ExitReason, hostCost sim.T
 	seg := p.seg
 	elapsed := p.now() - p.segStart
 	p.host.engine.Cancel(p.segEvent)
-	p.segEvent = nil
+	p.segEvent = sim.Event{}
 	p.seg = nil
 	p.chargeRun(v, seg, elapsed)
 	if remaining := seg.Duration - elapsed; remaining > 0 {
@@ -377,7 +377,7 @@ func (p *PCPU) interruptGuest(v *VCPU, reason metrics.ExitReason, hostCost sim.T
 	cnt.HostOverhead += hostCost
 	p.traceEvent(trace.KindExit, v, reason.String())
 	p.segEvent = p.host.engine.After(hostCost, "pcpu-irq-exit", func(*sim.Engine) {
-		p.segEvent = nil
+		p.segEvent = sim.Event{}
 		if expireSlice {
 			cnt.HostOverhead += p.cost().HostSchedSwitch
 			p.enqueue(v)

@@ -1,0 +1,49 @@
+package metrics
+
+import "sync/atomic"
+
+// Meter aggregates engine telemetry across concurrently executing
+// simulation runs. The parallel experiment runner gives every run its own
+// engine; the meter is the one piece of shared state, so it is atomic. A
+// nil *Meter is valid and records nothing, letting call sites skip guards.
+type Meter struct {
+	runs   atomic.Uint64
+	events atomic.Uint64
+}
+
+// AddRun records one completed simulation run that dispatched the given
+// number of engine events.
+func (m *Meter) AddRun(events uint64) {
+	if m == nil {
+		return
+	}
+	m.runs.Add(1)
+	m.events.Add(events)
+}
+
+// Runs returns the number of runs recorded so far.
+func (m *Meter) Runs() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.runs.Load()
+}
+
+// Events returns the total number of engine events dispatched across all
+// recorded runs.
+func (m *Meter) Events() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.events.Load()
+}
+
+// EventsPerSec converts the accumulated event count into a rate over the
+// given wall-clock duration in seconds (0 when the duration is not
+// positive).
+func (m *Meter) EventsPerSec(wallSeconds float64) float64 {
+	if m == nil || wallSeconds <= 0 {
+		return 0
+	}
+	return float64(m.Events()) / wallSeconds
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.AddRun(100) // must not panic
+	if m.Runs() != 0 || m.Events() != 0 {
+		t.Fatalf("nil meter reported runs=%d events=%d", m.Runs(), m.Events())
+	}
+	if got := m.EventsPerSec(1); got != 0 {
+		t.Fatalf("nil meter EventsPerSec = %v, want 0", got)
+	}
+}
+
+func TestMeterAccumulatesConcurrently(t *testing.T) {
+	m := &Meter{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.AddRun(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Runs() != 800 {
+		t.Fatalf("Runs = %d, want 800", m.Runs())
+	}
+	if m.Events() != 8000 {
+		t.Fatalf("Events = %d, want 8000", m.Events())
+	}
+	if got := m.EventsPerSec(2); got != 4000 {
+		t.Fatalf("EventsPerSec(2) = %v, want 4000", got)
+	}
+	if got := m.EventsPerSec(0); got != 0 {
+		t.Fatalf("EventsPerSec(0) = %v, want 0", got)
+	}
+}

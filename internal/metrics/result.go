@@ -14,6 +14,9 @@ type Result struct {
 	Mode     string // tick mode, e.g. "dynticks" or "paratick"
 	Counters Counters
 	WallTime sim.Time // application execution time
+	// Events is the number of simulation-engine events the run dispatched —
+	// the simulator's own cost metric, aggregated by Meter into events/sec.
+	Events uint64
 }
 
 // Throughput returns useful work per busy cycle — the efficiency the paper's

@@ -1,82 +1,100 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Handler is the callback type for scheduled events. It receives the engine
 // so that handlers can schedule follow-up events without capturing it.
 type Handler func(e *Engine)
 
-// Event is a scheduled occurrence in the simulation. Events are created with
-// Engine.At / Engine.After and may be canceled until they fire. The zero
-// value is not usable.
+// node is the pooled, heap-resident representation of a scheduled event.
+// Nodes are recycled through the engine's free list; the generation counter
+// invalidates stale Event handles across reuse.
+type node struct {
+	when  Time
+	seq   uint64
+	index int    // heap index, -1 once fired/canceled
+	gen   uint32 // bumped on release; a handle with an older gen is dead
+	fn    Handler
+	label string
+}
+
+// Event is a handle to a scheduled occurrence, created by Engine.At /
+// Engine.After. The zero value is an invalid handle. Handles are
+// generation-stamped: once the event fires or is canceled the handle goes
+// dead, and Cancel/Pending on a dead handle are safe no-ops even after the
+// engine has recycled the underlying storage for a new event.
 type Event struct {
-	when    Time
-	seq     uint64
-	index   int // heap index, -1 once fired/canceled
-	fn      Handler
-	label   string
-	expired bool
+	n   *node
+	gen uint32
 }
 
-// When returns the time the event is (or was) scheduled to fire.
-func (ev *Event) When() Time { return ev.when }
+// live reports whether the handle still refers to a queued event.
+func (ev Event) live() bool {
+	return ev.n != nil && ev.n.gen == ev.gen && ev.n.index >= 0
+}
 
-// Label returns the diagnostic label assigned at scheduling time.
-func (ev *Event) Label() string { return ev.label }
-
-// Pending reports whether the event is still queued (not fired, not canceled).
-func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
-
-// eventQueue implements heap.Interface ordered by (when, seq). The seq
-// tie-break makes event ordering — and therefore entire simulations —
-// deterministic.
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+// When returns the time the event is scheduled to fire, or 0 once the
+// handle is dead (fired or canceled).
+func (ev Event) When() Time {
+	if ev.live() {
+		return ev.n.when
 	}
-	return q[i].seq < q[j].seq
+	return 0
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// Label returns the diagnostic label assigned at scheduling time, or ""
+// once the handle is dead.
+func (ev Event) Label() string {
+	if ev.live() {
+		return ev.n.label
+	}
+	return ""
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+
+// Pending reports whether the event is still queued (not fired, not
+// canceled).
+func (ev Event) Pending() bool { return ev.live() }
+
+// less orders the event heap by (when, seq). The seq tie-break makes event
+// ordering — and therefore entire simulations — deterministic.
+func less(a, b *node) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
 }
 
 // Engine is the discrete-event simulation core: a clock plus an event queue.
 // It is single-threaded by design; determinism is a core requirement for the
 // reproduction experiments, so no goroutines or wall-clock time are involved.
+// (Independent engines may run concurrently — the parallel experiment runner
+// relies on each run owning a private Engine.)
+//
+// The queue is an inlined binary min-heap specialized to *node — no
+// container/heap interface dispatch, no boxing — and fired or canceled nodes
+// return to a free list, so steady-state schedule→fire→reschedule cycles
+// allocate nothing.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   []*node
+	free    []*node
 	seq     uint64
 	fired   uint64
 	rand    *Rand
-	stopped bool
+	stopReq bool // Stop() pending, not yet observed by a run
+	stopped bool // most recent run was halted by Stop
 }
+
+// initialQueueCap presizes the heap (and first free-list slab) so typical
+// simulations never grow either on the hot path.
+const initialQueueCap = 256
 
 // NewEngine returns an engine at time zero with an RNG seeded by seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rand: NewRand(seed)}
+	return &Engine{
+		queue: make([]*node, 0, initialQueueCap),
+		rand:  NewRand(seed),
+	}
 }
 
 // Now returns the current simulated time.
@@ -91,38 +109,157 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Fired returns the total number of events dispatched so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// eventSlab is how many nodes are allocated at once when the free list runs
+// dry; one allocation amortizes over a slab's worth of schedules.
+const eventSlab = 64
+
+// acquire returns a node from the free list, refilling it a slab at a time.
+func (e *Engine) acquire() *node {
+	if n := len(e.free); n > 0 {
+		nd := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return nd
+	}
+	slab := make([]node, eventSlab)
+	for i := 1; i < eventSlab; i++ {
+		e.free = append(e.free, &slab[i])
+	}
+	return &slab[0]
+}
+
+// release recycles a fired or canceled node. Clearing fn and label drops
+// closure and string references so the pool never retains guest state.
+func (e *Engine) release(nd *node) {
+	nd.gen++
+	nd.fn = nil
+	nd.label = ""
+	e.free = append(e.free, nd)
+}
+
+// siftUp moves queue[i] toward the root until the heap order holds.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	nd := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !less(nd, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = nd
+	nd.index = i
+}
+
+// siftDown moves queue[i] toward the leaves until the heap order holds.
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	nd := q[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		c := q[child]
+		if r := child + 1; r < n && less(q[r], c) {
+			child, c = r, q[r]
+		}
+		if !less(c, nd) {
+			break
+		}
+		q[i] = c
+		c.index = i
+		i = child
+	}
+	q[i] = nd
+	nd.index = i
+}
+
+// push appends nd and restores the heap order.
+func (e *Engine) push(nd *node) {
+	nd.index = len(e.queue)
+	e.queue = append(e.queue, nd)
+	e.siftUp(nd.index)
+}
+
+// popMin removes and returns the earliest node.
+func (e *Engine) popMin() *node {
+	q := e.queue
+	root := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil
+	e.queue = q[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	root.index = -1
+	return root
+}
+
+// remove deletes nd from an arbitrary heap position.
+func (e *Engine) remove(nd *node) {
+	q := e.queue
+	i := nd.index
+	last := len(q) - 1
+	if i != last {
+		moved := q[last]
+		q[i] = moved
+		moved.index = i
+		q[last] = nil
+		e.queue = q[:last]
+		e.siftDown(i)
+		if moved.index == i {
+			e.siftUp(i)
+		}
+	} else {
+		q[last] = nil
+		e.queue = q[:last]
+	}
+	nd.index = -1
+}
+
 // At schedules fn to run at absolute time when. Scheduling in the past
 // panics: it always indicates a model bug, and silently reordering time
 // would corrupt every metric downstream.
-func (e *Engine) At(when Time, label string, fn Handler) *Event {
+func (e *Engine) At(when Time, label string, fn Handler) Event {
 	if fn == nil {
 		panic("sim: nil event handler")
 	}
 	if when < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, when, e.now))
 	}
-	ev := &Event{when: when, seq: e.seq, fn: fn, label: label}
+	nd := e.acquire()
+	nd.when = when
+	nd.seq = e.seq
+	nd.fn = fn
+	nd.label = label
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(nd)
+	return Event{n: nd, gen: nd.gen}
 }
 
 // After schedules fn to run delay nanoseconds from now.
-func (e *Engine) After(delay Time, label string, fn Handler) *Event {
+func (e *Engine) After(delay Time, label string, fn Handler) Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", delay, label))
 	}
 	return e.At(e.now+delay, label, fn)
 }
 
-// Cancel removes a pending event from the queue. Canceling a nil, fired, or
-// already-canceled event is a harmless no-op and returns false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a pending event from the queue. Canceling a zero, fired,
+// or already-canceled handle is a harmless no-op and returns false.
+func (e *Engine) Cancel(ev Event) bool {
+	if !ev.live() {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.expired = true
+	e.remove(ev.n)
+	e.release(ev.n)
 	return true
 }
 
@@ -132,35 +269,65 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.when
+	nd := e.popMin()
+	e.now = nd.when
 	e.fired++
-	ev.expired = true
-	ev.fn(e)
+	fn := nd.fn
+	e.release(nd)
+	fn(e)
+	return true
+}
+
+// consumeStop observes a pending stop request, converting it into the
+// stopped state. Each request halts exactly one run (the current one, or —
+// when issued between runs — the next one before it dispatches anything).
+func (e *Engine) consumeStop() bool {
+	if !e.stopReq {
+		return false
+	}
+	e.stopReq = false
+	e.stopped = true
 	return true
 }
 
 // Run dispatches events until the queue empties or the engine is stopped.
+// A Stop issued before Run starts halts it before any event fires; a
+// subsequent Run resumes.
 func (e *Engine) Run() {
+	if e.consumeStop() {
+		return
+	}
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	for e.Step() {
+		if e.consumeStop() {
+			return
+		}
 	}
 }
 
 // RunUntil dispatches events with time ≤ deadline, then advances the clock
-// to exactly the deadline (if it is later than the last event).
+// to exactly the deadline (if it is later than the last event). Like Run, it
+// honors a Stop issued before it starts.
 func (e *Engine) RunUntil(deadline Time) {
-	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].when <= deadline {
-		e.Step()
+	if !e.consumeStop() {
+		e.stopped = false
+		for len(e.queue) > 0 && e.queue[0].when <= deadline {
+			e.Step()
+			if e.consumeStop() {
+				break
+			}
+		}
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
 }
 
-// Stop halts Run/RunUntil after the current event handler returns.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop requests a halt: the current run stops after the in-flight handler
+// returns, and a Stop issued while no run is active stops the next
+// Run/RunUntil before it dispatches anything.
+func (e *Engine) Stop() { e.stopReq = true }
 
-// Stopped reports whether Stop has been called during the current run.
-func (e *Engine) Stopped() bool { return e.stopped }
+// Stopped reports whether the engine is halted by Stop: either the most
+// recent run was interrupted, or a stop request is still pending.
+func (e *Engine) Stopped() bool { return e.stopped || e.stopReq }

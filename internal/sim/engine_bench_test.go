@@ -14,6 +14,7 @@ func BenchmarkEngineScheduleFire(b *testing.B) {
 }
 
 // BenchmarkEngineDeepQueue measures heap behaviour with many queued events.
+// The steady-state fire→reschedule chain must not allocate.
 func BenchmarkEngineDeepQueue(b *testing.B) {
 	e := NewEngine(1)
 	const depth = 4096
@@ -25,11 +26,32 @@ func BenchmarkEngineDeepQueue(b *testing.B) {
 	for i := 0; i < depth; i++ {
 		e.After(Time(i+1), "seed", chain)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !e.Step() {
 			b.Fatal("queue drained")
 		}
+	}
+}
+
+// BenchmarkEngineCancelHeavy models the DeadlineTimer re-arm churn: against
+// a deep queue, every iteration cancels an interior event and schedules a
+// replacement further out — the paratick entry-hook pattern of overwriting
+// an armed deadline on every VM entry.
+func BenchmarkEngineCancelHeavy(b *testing.B) {
+	e := NewEngine(1)
+	const depth = 1024
+	ring := make([]Event, depth)
+	for i := range ring {
+		ring[i] = e.After(Time(i+1), "seed", func(*Engine) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % depth
+		e.Cancel(ring[slot])
+		ring[slot] = e.After(Time(depth+i+1), "rearm", func(*Engine) {})
 	}
 }
 

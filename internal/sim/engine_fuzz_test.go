@@ -12,7 +12,7 @@ func FuzzEngine(f *testing.F) {
 	f.Fuzz(func(t *testing.T, script []byte) {
 		e := NewEngine(1)
 		type rec struct {
-			ev       *Event
+			ev       Event
 			canceled bool
 			fired    *bool
 		}

@@ -113,15 +113,15 @@ func TestEngineCancel(t *testing.T) {
 	if e.Cancel(ev) {
 		t.Fatal("double cancel should return false")
 	}
-	if e.Cancel(nil) {
-		t.Fatal("cancel(nil) should return false")
+	if e.Cancel(Event{}) {
+		t.Fatal("cancel of zero handle should return false")
 	}
 }
 
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine(1)
 	var got []Time
-	var evs []*Event
+	var evs []Event
 	for i := 1; i <= 10; i++ {
 		w := Time(i * 10)
 		evs = append(evs, e.At(w, "x", func(en *Engine) { got = append(got, en.Now()) }))
@@ -143,8 +143,7 @@ func TestEngineCancelMiddleOfHeap(t *testing.T) {
 func TestEngineCancelFromHandler(t *testing.T) {
 	e := NewEngine(1)
 	fired := false
-	var victim *Event
-	victim = e.At(20, "victim", func(*Engine) { fired = true })
+	victim := e.At(20, "victim", func(*Engine) { fired = true })
 	e.At(10, "killer", func(en *Engine) { en.Cancel(victim) })
 	e.Run()
 	if fired {
@@ -253,9 +252,12 @@ func TestEventAccessors(t *testing.T) {
 	if ev.Label() != "mylabel" {
 		t.Errorf("Label() = %q", ev.Label())
 	}
-	var nilEv *Event
-	if nilEv.Pending() {
-		t.Error("nil event reports pending")
+	var zero Event
+	if zero.Pending() {
+		t.Error("zero event handle reports pending")
+	}
+	if zero.When() != 0 || zero.Label() != "" {
+		t.Error("zero event handle has non-zero accessors")
 	}
 }
 
@@ -295,7 +297,7 @@ func TestEngineCancelExactnessProperty(t *testing.T) {
 	f := func(times []uint16, cancelMask []bool) bool {
 		e := NewEngine(3)
 		fireCount := make(map[int]int)
-		var evs []*Event
+		var evs []Event
 		for i, r := range times {
 			i := i
 			evs = append(evs, e.At(Time(r), "p", func(*Engine) { fireCount[i]++ }))
@@ -350,5 +352,106 @@ func TestEngineDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+// A Stop issued before a run starts must halt that run before it dispatches
+// anything; the run consumes the request, so the following run resumes.
+func TestEngineHonorsPreRunStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i), "x", func(*Engine) { count++ })
+	}
+	e.Stop()
+	if !e.Stopped() {
+		t.Fatal("Stopped() should report a pending pre-run stop")
+	}
+	e.Run()
+	if count != 0 {
+		t.Fatalf("pre-run Stop ignored: %d events fired", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() should be true after a stopped run")
+	}
+	e.Run() // the stop was consumed; this run proceeds
+	if count != 5 {
+		t.Fatalf("resumed run fired %d events, want 5", count)
+	}
+	if e.Stopped() {
+		t.Fatal("Stopped() should clear on a completed run")
+	}
+}
+
+func TestEngineRunUntilHonorsPreRunStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i), "x", func(*Engine) { count++ })
+	}
+	e.Stop()
+	e.RunUntil(100)
+	if count != 0 {
+		t.Fatalf("pre-run Stop ignored by RunUntil: %d events fired", count)
+	}
+	// The clock still advances to the deadline, matching RunUntil's contract.
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", e.Now())
+	}
+	e.RunUntil(200)
+	if count != 5 {
+		t.Fatalf("resumed RunUntil fired %d events, want 5", count)
+	}
+}
+
+// Handles are generation-stamped: once an event fires, its handle is dead,
+// and reusing the pooled storage for a new event must not resurrect it.
+func TestEventHandleSurvivesRecycling(t *testing.T) {
+	e := NewEngine(1)
+	stale := e.At(1, "first", func(*Engine) {})
+	e.Run()
+	if stale.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	// The next schedule recycles the node the stale handle points to.
+	fired := false
+	fresh := e.At(2, "second", func(*Engine) { fired = true })
+	if e.Cancel(stale) {
+		t.Fatal("stale handle canceled a recycled event")
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle reports the recycled event as its own")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event lost")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("fresh event did not fire")
+	}
+}
+
+// The steady-state schedule→fire→reschedule cycle must not allocate: the
+// free list recycles event nodes and the heap never grows.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	e := NewEngine(1)
+	// Warm up: populate the node slab and heap capacity.
+	for i := 0; i < 100; i++ {
+		e.After(1, "warm", func(*Engine) {})
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, "steady", func(*Engine) {})
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+fire allocates %v objects/op, want 0", allocs)
+	}
+	cancels := testing.AllocsPerRun(1000, func() {
+		ev := e.After(1000, "c", func(*Engine) {})
+		e.Cancel(ev)
+	})
+	if cancels != 0 {
+		t.Fatalf("schedule+cancel allocates %v objects/op, want 0", cancels)
 	}
 }
