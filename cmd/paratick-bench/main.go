@@ -5,38 +5,69 @@
 //
 //	paratick-bench [-run all|table1|fig4|fig5|fig6|ablation] [-scale 1.0]
 //	               [-seed 1] [-device nvme|sata-ssd|hdd] [-out DIR]
-//	               [-workers N] [-bench-json FILE]
+//	               [-workers N] [-bench-json FILE] [-manifest FILE]
+//	               [-trace-out FILE.json] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scale shrinks the workloads for quick runs (0.1 ≈ a tenth of the paper's
 // durations). -out additionally writes each table as CSV into DIR. -workers
 // fans independent simulation runs across N goroutines (0 = one per CPU);
 // output is byte-identical regardless of worker count. -bench-json writes
 // one timing record per experiment (wall clock, events fired, events/sec).
+//
+// Observability extras:
+//
+//   - -trace-out runs a fixed-seed reference scenario with tracing enabled
+//     and writes a Chrome trace-event JSON file loadable in Perfetto
+//     (ui.perfetto.dev). The scenario is a single serial simulation, so the
+//     file is byte-identical for any -workers value.
+//   - -manifest writes a JSON run manifest: seed, scale, workers, device,
+//     git version, wall clock, and aggregate events/sec.
+//   - -cpuprofile / -memprofile write pprof profiles of the bench process.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
+	"paratick"
 	"paratick/internal/experiment"
 	"paratick/internal/iodev"
 	"paratick/internal/metrics"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, table1, fig4, fig5, fig6, crossover, consolidation, ablation")
-	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-sized)")
-	seed := flag.Uint64("seed", 1, "deterministic seed")
-	device := flag.String("device", "nvme", "block device profile: nvme, sata-ssd, hdd")
-	repeats := flag.Int("repeats", 1, "average each experiment over this many seeds (paper: 3-15)")
-	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
-	out := flag.String("out", "", "directory for CSV output (optional)")
-	benchJSON := flag.String("bench-json", "", "file for per-experiment timing records as JSON (optional)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paratick-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("paratick-bench", flag.ContinueOnError)
+	runSel := fs.String("run", "all", "experiment to run: all, table1, fig4, fig5, fig6, crossover, consolidation, ablation")
+	scale := fs.Float64("scale", 1.0, "workload duration scale (1.0 = paper-sized)")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	device := fs.String("device", "nvme", "block device profile: nvme, sata-ssd, hdd")
+	repeats := fs.Int("repeats", 1, "average each experiment over this many seeds (paper: 3-15)")
+	workers := fs.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
+	out := fs.String("out", "", "directory for CSV output (optional)")
+	benchJSON := fs.String("bench-json", "", "file for per-experiment timing records as JSON (optional)")
+	manifestPath := fs.String("manifest", "", "file for the run-manifest JSON (optional)")
+	traceOut := fs.String("trace-out", "", "file for a Chrome trace-event JSON of the reference scenario (optional)")
+	cpuProfile := fs.String("cpuprofile", "", "file for a pprof CPU profile (optional)")
+	memProfile := fs.String("memprofile", "", "file for a pprof heap profile (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	opts := experiment.DefaultOptions()
 	opts.Seed = *seed
@@ -51,51 +82,171 @@ func main() {
 	case "hdd":
 		opts.Device = iodev.HDD()
 	default:
-		fatal(fmt.Errorf("unknown device %q", *device))
+		return fmt.Errorf("unknown device %q", *device)
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
-	b := &bench{opts: opts, out: *out}
-	all := *run == "all"
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	b := &bench{opts: opts, out: *out, w: w}
+	all := *runSel == "all"
 	start := time.Now()
-	if all || *run == "table1" {
-		b.measure("table1", runTable1)
+	steps := []struct {
+		name string
+		fn   func(experiment.Options, string, io.Writer) error
+	}{
+		{"table1", runTable1},
+		{"fig4", runFig4},
+		{"fig5", runFig5},
+		{"fig6", runFig6},
+		{"crossover", runCrossover},
+		{"consolidation", runConsolidation},
+		{"ablation", runAblation},
 	}
-	if all || *run == "fig4" {
-		b.measure("fig4", runFig4)
+	known := all
+	for _, s := range steps {
+		if s.name == *runSel {
+			known = true
+		}
+		if all || *runSel == s.name {
+			if err := b.measure(s.name, s.fn); err != nil {
+				return err
+			}
+		}
 	}
-	if all || *run == "fig5" {
-		b.measure("fig5", runFig5)
+	if !known {
+		return fmt.Errorf("unknown experiment %q", *runSel)
 	}
-	if all || *run == "fig6" {
-		b.measure("fig6", runFig6)
-	}
-	if all || *run == "crossover" {
-		b.measure("crossover", runCrossover)
-	}
-	if all || *run == "consolidation" {
-		b.measure("consolidation", runConsolidation)
-	}
-	if all || *run == "ablation" {
-		b.measure("ablation", runAblation)
-	}
-	switch *run {
-	case "all", "table1", "fig4", "fig5", "fig6", "crossover", "consolidation", "ablation":
-	default:
-		fatal(fmt.Errorf("unknown experiment %q", *run))
+	wall := time.Since(start)
+
+	if *traceOut != "" {
+		if err := writeReferenceTrace(*traceOut, *seed); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *traceOut)
 	}
 	if *benchJSON != "" {
 		if err := b.writeJSON(*benchJSON); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s\n", *benchJSON)
+		fmt.Fprintf(w, "wrote %s\n", *benchJSON)
 	}
-	fmt.Printf("done in %v (scale %.2f, seed %d, workers %d)\n",
-		time.Since(start).Round(time.Millisecond), *scale, *seed, b.opts.WorkerCount())
+	if *manifestPath != "" {
+		if err := writeManifest(*manifestPath, opts, *device, wall, b.records); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *manifestPath)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "done in %v (scale %.2f, seed %d, workers %d)\n",
+		wall.Round(time.Millisecond), *scale, *seed, b.opts.WorkerCount())
+	return nil
+}
+
+// writeReferenceTrace runs the fixed reference scenario — one paratick VM on
+// a small fio workload, tracing on — and exports it as Chrome trace JSON.
+// The run is a single serial simulation, so the bytes depend only on the
+// seed, never on -workers or host parallelism.
+func writeReferenceTrace(path string, seed uint64) error {
+	workload, err := paratick.ParseWorkloadSpec("fio:rndr:4:4", 0)
+	if err != nil {
+		return err
+	}
+	rep, err := paratick.Run(paratick.Scenario{
+		Mode:          paratick.ModeParatick,
+		VCPUs:         2,
+		Seed:          seed,
+		Workload:      workload,
+		TraceCapacity: 1 << 16,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Trace.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// manifest is the -manifest run record: enough to reproduce and rate the run.
+type manifest struct {
+	Seed         uint64        `json:"seed"`
+	Scale        float64       `json:"scale"`
+	Workers      int           `json:"workers"`
+	Repeats      int           `json:"repeats"`
+	Device       string        `json:"device"`
+	GitVersion   string        `json:"git_version,omitempty"`
+	GoVersion    string        `json:"go_version"`
+	WallNs       int64         `json:"wall_ns"`
+	Runs         uint64        `json:"runs"`
+	Events       uint64        `json:"events"`
+	EventsPerSec float64       `json:"events_per_sec"`
+	Experiments  []benchRecord `json:"experiments"`
+}
+
+func writeManifest(path string, opts experiment.Options, device string, wall time.Duration, records []benchRecord) error {
+	m := manifest{
+		Seed:        opts.Seed,
+		Scale:       opts.Scale,
+		Workers:     opts.WorkerCount(),
+		Repeats:     opts.Repeats,
+		Device:      device,
+		GitVersion:  gitDescribe(),
+		GoVersion:   runtime.Version(),
+		WallNs:      wall.Nanoseconds(),
+		Experiments: records,
+	}
+	for _, r := range records {
+		m.Runs += r.Runs
+		m.Events += r.Events
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		m.EventsPerSec = float64(m.Events) / secs
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gitDescribe returns a best-effort source version; "" outside a git
+// checkout or without git installed.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // benchRecord is one experiment's timing entry for -bench-json.
@@ -113,15 +264,18 @@ type benchRecord struct {
 type bench struct {
 	opts    experiment.Options
 	out     string
+	w       io.Writer
 	records []benchRecord
 }
 
-func (b *bench) measure(name string, fn func(experiment.Options, string)) {
+func (b *bench) measure(name string, fn func(experiment.Options, string, io.Writer) error) error {
 	opts := b.opts
 	m := &metrics.Meter{}
 	opts.Meter = m
 	start := time.Now()
-	fn(opts, b.out)
+	if err := fn(opts, b.out, b.w); err != nil {
+		return err
+	}
 	wall := time.Since(start)
 	rec := benchRecord{
 		Name:         name,
@@ -132,8 +286,9 @@ func (b *bench) measure(name string, fn func(experiment.Options, string)) {
 		Workers:      b.opts.WorkerCount(),
 	}
 	b.records = append(b.records, rec)
-	fmt.Printf("[%s] %v wall, %d runs, %d events, %.0f events/sec\n\n",
+	fmt.Fprintf(b.w, "[%s] %v wall, %d runs, %d events, %.0f events/sec\n\n",
 		name, wall.Round(time.Millisecond), rec.Runs, rec.Events, rec.EventsPerSec)
+	return nil
 }
 
 func (b *bench) writeJSON(path string) error {
@@ -144,95 +299,100 @@ func (b *bench) writeJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "paratick-bench:", err)
-	os.Exit(1)
-}
-
-func writeCSV(dir, name string, t *metrics.Table) {
+func writeCSV(dir, name string, t *metrics.Table, w io.Writer) error {
 	if dir == "" {
-		return
+		return nil
 	}
 	path := filepath.Join(dir, name+".csv")
 	if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("  wrote %s\n", path)
+	fmt.Fprintf(w, "  wrote %s\n", path)
+	return nil
 }
 
-func runTable1(opts experiment.Options, out string) {
-	fmt.Println("== Table 1: hypothetical workloads (analytic + simulated) ==")
+func runTable1(opts experiment.Options, out string, w io.Writer) error {
+	fmt.Fprintln(w, "== Table 1: hypothetical workloads (analytic + simulated) ==")
 	res, err := experiment.RunTable1(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(res.Render())
+	fmt.Fprintln(w, res.Render())
+	return nil
 }
 
-func runFig4(opts experiment.Options, out string) {
-	fmt.Println("== Figure 4 + Table 2: sequential PARSEC ==")
+func runFig4(opts experiment.Options, out string, w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 4 + Table 2: sequential PARSEC ==")
 	fig, err := experiment.RunFig4(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(fig.Render())
-	fmt.Println(fig.Table().String())
-	fmt.Println(experiment.RenderTable2(fig).String())
-	writeCSV(out, "fig4", fig.Table())
-	writeCSV(out, "table2", experiment.RenderTable2(fig))
+	fmt.Fprintln(w, fig.Render())
+	fmt.Fprintln(w, fig.Table().String())
+	fmt.Fprintln(w, experiment.RenderTable2(fig).String())
+	if err := writeCSV(out, "fig4", fig.Table(), w); err != nil {
+		return err
+	}
+	return writeCSV(out, "table2", experiment.RenderTable2(fig), w)
 }
 
-func runFig5(opts experiment.Options, out string) {
-	fmt.Println("== Figure 5 + Table 3: multithreaded PARSEC ==")
+func runFig5(opts experiment.Options, out string, w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 5 + Table 3: multithreaded PARSEC ==")
 	figs, err := experiment.RunFig5(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for i, fig := range figs {
-		fmt.Println(fig.Render())
-		writeCSV(out, fmt.Sprintf("fig5-%s", experiment.VMSizes()[i].Name), fig.Table())
+		fmt.Fprintln(w, fig.Render())
+		if err := writeCSV(out, fmt.Sprintf("fig5-%s", experiment.VMSizes()[i].Name), fig.Table(), w); err != nil {
+			return err
+		}
 	}
-	fmt.Println(experiment.RenderTable3(figs).String())
-	writeCSV(out, "table3", experiment.RenderTable3(figs))
+	fmt.Fprintln(w, experiment.RenderTable3(figs).String())
+	return writeCSV(out, "table3", experiment.RenderTable3(figs), w)
 }
 
-func runFig6(opts experiment.Options, out string) {
-	fmt.Println("== Figure 6 + Table 4: phoronix-fio ==")
+func runFig6(opts experiment.Options, out string, w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 6 + Table 4: phoronix-fio ==")
 	fig, err := experiment.RunFig6(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(fig.Render())
-	fmt.Println(fig.Table().String())
-	fmt.Println(experiment.RenderTable4(fig).String())
-	writeCSV(out, "fig6", fig.Table())
-	writeCSV(out, "table4", experiment.RenderTable4(fig))
+	fmt.Fprintln(w, fig.Render())
+	fmt.Fprintln(w, fig.Table().String())
+	fmt.Fprintln(w, experiment.RenderTable4(fig).String())
+	if err := writeCSV(out, "fig6", fig.Table(), w); err != nil {
+		return err
+	}
+	return writeCSV(out, "table4", experiment.RenderTable4(fig), w)
 }
 
-func runCrossover(opts experiment.Options, out string) {
-	fmt.Println("== §3.3 crossover sweep: to tick or not to tick ==")
+func runCrossover(opts experiment.Options, out string, w io.Writer) error {
+	fmt.Fprintln(w, "== §3.3 crossover sweep: to tick or not to tick ==")
 	res, err := experiment.RunCrossover(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(res.Render())
-	writeCSV(out, "crossover", res.Table())
+	fmt.Fprintln(w, res.Render())
+	return writeCSV(out, "crossover", res.Table(), w)
 }
 
-func runConsolidation(opts experiment.Options, out string) {
-	fmt.Println("== §3.1 consolidation: mixed fleet, 2:1 overcommit ==")
+func runConsolidation(opts experiment.Options, out string, w io.Writer) error {
+	fmt.Fprintln(w, "== §3.1 consolidation: mixed fleet, 2:1 overcommit ==")
 	res, err := experiment.RunConsolidation(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(res.Render())
+	fmt.Fprintln(w, res.Render())
+	return nil
 }
 
-func runAblation(opts experiment.Options, out string) {
-	fmt.Println("== Ablations ==")
+func runAblation(opts experiment.Options, out string, w io.Writer) error {
+	fmt.Fprintln(w, "== Ablations ==")
 	s, err := experiment.RunAllAblations(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(s)
+	fmt.Fprintln(w, s)
+	return nil
 }

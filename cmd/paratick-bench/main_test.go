@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1Smoke(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-run", "table1", "-scale", "0.02", "-workers", "1"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-run", "bogus"}, &b); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-device", "floppy"}, &b); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestRunManifestAndBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	mf := filepath.Join(dir, "manifest.json")
+	bj := filepath.Join(dir, "bench.json")
+	var b strings.Builder
+	err := run([]string{"-run", "table1", "-scale", "0.02", "-workers", "2",
+		"-manifest", mf, "-bench-json", bj}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Seed != 1 || m.Scale != 0.02 || m.Workers != 2 {
+		t.Fatalf("manifest fields wrong: %+v", m)
+	}
+	if m.Runs == 0 || m.Events == 0 || m.WallNs <= 0 {
+		t.Fatalf("manifest telemetry empty: %+v", m)
+	}
+	if m.GoVersion == "" {
+		t.Fatal("manifest missing go version")
+	}
+	if len(m.Experiments) != 1 || m.Experiments[0].Name != "table1" {
+		t.Fatalf("manifest experiments wrong: %+v", m.Experiments)
+	}
+	var recs []benchRecord
+	if bdata, err := os.ReadFile(bj); err != nil {
+		t.Fatal(err)
+	} else if err := json.Unmarshal(bdata, &recs); err != nil {
+		t.Fatalf("bench-json invalid: %v", err)
+	}
+}
+
+// The -trace-out file must be valid Chrome JSON and byte-identical across
+// worker counts — the property the CI golden check enforces.
+func TestTraceOutByteStableAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	outs := make([][]byte, 0, 2)
+	for i, workers := range []string{"1", "4"} {
+		path := filepath.Join(dir, "trace"+workers+".json")
+		var b strings.Builder
+		err := run([]string{"-run", "table1", "-scale", "0.02",
+			"-workers", workers, "-trace-out", path}, &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			var doc struct {
+				TraceEvents []json.RawMessage `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(data, &doc); err != nil {
+				t.Fatalf("trace not valid JSON: %v", err)
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Fatal("trace has no events")
+			}
+		}
+		outs = append(outs, data)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatal("trace output differs between -workers 1 and -workers 4")
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var b strings.Builder
+	err := run([]string{"-run", "table1", "-scale", "0.02", "-workers", "1",
+		"-cpuprofile", cpu, "-memprofile", mem}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

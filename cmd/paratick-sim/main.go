@@ -20,39 +20,50 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"paratick"
 )
 
 func main() {
-	mode := flag.String("mode", "paratick", "tick mode: dynticks, periodic, paratick")
-	vcpus := flag.Int("vcpus", 1, "vCPU count")
-	sockets := flag.Int("sockets", 1, "NUMA sockets to spread vCPUs over")
-	wl := flag.String("workload", "fio:rndr:4:16", "workload spec (see -help)")
-	duration := flag.Duration("duration", 0, "fixed run duration (for idle workloads)")
-	seed := flag.Uint64("seed", 1, "deterministic seed")
-	guestHz := flag.Int("guest-hz", 250, "guest tick frequency")
-	hostHz := flag.Int("host-hz", 250, "host tick frequency")
-	haltPoll := flag.Duration("haltpoll", 0, "KVM halt-polling window (0 = disabled, as in the paper)")
-	pleWindow := flag.Duration("ple", 0, "pause-loop-exiting window (0 = disabled, as in the paper)")
-	spin := flag.Duration("spin", 0, "adaptive lock spin before blocking (0 = pure blocking sync)")
-	overcommit := flag.Int("overcommit", 1, "vCPUs per physical CPU")
-	topUp := flag.Bool("topup", false, "enable the §4.1 frequency-mismatch top-up timer")
-	disarm := flag.Bool("disarm-on-idle-exit", false, "invert the §5.2.5 heuristic (ablation)")
-	compare := flag.Bool("compare", false, "also run the dynticks baseline and print the comparison")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paratick-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("paratick-sim", flag.ContinueOnError)
+	mode := fs.String("mode", "paratick", "tick mode: dynticks, periodic, paratick")
+	vcpus := fs.Int("vcpus", 1, "vCPU count")
+	sockets := fs.Int("sockets", 1, "NUMA sockets to spread vCPUs over")
+	wl := fs.String("workload", "fio:rndr:4:16", "workload spec (see -help)")
+	duration := fs.Duration("duration", 0, "fixed run duration (for idle workloads)")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	guestHz := fs.Int("guest-hz", 250, "guest tick frequency")
+	hostHz := fs.Int("host-hz", 250, "host tick frequency")
+	haltPoll := fs.Duration("haltpoll", 0, "KVM halt-polling window (0 = disabled, as in the paper)")
+	pleWindow := fs.Duration("ple", 0, "pause-loop-exiting window (0 = disabled, as in the paper)")
+	spin := fs.Duration("spin", 0, "adaptive lock spin before blocking (0 = pure blocking sync)")
+	overcommit := fs.Int("overcommit", 1, "vCPUs per physical CPU")
+	topUp := fs.Bool("topup", false, "enable the §4.1 frequency-mismatch top-up timer")
+	disarm := fs.Bool("disarm-on-idle-exit", false, "invert the §5.2.5 heuristic (ablation)")
+	compare := fs.Bool("compare", false, "also run the dynticks baseline and print the comparison")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	m, err := paratick.ParseTickMode(*mode)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	workload, err := paratick.ParseWorkloadSpec(*wl, *duration)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *wl == "idle" && *duration <= 0 {
-		fatal(fmt.Errorf("idle workload requires -duration"))
+		return fmt.Errorf("idle workload requires -duration")
 	}
 	s := paratick.Scenario{
 		Mode:             m,
@@ -73,19 +84,15 @@ func main() {
 	if *compare {
 		cmp, err := paratick.CompareToBaseline(s)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(cmp.Summary())
-		return
+		fmt.Fprint(w, cmp.Summary())
+		return nil
 	}
 	rep, err := paratick.Run(s)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(rep.Summary())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "paratick-sim:", err)
-	os.Exit(1)
+	fmt.Fprint(w, rep.Summary())
+	return nil
 }

@@ -2,36 +2,52 @@
 // prints a perf-style summary of VM exits and injections, optionally
 // followed by the tail of the raw event stream.
 //
+// With -trace-out FILE.json the recorded events are additionally exported
+// as Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing with one track per pCPU/vCPU.
+//
 // Usage:
 //
 //	paratick-trace [-mode paratick] [-vcpus 1] [-workload fio:rndr:4:4]
-//	               [-events 0] [-buffer 4096] [-seed 1]
+//	               [-events 0] [-buffer 4096] [-seed 1] [-trace-out FILE.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"paratick"
 )
 
 func main() {
-	mode := flag.String("mode", "paratick", "tick mode: dynticks, periodic, paratick")
-	vcpus := flag.Int("vcpus", 1, "vCPU count")
-	wl := flag.String("workload", "fio:rndr:4:4", "workload spec (see paratick-sim -help)")
-	events := flag.Int("events", 0, "print the last N raw trace events")
-	buffer := flag.Int("buffer", 4096, "trace ring capacity")
-	seed := flag.Uint64("seed", 1, "deterministic seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paratick-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("paratick-trace", flag.ContinueOnError)
+	mode := fs.String("mode", "paratick", "tick mode: dynticks, periodic, paratick")
+	vcpus := fs.Int("vcpus", 1, "vCPU count")
+	wl := fs.String("workload", "fio:rndr:4:4", "workload spec (see paratick-sim -help)")
+	events := fs.Int("events", 0, "print the last N raw trace events")
+	buffer := fs.Int("buffer", 4096, "trace ring capacity")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	traceOut := fs.String("trace-out", "", "file for Chrome trace-event JSON (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	m, err := paratick.ParseTickMode(*mode)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	workload, err := paratick.ParseWorkloadSpec(*wl, 0)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rep, err := paratick.Run(paratick.Scenario{
 		Mode:          m,
@@ -41,24 +57,34 @@ func main() {
 		TraceCapacity: *buffer,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Print(rep.Summary())
-	fmt.Println()
-	fmt.Print(rep.Trace.Summary())
+	fmt.Fprint(w, rep.Summary())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, rep.Trace.Summary())
 	if *events > 0 {
 		evs := rep.Trace.Events()
 		if len(evs) > *events {
 			evs = evs[len(evs)-*events:]
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		for _, e := range evs {
-			fmt.Println(e.String())
+			fmt.Fprintln(w, e.String())
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "paratick-trace:", err)
-	os.Exit(1)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.Trace.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *traceOut)
+	}
+	return nil
 }

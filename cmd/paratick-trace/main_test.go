@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-workload", "fio:rndr:4:1", "-events", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"VM exits", "trace:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceOutWritesValidChromeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var b strings.Builder
+	if err := run([]string{"-workload", "fio:rndr:4:1", "-trace-out", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-mode", "bogus"}, &b); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}

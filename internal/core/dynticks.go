@@ -44,22 +44,27 @@ func (p *dynticksPolicy) OnIdleEnter(v GuestVCPU) {
 		// A system component needs the tick: enter idle with it running.
 		// When the tick is not actually armed (a deferred expiry already
 		// fired during this idle period), restore it — sleeping without a
-		// timer would strand the pending work.
+		// timer would strand the pending work. Either way the tick now
+		// counts as running (stopped = false): the handler must keep
+		// re-arming it every period for as long as the vCPU stays idle,
+		// and idle exit has nothing to restore.
 		if !v.TimerArmed() {
 			v.ArmTimer(v.Now() + v.TickPeriod())
-			p.stopped = true
 		}
+		p.stopped = false
 		return
 	}
 	next := v.NextSoftEvent()
 	if next <= v.Now()+v.TickPeriod() {
 		// Next event falls within the next tick period: keep the tick —
 		// re-arming it at the event when a deferred expiry left it
-		// disarmed.
+		// disarmed. As above, a kept tick is a running tick: marking it
+		// stopped here would make the next OnTick skip its re-arm and
+		// strand RCU/soft-timer work on a vCPU that stays idle.
 		if !v.TimerArmed() {
 			v.ArmTimer(next)
-			p.stopped = true
 		}
+		p.stopped = false
 		return
 	}
 	if next != sim.Forever {

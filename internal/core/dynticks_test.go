@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"paratick/internal/sim"
+)
+
+// fireTimer simulates the hardware one-shot deadline timer expiring: the
+// guest-visible armed state clears (as guest.VCPU.Deliver does for the
+// local-timer vector) before the policy's OnTick handler runs.
+func fireTimer(t *testing.T, v *mockVCPU, p TickPolicy) {
+	t.Helper()
+	if !v.armed {
+		t.Fatalf("at %v: timer not armed, tick-required work is stranded", v.now)
+	}
+	v.now = v.deadline
+	v.armed = false
+	v.deadline = sim.Forever
+	p.OnTick(v)
+}
+
+// Regression: a vCPU that enters idle with tick-required work (RCU) and
+// stays idle must keep receiving ticks every period. The old state machine
+// set stopped=true after the keep-tick re-arm, so the very next OnTick
+// skipped reprogramming and the pending work was stranded with no armed
+// timer.
+func TestDynticksTickRequiredIdleKeepsTickingAcrossPeriods(t *testing.T) {
+	v := newMockVCPU()
+	p := NewPolicy(DynticksIdle, Options{})
+	p.OnBoot(v)
+
+	// A deferred expiry already fired during this idle period: enter idle
+	// disarmed, with RCU work pending.
+	v.armed = false
+	v.deadline = sim.Forever
+	v.idle = true
+	v.tickReq = true
+	p.OnIdleEnter(v)
+	if !v.armed {
+		t.Fatal("idle entry with tick required did not arm the tick")
+	}
+
+	// Idle through three tick periods; each expiry must run tick work and
+	// re-arm for the next period.
+	for cycle := 1; cycle <= 3; cycle++ {
+		fireTimer(t, v, p)
+		if v.tickWork != cycle {
+			t.Fatalf("cycle %d: tick work ran %d times", cycle, v.tickWork)
+		}
+		if !v.armed {
+			t.Fatalf("cycle %d: tick not re-armed while idle with tick required", cycle)
+		}
+		if v.deadline != v.now+v.period {
+			t.Fatalf("cycle %d: re-armed at %v, want %v", cycle, v.deadline, v.now+v.period)
+		}
+	}
+
+	// Idle exit with the tick running must not issue a redundant re-arm.
+	arms := len(v.armCalls)
+	v.idle = false
+	p.OnIdleExit(v)
+	if len(v.armCalls) != arms {
+		t.Fatal("idle exit re-armed a tick that was never stopped")
+	}
+}
+
+// Same stranding through the near-soft-event keep branch: the tick is kept
+// (re-armed at the event) and must continue ticking afterwards while the
+// vCPU stays idle with further events pending.
+func TestDynticksNearEventIdleKeepsTickingAcrossPeriods(t *testing.T) {
+	v := newMockVCPU()
+	p := NewPolicy(DynticksIdle, Options{})
+	p.OnBoot(v)
+
+	v.armed = false
+	v.deadline = sim.Forever
+	v.idle = true
+	v.nextSoft = v.period / 2 // within the next tick period → keep tick
+	p.OnIdleEnter(v)
+	if !v.armed || v.deadline != v.period/2 {
+		t.Fatalf("keep branch: armed=%v deadline=%v", v.armed, v.deadline)
+	}
+
+	// The kept tick fires at the event; there is another near event, so the
+	// handler must re-arm — for ≥2 periods of continued idling.
+	for cycle := 1; cycle <= 2; cycle++ {
+		v.nextSoft = v.now + v.period + v.period/2
+		fireTimer(t, v, p)
+		if !v.armed {
+			t.Fatalf("cycle %d: kept tick was not re-armed; wheel work stranded", cycle)
+		}
+	}
+}
+
+// The spurious-wakeup path: a deferred timer fires mid-idle, the guest
+// re-evaluates idle entry, and RCU now needs the tick. The re-evaluation
+// must leave the state machine ticking, not stopped.
+func TestDynticksIdleReentryAfterDeferredExpiry(t *testing.T) {
+	v := newMockVCPU()
+	p := NewPolicy(DynticksIdle, Options{})
+	p.OnBoot(v)
+
+	// First idle entry defers the tick to a far soft event.
+	v.idle = true
+	v.nextSoft = 10 * v.period
+	p.OnIdleEnter(v)
+	if v.deadline != 10*v.period {
+		t.Fatalf("not deferred: deadline=%v", v.deadline)
+	}
+
+	// The deferred expiry fires; OnTick correctly skips re-arm (deferred).
+	fireTimer(t, v, p)
+	if v.armed {
+		t.Fatal("deferred expiry must not re-arm")
+	}
+
+	// Spurious wakeup: idle entry re-evaluates with RCU pending.
+	v.tickReq = true
+	v.nextSoft = sim.Forever
+	p.OnIdleEnter(v)
+	if !v.armed {
+		t.Fatal("re-evaluation did not restore the required tick")
+	}
+
+	// The restored tick must keep firing every period.
+	for cycle := 0; cycle < 2; cycle++ {
+		fireTimer(t, v, p)
+		if !v.armed {
+			t.Fatalf("cycle %d: restored tick stopped re-arming", cycle)
+		}
+	}
+}

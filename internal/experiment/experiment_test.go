@@ -118,10 +118,13 @@ func TestRunFig4Small(t *testing.T) {
 	if fig.Aggregate.ThroughputDelta <= 0 {
 		t.Errorf("aggregate throughput delta = %v, want positive", fig.Aggregate.ThroughputDelta)
 	}
-	// Rendering includes all three panels and the aggregate line.
+	// Rendering includes all three panels, the aggregate line, and the
+	// exit-latency distribution tables for both modes.
 	r := fig.Render()
 	for _, want := range []string{"(a) relative VM exits", "(b) relative system throughput",
-		"(c) relative execution time", "aggregate"} {
+		"(c) relative execution time", "aggregate",
+		"exit handling cost (dynticks baseline)", "exit handling cost (paratick)",
+		"p50", "p95", "p99"} {
 		if !strings.Contains(r, want) {
 			t.Errorf("render missing %q", want)
 		}

@@ -211,7 +211,31 @@ func (f *ParsecFigure) Render() string {
 	if f.Spread != nil {
 		fmt.Fprintf(&b, "repeat spread: %s\n", f.Spread.String())
 	}
+	for _, t := range f.LatencyTables() {
+		b.WriteString("\n")
+		b.WriteString(t.String())
+	}
 	return b.String()
+}
+
+// LatencyTables renders the exit-handling-cost distributions (p50/p95/p99/
+// max per exit reason) merged across all benchmarks in the figure, one table
+// per tick mode. With Repeats > 1 the distributions come from the first
+// repeat's seed (deltas are averaged, raw counters are not).
+func (f *ParsecFigure) LatencyTables() []*metrics.Table {
+	var base, opt metrics.Counters
+	for _, c := range f.Comparisons {
+		base.Add(&c.Baseline.Counters)
+		opt.Add(&c.Optimized.Counters)
+	}
+	var out []*metrics.Table
+	if t := metrics.ExitLatencyTable("exit handling cost (dynticks baseline)", &base); t != nil {
+		out = append(out, t)
+	}
+	if t := metrics.ExitLatencyTable("exit handling cost (paratick)", &opt); t != nil {
+		out = append(out, t)
+	}
+	return out
 }
 
 // Table renders the figure's data as a table (and CSV source).

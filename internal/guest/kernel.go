@@ -127,6 +127,7 @@ func (k *Kernel) AddVCPU() *VCPU {
 		wheel:         NewTimerWheel(k.cfg.TickPeriod()),
 		timerDeadline: sim.Forever,
 		rcuDeadline:   sim.Forever,
+		lastTickAt:    -1,
 	}
 	k.vcpus = append(k.vcpus, v)
 	return v

@@ -37,6 +37,10 @@ type VCPU struct {
 	rcuDeadline sim.Time
 	switchCount int
 
+	// lastTickAt is when RunTickWork last ran, feeding the tick-interval
+	// histogram; -1 until the first tick (time 0 is a valid tick time).
+	lastTickAt sim.Time
+
 	// emit, when non-nil, redirects queued segments (used to order
 	// interrupt-handler segments ahead of preempted work).
 	emit *[]*Segment
@@ -112,6 +116,10 @@ func (v *VCPU) RunTickWork() {
 	// between same-frequency timers of co-scheduled vCPUs.
 	v.addKernelSeg(k.rng.Jitter(k.cost.GuestTickWork, 0.15), "tick-work")
 	now := v.Now()
+	if v.lastTickAt >= 0 {
+		k.counters.TickInterval.Observe(now - v.lastTickAt)
+	}
+	v.lastTickAt = now
 	v.wheel.AdvanceTo(now)
 	if v.rcuPending && now >= v.rcuDeadline {
 		v.rcuPending = false

@@ -1,0 +1,24 @@
+package kvm
+
+import (
+	"paratick/internal/hw"
+	"paratick/internal/metrics"
+)
+
+// vectorClass buckets a hardware interrupt vector into the coarse classes
+// the metrics package histograms injection latency by. The metrics package
+// deliberately does not import hw, so the mapping lives on the kvm side.
+func vectorClass(vec hw.Vector) metrics.VectorClass {
+	switch vec {
+	case hw.LocalTimerVector:
+		return metrics.VecTimer
+	case hw.ParatickVector:
+		return metrics.VecParatick
+	case hw.RescheduleVector:
+		return metrics.VecReschedule
+	case hw.CallFuncVector:
+		return metrics.VecCallFunc
+	default:
+		return metrics.VecDevice
+	}
+}

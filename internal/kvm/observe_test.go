@@ -1,0 +1,131 @@
+package kvm
+
+import (
+	"testing"
+
+	"paratick/internal/core"
+	"paratick/internal/guest"
+	"paratick/internal/hw"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+	"paratick/internal/trace"
+)
+
+func TestVectorClassMapping(t *testing.T) {
+	cases := []struct {
+		vec  hw.Vector
+		want metrics.VectorClass
+	}{
+		{hw.LocalTimerVector, metrics.VecTimer},
+		{hw.ParatickVector, metrics.VecParatick},
+		{hw.RescheduleVector, metrics.VecReschedule},
+		{hw.CallFuncVector, metrics.VecCallFunc},
+		{hw.IODeviceBase, metrics.VecDevice},
+		{hw.IODeviceBase + 7, metrics.VecDevice},
+	}
+	for _, c := range cases {
+		if got := vectorClass(c.vec); got != c.want {
+			t.Errorf("vectorClass(%v) = %v, want %v", c.vec, got, c.want)
+		}
+	}
+}
+
+// Every VM exit must land in a per-reason cost histogram: the histogram
+// counts have to add up to the exit counters, reason by reason.
+func TestExitCostHistogramsMatchExitCounts(t *testing.T) {
+	rig := newRig(t, core.Periodic, 1)
+	rig.vm.Kernel().Spawn("worker", 0, guest.Steps(
+		guest.Compute(20*sim.Millisecond),
+		guest.Sleep(10*sim.Millisecond),
+		guest.Compute(5*sim.Millisecond),
+	))
+	rig.runUntilDone(t, sim.Second)
+	c := rig.vm.Counters()
+	if c.TotalExits() == 0 {
+		t.Fatal("no exits recorded")
+	}
+	for r := metrics.ExitReason(0); r < metrics.NumExitReasons; r++ {
+		if c.ExitCost[r].Count() != c.Exits[r] {
+			t.Errorf("%v: histogram count %d != exit count %d",
+				r, c.ExitCost[r].Count(), c.Exits[r])
+		}
+		if c.Exits[r] > 0 && c.ExitCost[r].Max() <= 0 {
+			t.Errorf("%v: exits recorded but max cost is %v", r, c.ExitCost[r].Max())
+		}
+	}
+}
+
+// Every injection must be histogrammed by vector class, and timer
+// injections must dominate for a tick-driven workload.
+func TestInjectLatencyHistogramsMatchInjections(t *testing.T) {
+	rig := newRig(t, core.Periodic, 1)
+	rig.vm.Kernel().Spawn("worker", 0, guest.Steps(guest.Compute(50*sim.Millisecond)))
+	rig.runUntilDone(t, sim.Second)
+	c := rig.vm.Counters()
+	var total uint64
+	for vc := metrics.VectorClass(0); vc < metrics.NumVectorClasses; vc++ {
+		total += c.InjectLatency[vc].Count()
+	}
+	if total != c.Injections {
+		t.Fatalf("inject latency observations = %d, injections = %d", total, c.Injections)
+	}
+	if c.InjectLatency[metrics.VecTimer].Count() == 0 {
+		t.Fatal("no timer-vector injections histogrammed for a busy periodic guest")
+	}
+}
+
+// The guest tick-interval histogram should cluster around the tick period
+// for a busy periodic guest (250 Hz → 4ms).
+func TestTickIntervalHistogramTracksTickPeriod(t *testing.T) {
+	rig := newRig(t, core.Periodic, 1)
+	rig.vm.Kernel().Spawn("worker", 0, guest.Steps(guest.Compute(100*sim.Millisecond)))
+	rig.runUntilDone(t, sim.Second)
+	c := rig.vm.Counters()
+	h := &c.TickInterval
+	if h.Count() == 0 {
+		t.Fatal("no tick intervals observed")
+	}
+	// Intervals = ticks - 1 on a single vCPU.
+	if h.Count() != c.GuestTicks-1 {
+		t.Fatalf("intervals = %d, ticks = %d, want ticks-1", h.Count(), c.GuestTicks)
+	}
+	period := rig.vm.GuestTickPeriod()
+	if p50 := h.P50(); p50 < period/2 || p50 > period*2 {
+		t.Fatalf("p50 interval %v not within 2x of period %v", p50, period)
+	}
+}
+
+// The tracer must see host scheduling transitions (enter/deschedule/wake)
+// and durationful exit events.
+func TestTraceRecordsSchedEventsAndExitDurations(t *testing.T) {
+	rig := newRig(t, core.DynticksIdle, 1)
+	tr := trace.NewBuffer(4096)
+	rig.host.SetTracer(tr)
+	rig.vm.Kernel().Spawn("sleeper", 0, guest.Steps(
+		guest.Compute(2*sim.Millisecond),
+		guest.Sleep(20*sim.Millisecond),
+		guest.Compute(2*sim.Millisecond),
+	))
+	rig.runUntilDone(t, sim.Second)
+
+	sched := map[string]int{}
+	exitsWithDur := 0
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case trace.KindSched:
+			sched[e.Detail]++
+		case trace.KindExit:
+			if e.Dur > 0 {
+				exitsWithDur++
+			}
+		}
+	}
+	for _, want := range []string{"enter", "deschedule", "wake"} {
+		if sched[want] == 0 {
+			t.Errorf("no %q sched events recorded (got %v)", want, sched)
+		}
+	}
+	if exitsWithDur == 0 {
+		t.Error("no exit events carry a duration")
+	}
+}

@@ -49,12 +49,18 @@ func (p *PCPU) cost() *hw.CostModel { return &p.host.cost }
 
 // traceEvent records into the host tracer (no-op when tracing is off).
 func (p *PCPU) traceEvent(kind trace.Kind, v *VCPU, detail string) {
+	p.traceSpan(kind, v, detail, 0)
+}
+
+// traceSpan records a durationful event — an exit whose handling occupies
+// the pCPU for dur — so the Chrome export renders it as a timeline slice.
+func (p *PCPU) traceSpan(kind trace.Kind, v *VCPU, detail string, dur sim.Time) {
 	if p.host.tracer == nil {
 		return
 	}
 	p.host.tracer.Record(trace.Event{
 		When: p.now(), Kind: kind, PCPU: int(p.id),
-		VM: v.vm.name, VCPU: v.id, Detail: detail,
+		VM: v.vm.name, VCPU: v.id, Detail: detail, Dur: dur,
 	})
 }
 
@@ -80,6 +86,7 @@ func (p *PCPU) enter(v *VCPU) {
 	v.state = VCPURunning
 	v.sliceStart = p.now()
 	p.current = v
+	p.traceEvent(trace.KindSched, v, "enter")
 	p.execNext()
 }
 
@@ -104,13 +111,15 @@ func (p *PCPU) exec(entry bool) {
 		}
 	}
 	if v.hasPending() {
-		vecs := v.drainPending()
+		irqs := v.drainPending()
 		cnt := v.vm.counters
-		cnt.Injections += uint64(len(vecs))
+		cnt.Injections += uint64(len(irqs))
 		cnt.HostOverhead += p.cost().InjectIRQ
-		for _, vec := range vecs {
-			p.traceEvent(trace.KindInject, v, vec.String())
-			v.gcpu.Deliver(vec)
+		now := p.now()
+		for _, irq := range irqs {
+			cnt.InjectLatency[vectorClass(irq.vec)].Observe(now - irq.since)
+			p.traceEvent(trace.KindInject, v, irq.vec.String())
+			v.gcpu.Deliver(irq.vec)
 		}
 	}
 	seg := v.gcpu.Next()
@@ -176,10 +185,12 @@ func (p *PCPU) chargePLE(v *VCPU, seg *guestSegment) {
 	}
 	n := int64(seg.Duration / w)
 	cnt := v.vm.counters
+	perExit := p.cost().ExitPLE
 	for i := int64(0); i < n; i++ {
 		cnt.AddExit(metrics.ExitPLE)
+		cnt.ExitCost[metrics.ExitPLE].Observe(perExit)
 	}
-	cnt.HostOverhead += sim.Time(n) * p.cost().ExitPLE
+	cnt.HostOverhead += sim.Time(n) * perExit
 }
 
 // ipiCost prices a wakeup IPI, taxing cross-socket delivery.
@@ -224,7 +235,8 @@ func (p *PCPU) atomic(reason metrics.ExitReason, hostCost sim.Time, apply func()
 	cnt := v.vm.counters
 	cnt.AddExit(reason)
 	cnt.HostOverhead += hostCost
-	p.traceEvent(trace.KindExit, v, reason.String())
+	cnt.ExitCost[reason].Observe(hostCost)
+	p.traceSpan(trace.KindExit, v, reason.String(), hostCost)
 	p.segEvent = p.host.engine.After(hostCost, "pcpu-exit", func(*sim.Engine) {
 		p.seg = nil
 		p.segEvent = sim.Event{}
@@ -240,7 +252,8 @@ func (p *PCPU) halt(v *VCPU) {
 	cnt := v.vm.counters
 	cnt.AddExit(metrics.ExitHLT)
 	cnt.HostOverhead += c.ExitHLT
-	p.traceEvent(trace.KindExit, v, metrics.ExitHLT.String())
+	cnt.ExitCost[metrics.ExitHLT].Observe(c.ExitHLT)
+	p.traceSpan(trace.KindExit, v, metrics.ExitHLT.String(), c.ExitHLT)
 	p.segEvent = p.host.engine.After(c.ExitHLT, "pcpu-hlt", func(*sim.Engine) {
 		p.seg = nil
 		p.segEvent = sim.Event{}
@@ -268,6 +281,7 @@ func (p *PCPU) halt(v *VCPU) {
 func (p *PCPU) deschedule(v *VCPU) {
 	v.state = VCPUHalted
 	p.current = nil
+	p.traceEvent(trace.KindSched, v, "deschedule")
 	p.maybeDispatch()
 }
 
@@ -275,6 +289,7 @@ func (p *PCPU) deschedule(v *VCPU) {
 // still inside its halt-poll window, otherwise through the run queue with
 // the host's wake-to-schedule latency.
 func (p *PCPU) wake(v *VCPU) {
+	p.traceEvent(trace.KindSched, v, "wake")
 	if p.polling && p.current == v {
 		p.polling = false
 		p.host.engine.Cancel(p.pollEvent)
@@ -375,7 +390,8 @@ func (p *PCPU) interruptGuest(v *VCPU, reason metrics.ExitReason, hostCost sim.T
 	cnt := v.vm.counters
 	cnt.AddExit(reason)
 	cnt.HostOverhead += hostCost
-	p.traceEvent(trace.KindExit, v, reason.String())
+	cnt.ExitCost[reason].Observe(hostCost)
+	p.traceSpan(trace.KindExit, v, reason.String(), hostCost)
 	p.segEvent = p.host.engine.After(hostCost, "pcpu-irq-exit", func(*sim.Engine) {
 		p.segEvent = sim.Event{}
 		if expireSlice {

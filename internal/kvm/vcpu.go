@@ -42,7 +42,7 @@ type VCPU struct {
 	pcpu *PCPU
 
 	state   VCPUState
-	pending []hw.Vector
+	pending []pendingIRQ
 
 	// guestTimer realizes the guest's TSC-deadline timer: while the vCPU
 	// runs, its expiry models a VMX preemption-timer exit; while the vCPU
@@ -54,6 +54,13 @@ type VCPU struct {
 	lastVirtualTick sim.Time
 	sliceStart      sim.Time
 	wakePending     bool // dispatch already scheduled after a wake
+}
+
+// pendingIRQ is one queued interrupt plus the time it was pended, so the
+// injection path can histogram pend-to-delivery latency per vector class.
+type pendingIRQ struct {
+	vec   hw.Vector
+	since sim.Time
 }
 
 // guestCPU is what the hypervisor needs from a guest vCPU; implemented by
@@ -82,7 +89,9 @@ func (v *VCPU) PCPU() *PCPU { return v.pcpu }
 // PendingIRQs returns a copy of the pending vector list.
 func (v *VCPU) PendingIRQs() []hw.Vector {
 	out := make([]hw.Vector, len(v.pending))
-	copy(out, v.pending)
+	for i, p := range v.pending {
+		out[i] = p.vec
+	}
 	return out
 }
 
@@ -90,13 +99,13 @@ func (v *VCPU) PendingIRQs() []hw.Vector {
 // wakes or interrupts the vCPU as its state demands.
 func (v *VCPU) pendIRQ(vec hw.Vector) {
 	for _, p := range v.pending {
-		if p == vec {
+		if p.vec == vec {
 			// Already pending; hardware coalesces.
 			v.reactToIRQ()
 			return
 		}
 	}
-	v.pending = append(v.pending, vec)
+	v.pending = append(v.pending, pendingIRQ{vec: vec, since: v.Now()})
 	v.reactToIRQ()
 }
 
@@ -115,18 +124,18 @@ func (v *VCPU) reactToIRQ() {
 // handling — used when the caller performs the exit itself.
 func (v *VCPU) queuePendingNoReact(vec hw.Vector) {
 	for _, p := range v.pending {
-		if p == vec {
+		if p.vec == vec {
 			return
 		}
 	}
-	v.pending = append(v.pending, vec)
+	v.pending = append(v.pending, pendingIRQ{vec: vec, since: v.Now()})
 }
 
 // hasPending reports whether any interrupt is queued.
 func (v *VCPU) hasPending() bool { return len(v.pending) > 0 }
 
-// drainPending empties and returns the pending vectors.
-func (v *VCPU) drainPending() []hw.Vector {
+// drainPending empties and returns the pending interrupts.
+func (v *VCPU) drainPending() []pendingIRQ {
 	out := v.pending
 	v.pending = nil
 	return out
@@ -182,7 +191,7 @@ func (v *VCPU) HostTickPeriod() sim.Time { return v.vm.host.cfg.HostTickPeriod()
 // HasPendingLocalTimer reports a queued local-timer interrupt.
 func (v *VCPU) HasPendingLocalTimer() bool {
 	for _, p := range v.pending {
-		if p == hw.LocalTimerVector {
+		if p.vec == hw.LocalTimerVector {
 			return true
 		}
 	}
@@ -199,11 +208,11 @@ func (v *VCPU) InjectVirtualTick() {
 		})
 	}
 	for _, p := range v.pending {
-		if p == hw.ParatickVector {
+		if p.vec == hw.ParatickVector {
 			return
 		}
 	}
-	v.pending = append(v.pending, hw.ParatickVector)
+	v.pending = append(v.pending, pendingIRQ{vec: hw.ParatickVector, since: v.Now()})
 }
 
 // LastVirtualTick returns the §5.1 last_tick field.

@@ -80,6 +80,15 @@ type Counters struct {
 	IOWrites       uint64
 	IOBytesRead    uint64
 	IOBytesWritten uint64
+
+	// Latency/cost histograms (log2 buckets, see Histogram). ExitCost is
+	// the host-side handling cost per exit reason; InjectLatency is the
+	// pend-to-delivery delay per interrupt vector class; TickInterval is the
+	// spacing between consecutive guest tick-handler runs (any mechanism:
+	// physical or virtual), which exposes tick starvation per tick mode.
+	ExitCost      [NumExitReasons]Histogram
+	InjectLatency [NumVectorClasses]Histogram
+	TickInterval  Histogram
 }
 
 // AddExit records one VM exit of the given reason.
@@ -143,6 +152,13 @@ func (c *Counters) Add(other *Counters) {
 	c.IOWrites += other.IOWrites
 	c.IOBytesRead += other.IOBytesRead
 	c.IOBytesWritten += other.IOBytesWritten
+	for i := range c.ExitCost {
+		c.ExitCost[i].Merge(&other.ExitCost[i])
+	}
+	for i := range c.InjectLatency {
+		c.InjectLatency[i].Merge(&other.InjectLatency[i])
+	}
+	c.TickInterval.Merge(&other.TickInterval)
 }
 
 // Summary renders a human-readable multi-line breakdown.

@@ -72,21 +72,36 @@ func Compare(baseline, optimized Result) Comparison {
 	return c
 }
 
-// relChange returns (new-old)/old, or 0 when old is 0.
+// relChange returns (new-old)/old. A zero baseline makes the relative change
+// undefined: 0 → 0 is genuinely "no change", but 0 → n>0 is an unbounded
+// regression, and reporting it as 0 ("+0%") would mask it in a reproduction
+// table. It is returned as NaN and rendered as "n/a" by Pct/Pct1; Aggregated
+// skips NaN terms.
 func relChange(new, old float64) float64 {
 	if old == 0 {
-		return 0
+		if new == 0 {
+			return 0
+		}
+		return math.NaN()
 	}
 	return (new - old) / old
 }
 
 // Pct formats a fraction as a signed percentage, e.g. -0.5 → "-50%".
+// Undefined deltas (NaN, from a zero baseline) render as "n/a".
 func Pct(f float64) string {
+	if math.IsNaN(f) {
+		return "n/a"
+	}
 	return fmt.Sprintf("%+.0f%%", f*100)
 }
 
-// Pct1 formats a fraction as a signed percentage with one decimal.
+// Pct1 formats a fraction as a signed percentage with one decimal, or "n/a"
+// for an undefined (NaN) delta.
 func Pct1(f float64) string {
+	if math.IsNaN(f) {
+		return "n/a"
+	}
 	return fmt.Sprintf("%+.1f%%", f*100)
 }
 
@@ -101,24 +116,48 @@ type Aggregate struct {
 	RuntimeDelta    float64
 }
 
-// Aggregated computes the mean deltas over comps.
+// Aggregated computes the mean deltas over comps. Undefined (NaN) deltas —
+// zero-baseline comparisons — are skipped per metric so one degenerate
+// benchmark cannot poison a table-wide mean; a metric undefined in every
+// comparison stays NaN (rendered "n/a").
 func Aggregated(comps []Comparison) Aggregate {
 	agg := Aggregate{N: len(comps)}
 	if len(comps) == 0 {
 		return agg
 	}
+	var exits, timer, thr, rt nanMean
 	for _, c := range comps {
-		agg.ExitsDelta += c.ExitsDelta
-		agg.TimerExitsDelta += c.TimerExitsDelta
-		agg.ThroughputDelta += c.ThroughputDelta
-		agg.RuntimeDelta += c.RuntimeDelta
+		exits.add(c.ExitsDelta)
+		timer.add(c.TimerExitsDelta)
+		thr.add(c.ThroughputDelta)
+		rt.add(c.RuntimeDelta)
 	}
-	n := float64(len(comps))
-	agg.ExitsDelta /= n
-	agg.TimerExitsDelta /= n
-	agg.ThroughputDelta /= n
-	agg.RuntimeDelta /= n
+	agg.ExitsDelta = exits.mean()
+	agg.TimerExitsDelta = timer.mean()
+	agg.ThroughputDelta = thr.mean()
+	agg.RuntimeDelta = rt.mean()
 	return agg
+}
+
+// nanMean accumulates a mean over the defined (non-NaN) terms only.
+type nanMean struct {
+	sum float64
+	n   int
+}
+
+func (m *nanMean) add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	m.sum += x
+	m.n++
+}
+
+func (m *nanMean) mean() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.sum / float64(m.n)
 }
 
 // GeoMeanRatios computes the geometric mean of (1+delta) ratios and returns
@@ -128,15 +167,22 @@ func GeoMeanRatios(deltas []float64) float64 {
 	if len(deltas) == 0 {
 		return 0
 	}
-	sum := 0.0
+	sum, n := 0.0, 0
 	for _, d := range deltas {
+		if math.IsNaN(d) {
+			continue // undefined (zero-baseline) delta: no defined ratio
+		}
 		r := 1 + d
 		if r <= 0 {
 			r = 1e-9
 		}
 		sum += math.Log(r)
+		n++
 	}
-	return math.Exp(sum/float64(len(deltas))) - 1
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum/float64(n)) - 1
 }
 
 // Mean returns the arithmetic mean of xs (0 for an empty slice).

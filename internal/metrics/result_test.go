@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"paratick/internal/sim"
+)
+
+// A baseline with zero exits and an optimized run with nonzero exits is an
+// unbounded regression; it must surface as NaN → "n/a", never as "+0%".
+func TestCompareZeroBaselineIsNaNNotZero(t *testing.T) {
+	base := Result{Name: "w", WallTime: sim.Second}
+	opt := Result{Name: "w", WallTime: sim.Second}
+	opt.Counters.Exits[ExitMSRWrite] = 100
+
+	c := Compare(base, opt)
+	if !math.IsNaN(c.ExitsDelta) {
+		t.Fatalf("ExitsDelta = %v, want NaN for 0 → 100 exits", c.ExitsDelta)
+	}
+	if !math.IsNaN(c.TimerExitsDelta) {
+		t.Fatalf("TimerExitsDelta = %v, want NaN", c.TimerExitsDelta)
+	}
+	if got := Pct(c.ExitsDelta); got != "n/a" {
+		t.Fatalf("Pct(NaN) = %q, want n/a", got)
+	}
+	if got := Pct1(c.ExitsDelta); got != "n/a" {
+		t.Fatalf("Pct1(NaN) = %q, want n/a", got)
+	}
+}
+
+// 0 → 0 is genuinely "no change" and must stay 0, not NaN.
+func TestCompareZeroToZeroIsZero(t *testing.T) {
+	base := Result{Name: "w", WallTime: sim.Second}
+	opt := Result{Name: "w", WallTime: sim.Second}
+	c := Compare(base, opt)
+	if c.ExitsDelta != 0 || c.TimerExitsDelta != 0 {
+		t.Fatalf("0→0 deltas = %v / %v, want 0", c.ExitsDelta, c.TimerExitsDelta)
+	}
+	if got := Pct1(c.ExitsDelta); got != "+0.0%" {
+		t.Fatalf("Pct1(0) = %q", got)
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if got := relChange(50, 100); got != -0.5 {
+		t.Fatalf("relChange(50,100) = %v", got)
+	}
+	if got := relChange(5, 0); !math.IsNaN(got) {
+		t.Fatalf("relChange(5,0) = %v, want NaN", got)
+	}
+	if got := relChange(0, 0); got != 0 {
+		t.Fatalf("relChange(0,0) = %v, want 0", got)
+	}
+}
+
+// Aggregated must skip NaN terms per metric instead of poisoning the mean.
+func TestAggregatedSkipsNaN(t *testing.T) {
+	comps := []Comparison{
+		{ExitsDelta: -0.4, RuntimeDelta: -0.1},
+		{ExitsDelta: math.NaN(), RuntimeDelta: -0.3},
+		{ExitsDelta: -0.6, RuntimeDelta: math.NaN()},
+	}
+	agg := Aggregated(comps)
+	if agg.N != 3 {
+		t.Fatalf("N = %d", agg.N)
+	}
+	if math.Abs(agg.ExitsDelta-(-0.5)) > 1e-12 {
+		t.Fatalf("ExitsDelta = %v, want -0.5 (mean of defined terms)", agg.ExitsDelta)
+	}
+	if math.Abs(agg.RuntimeDelta-(-0.2)) > 1e-12 {
+		t.Fatalf("RuntimeDelta = %v, want -0.2", agg.RuntimeDelta)
+	}
+}
+
+// A metric undefined in every comparison stays NaN and renders n/a.
+func TestAggregatedAllNaNStaysNaN(t *testing.T) {
+	comps := []Comparison{{ExitsDelta: math.NaN()}, {ExitsDelta: math.NaN()}}
+	agg := Aggregated(comps)
+	if !math.IsNaN(agg.ExitsDelta) {
+		t.Fatalf("ExitsDelta = %v, want NaN", agg.ExitsDelta)
+	}
+	if got := Pct(agg.ExitsDelta); got != "n/a" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestGeoMeanRatiosSkipsNaN(t *testing.T) {
+	got := GeoMeanRatios([]float64{0.0, math.NaN(), 0.0})
+	if got != 0 {
+		t.Fatalf("GeoMeanRatios = %v, want 0", got)
+	}
+	if !math.IsNaN(GeoMeanRatios([]float64{math.NaN()})) {
+		t.Fatal("all-NaN input should return NaN")
+	}
+}
+
+// The rendered tables must carry "n/a" through, proving a zero-baseline run
+// cannot silently read as an improvement-free row.
+func TestTableRendersNaNAsNA(t *testing.T) {
+	tbl := NewTable("t", "name", "exits")
+	tbl.AddRow("zero-base", Pct1(math.NaN()))
+	if !strings.Contains(tbl.String(), "n/a") {
+		t.Fatalf("table output missing n/a:\n%s", tbl.String())
+	}
+}

@@ -83,7 +83,16 @@ type Engine struct {
 	rand    *Rand
 	stopReq bool // Stop() pending, not yet observed by a run
 	stopped bool // most recent run was halted by Stop
+	obs     Observer
 }
+
+// Observer receives one callback per dispatched event, immediately before
+// its handler runs: the event's label and fire time. It is the engine's
+// profiling hook — trace tools aggregate label counts or export timelines
+// from it. The callback path allocates nothing, and a nil observer costs one
+// predicted branch on the dispatch path, preserving the engine's 0 allocs/op
+// steady state.
+type Observer func(label string, when Time)
 
 // initialQueueCap presizes the heap (and first free-list slab) so typical
 // simulations never grow either on the hot path.
@@ -102,6 +111,11 @@ func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *Rand { return e.rand }
+
+// SetObserver installs (or, with nil, removes) the dispatch observer. The
+// observer must not schedule or cancel events; it is a passive measurement
+// tap.
+func (e *Engine) SetObserver(obs Observer) { e.obs = obs }
 
 // Pending returns the number of events currently queued.
 func (e *Engine) Pending() int { return len(e.queue) }
@@ -273,6 +287,10 @@ func (e *Engine) Step() bool {
 	e.now = nd.when
 	e.fired++
 	fn := nd.fn
+	if e.obs != nil {
+		// Label is read before release clears it for the pool.
+		e.obs(nd.label, nd.when)
+	}
 	e.release(nd)
 	fn(e)
 	return true

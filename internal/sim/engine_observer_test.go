@@ -1,0 +1,77 @@
+package sim
+
+import "testing"
+
+func TestObserverSeesEveryDispatch(t *testing.T) {
+	e := NewEngine(1)
+	type obs struct {
+		label string
+		when  Time
+	}
+	var got []obs
+	e.SetObserver(func(label string, when Time) {
+		got = append(got, obs{label, when})
+	})
+	e.At(10, "a", func(*Engine) {})
+	e.At(5, "b", func(*Engine) {})
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("observed %d dispatches, want 2", len(got))
+	}
+	if got[0] != (obs{"b", 5}) || got[1] != (obs{"a", 10}) {
+		t.Fatalf("observations = %v", got)
+	}
+}
+
+func TestObserverFiresBeforeHandler(t *testing.T) {
+	e := NewEngine(1)
+	order := ""
+	e.SetObserver(func(label string, when Time) { order += "o" })
+	e.After(1, "x", func(*Engine) { order += "h" })
+	e.Step()
+	if order != "oh" {
+		t.Fatalf("order = %q, want observer before handler", order)
+	}
+}
+
+func TestObserverRemoval(t *testing.T) {
+	e := NewEngine(1)
+	calls := 0
+	e.SetObserver(func(string, Time) { calls++ })
+	e.After(1, "x", func(*Engine) {})
+	e.Step()
+	e.SetObserver(nil)
+	e.After(1, "y", func(*Engine) {})
+	e.Step()
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (observer removed)", calls)
+	}
+}
+
+// Canceled events never reach the observer — only real dispatches count.
+func TestObserverSkipsCanceled(t *testing.T) {
+	e := NewEngine(1)
+	calls := 0
+	e.SetObserver(func(string, Time) { calls++ })
+	ev := e.After(1, "cancel-me", func(*Engine) {})
+	e.Cancel(ev)
+	e.After(2, "keep", func(*Engine) {})
+	e.Run()
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+// The steady-state dispatch cycle must stay allocation-free with an
+// observer installed (the hook passes a string and a Time — no boxing).
+func BenchmarkEngineScheduleFireObserved(b *testing.B) {
+	e := NewEngine(1)
+	var sink Time
+	e.SetObserver(func(label string, when Time) { sink += when })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, "b", func(*Engine) {})
+		e.Step()
+	}
+	_ = sink
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"paratick/internal/sim"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{When: 1 * sim.Microsecond, Kind: KindExit, PCPU: 0, VM: "vm0", VCPU: 0, Detail: "hlt", Dur: 2 * sim.Microsecond},
+		{When: 2 * sim.Microsecond, Kind: KindInject, PCPU: 0, VM: "vm0", VCPU: 0, Detail: "local-timer(236)"},
+		{When: 3 * sim.Microsecond, Kind: KindVirtualTick, PCPU: 1, VM: "vm0", VCPU: 1, Detail: "vector-235"},
+		{When: 4 * sim.Microsecond, Kind: KindSched, PCPU: 1, VM: "vm0", VCPU: 1, Detail: "enter"},
+	}
+}
+
+// chromeDoc mirrors the trace-event JSON envelope for validation.
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string          `json:"name"`
+		Cat  string          `json:"cat"`
+		Ph   string          `json:"ph"`
+		TS   float64         `json:"ts"`
+		Dur  float64         `json:"dur"`
+		PID  int             `json:"pid"`
+		TID  int             `json:"tid"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var slices, instants, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Dur <= 0 {
+				t.Fatal("complete event without duration")
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if slices != 1 || instants != 3 {
+		t.Fatalf("slices=%d instants=%d, want 1/3", slices, instants)
+	}
+	if meta == 0 {
+		t.Fatal("no track metadata emitted")
+	}
+}
+
+func TestWriteChromeTracksPerPCPUAndVCPU(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"pcpu0"`, `"pcpu1"`, `"vm0/vcpu0"`, `"vm0/vcpu1"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing track label %s:\n%s", want, out)
+		}
+	}
+	// Events on different pCPUs must land in different Chrome processes.
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			pids[e.PID] = true
+		}
+	}
+	if !pids[0] || !pids[1] {
+		t.Fatalf("expected pids 0 and 1, got %v", pids)
+	}
+}
+
+// Identical event streams must serialize to identical bytes — the property
+// the CI golden check relies on.
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same events differ")
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	var b *Buffer // nil buffer is a valid no-op tracer
+	if err := b.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatal("empty trace has events")
+	}
+}
+
+func TestWriteChromeSortsOutOfOrderEvents(t *testing.T) {
+	evs := []Event{
+		{When: 5 * sim.Microsecond, Kind: KindExit, Detail: "late"},
+		{When: 1 * sim.Microsecond, Kind: KindExit, Detail: "early"},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	lastTS := -1.0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS < lastTS {
+			t.Fatal("exported events not in timestamp order")
+		}
+		lastTS = e.TS
+	}
+}
+
+func TestBufferWriteChrome(t *testing.T) {
+	b := NewBuffer(16)
+	for _, e := range sampleEvents() {
+		b.Record(e)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"vtick"`) {
+		t.Fatalf("buffer export missing vtick category:\n%s", buf.String())
+	}
+}
+
+// Out-of-order timestamps must not produce a negative summary window (the
+// old code assumed monotonically non-decreasing When and could render
+// negative rates).
+func TestRecordOutOfOrderKeepsWindowNonNegative(t *testing.T) {
+	b := NewBuffer(8)
+	b.Record(Event{When: 10 * sim.Millisecond, Kind: KindExit, Detail: "hlt"})
+	b.Record(Event{When: 2 * sim.Millisecond, Kind: KindExit, Detail: "hlt"})
+	b.Record(Event{When: 6 * sim.Millisecond, Kind: KindExit, Detail: "hlt"})
+	if b.first != 2*sim.Millisecond || b.last != 10*sim.Millisecond {
+		t.Fatalf("window = [%v, %v], want [2ms, 10ms]", b.first, b.last)
+	}
+	s := b.Summary()
+	if strings.Contains(s, "-") {
+		t.Fatalf("summary contains a negative rate:\n%s", s)
+	}
+	if !strings.Contains(s, "8ms") {
+		t.Fatalf("summary window not 8ms:\n%s", s)
+	}
+}
+
+func TestEventStringWithDuration(t *testing.T) {
+	e := Event{When: sim.Microsecond, Dur: 3 * sim.Microsecond, Kind: KindExit, VM: "vm0", Detail: "hlt"}
+	if !strings.Contains(e.String(), "+3us") {
+		t.Fatalf("duration missing from %q", e.String())
+	}
+}

@@ -41,9 +41,12 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// Event is one trace record.
+// Event is one trace record. Dur, when positive, is the event's cost span
+// (e.g. the host-side handling time of a VM exit); zero-duration events are
+// instants (injections, scheduling edges).
 type Event struct {
 	When   sim.Time
+	Dur    sim.Time
 	Kind   Kind
 	PCPU   int
 	VM     string
@@ -53,6 +56,10 @@ type Event struct {
 
 // String renders the event as one trace line.
 func (e Event) String() string {
+	if e.Dur > 0 {
+		return fmt.Sprintf("%12v pcpu%-3d %s/vcpu%-3d %-7s %s (+%v)",
+			e.When, e.PCPU, e.VM, e.VCPU, e.Kind, e.Detail, e.Dur)
+	}
 	return fmt.Sprintf("%12v pcpu%-3d %s/vcpu%-3d %-7s %s",
 		e.When, e.PCPU, e.VM, e.VCPU, e.Kind, e.Detail)
 }
@@ -80,15 +87,24 @@ func NewBuffer(capacity int) *Buffer {
 }
 
 // Record appends an event; older events are overwritten once the ring is
-// full.
+// full. Timestamps are usually non-decreasing, but hosts with several event
+// sources may record slightly out of order — first/last are tracked as
+// min/max so Summary's window (and its rates) can never go negative.
 func (b *Buffer) Record(e Event) {
 	if b == nil {
 		return
 	}
 	if b.total == 0 {
 		b.first = e.When
+		b.last = e.When
+	} else {
+		if e.When < b.first {
+			b.first = e.When
+		}
+		if e.When > b.last {
+			b.last = e.When
+		}
 	}
-	b.last = e.When
 	b.total++
 	b.counts[e.Kind.String()+"/"+e.Detail]++
 	if len(b.events) < b.cap {

@@ -373,3 +373,27 @@ func TestHDDShowsLittleBenefit(t *testing.T) {
 		t.Errorf("HDD runtime delta = %v, should be near zero", hdd.RuntimeDelta)
 	}
 }
+
+func TestSummaryIncludesLatencyTables(t *testing.T) {
+	rep, err := Run(Scenario{
+		Mode:     ModePeriodic,
+		VCPUs:    1,
+		Duration: 100 * time.Millisecond,
+		Workload: IdleWorkload(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExitLatencyTable() == nil || rep.InjectLatencyTable() == nil {
+		t.Fatal("latency tables nil for a run with exits")
+	}
+	s := rep.Summary()
+	for _, want := range []string{
+		"exit handling cost", "injection latency", "tick interval",
+		"p50", "p95", "p99",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

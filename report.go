@@ -108,6 +108,44 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  io             : %d ops, %d bytes, %.1f MB/s\n",
 			r.IOOps, r.IOBytes, r.IOThroughputMBps)
 	}
+	if tick := &r.result.Counters.TickInterval; tick.Count() > 0 {
+		fmt.Fprintf(&b, "  tick interval  : %s\n", tick)
+	}
+	if tbl := r.ExitLatencyTable(); tbl != nil {
+		b.WriteString(indentBlock(tbl.String(), "  "))
+	}
+	if tbl := r.InjectLatencyTable(); tbl != nil {
+		b.WriteString(indentBlock(tbl.String(), "  "))
+	}
+	return b.String()
+}
+
+// ExitLatencyTable returns the per-exit-reason handling-cost distribution
+// (p50/p95/p99/max), or nil when the run recorded no exits.
+func (r *Report) ExitLatencyTable() *metrics.Table {
+	return metrics.ExitLatencyTable("exit handling cost", &r.result.Counters)
+}
+
+// InjectLatencyTable returns the pend-to-delivery latency distribution per
+// interrupt-vector class, or nil when the run recorded no injections.
+func (r *Report) InjectLatencyTable() *metrics.Table {
+	return metrics.InjectLatencyTable("injection latency", &r.result.Counters)
+}
+
+// Result returns the underlying metrics snapshot (counters + wall time).
+func (r *Report) Result() metrics.Result { return r.result }
+
+// indentBlock prefixes every non-empty line of s with prefix.
+func indentBlock(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	var b strings.Builder
+	for _, ln := range lines {
+		if ln != "" {
+			b.WriteString(prefix)
+			b.WriteString(ln)
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }
 
