@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	paratick-bench [-run all|table1|fig4|fig5|fig6|ablation] [-scale 1.0]
+//	paratick-bench [-run all|table1|fig4|fig5|fig6|crossover|consolidation|
+//	                overcommit|ablation] [-scale 1.0] [-sched fifo|fair]
 //	               [-seed 1] [-device nvme|sata-ssd|hdd] [-out DIR]
 //	               [-workers N] [-bench-json FILE] [-manifest FILE]
 //	               [-trace-out FILE.json] [-cpuprofile FILE] [-memprofile FILE]
@@ -42,6 +43,7 @@ import (
 	"paratick/internal/experiment"
 	"paratick/internal/iodev"
 	"paratick/internal/metrics"
+	"paratick/internal/sched"
 )
 
 func main() {
@@ -53,12 +55,13 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("paratick-bench", flag.ContinueOnError)
-	runSel := fs.String("run", "all", "experiment to run: all, table1, fig4, fig5, fig6, crossover, consolidation, ablation")
+	runSel := fs.String("run", "all", "experiment to run: all, table1, fig4, fig5, fig6, crossover, consolidation, overcommit, ablation")
 	scale := fs.Float64("scale", 1.0, "workload duration scale (1.0 = paper-sized)")
 	seed := fs.Uint64("seed", 1, "deterministic seed")
 	device := fs.String("device", "nvme", "block device profile: nvme, sata-ssd, hdd")
 	repeats := fs.Int("repeats", 1, "average each experiment over this many seeds (paper: 3-15)")
 	workers := fs.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
+	schedPolicy := fs.String("sched", "fifo", "host vCPU scheduler for the experiments: fifo, fair (the overcommit sweep always compares both)")
 	out := fs.String("out", "", "directory for CSV output (optional)")
 	benchJSON := fs.String("bench-json", "", "file for per-experiment timing records as JSON (optional)")
 	manifestPath := fs.String("manifest", "", "file for the run-manifest JSON (optional)")
@@ -74,6 +77,11 @@ func run(args []string, w io.Writer) error {
 	opts.Scale = *scale
 	opts.Repeats = *repeats
 	opts.Workers = *workers
+	pol, err := sched.Parse(*schedPolicy)
+	if err != nil {
+		return err
+	}
+	opts.SchedPolicy = pol
 	switch *device {
 	case "nvme":
 		opts.Device = iodev.NVMe()
@@ -115,6 +123,7 @@ func run(args []string, w io.Writer) error {
 		{"fig6", runFig6},
 		{"crossover", runCrossover},
 		{"consolidation", runConsolidation},
+		{"overcommit", runOvercommit},
 		{"ablation", runAblation},
 	}
 	known := all
@@ -385,6 +394,16 @@ func runConsolidation(opts experiment.Options, out string, w io.Writer) error {
 	}
 	fmt.Fprintln(w, res.Render())
 	return nil
+}
+
+func runOvercommit(opts experiment.Options, out string, w io.Writer) error {
+	fmt.Fprintln(w, "== Overcommit sweep: 1:1→4:1, fifo vs fair host scheduling ==")
+	res, err := experiment.RunOvercommit(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, res.Render())
+	return writeCSV(out, "overcommit", res.Table(), w)
 }
 
 func runAblation(opts experiment.Options, out string, w io.Writer) error {

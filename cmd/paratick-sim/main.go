@@ -7,6 +7,7 @@
 //	paratick-sim [-mode dynticks|periodic|paratick] [-vcpus N] [-sockets N]
 //	             [-workload SPEC] [-duration 1s] [-seed 1] [-compare]
 //	             [-guest-hz 250] [-host-hz 250] [-haltpoll 0]
+//	             [-overcommit N] [-sched fifo|fair] [-timeslice 6ms]
 //
 // Workload specs:
 //
@@ -47,6 +48,8 @@ func run(args []string, w io.Writer) error {
 	pleWindow := fs.Duration("ple", 0, "pause-loop-exiting window (0 = disabled, as in the paper)")
 	spin := fs.Duration("spin", 0, "adaptive lock spin before blocking (0 = pure blocking sync)")
 	overcommit := fs.Int("overcommit", 1, "vCPUs per physical CPU")
+	schedPolicy := fs.String("sched", "fifo", "host vCPU scheduler: fifo, fair")
+	timeslice := fs.Duration("timeslice", 0, "host pCPU timeslice (0 = 6ms default)")
 	topUp := fs.Bool("topup", false, "enable the §4.1 frequency-mismatch top-up timer")
 	disarm := fs.Bool("disarm-on-idle-exit", false, "invert the §5.2.5 heuristic (ablation)")
 	compare := fs.Bool("compare", false, "also run the dynticks baseline and print the comparison")
@@ -55,6 +58,10 @@ func run(args []string, w io.Writer) error {
 	}
 
 	m, err := paratick.ParseTickMode(*mode)
+	if err != nil {
+		return err
+	}
+	pol, err := paratick.ParseSchedPolicy(*schedPolicy)
 	if err != nil {
 		return err
 	}
@@ -70,6 +77,8 @@ func run(args []string, w io.Writer) error {
 		VCPUs:            *vcpus,
 		Sockets:          *sockets,
 		Overcommit:       *overcommit,
+		Sched:            pol,
+		Timeslice:        *timeslice,
 		GuestHz:          *guestHz,
 		HostHz:           *hostHz,
 		Seed:             *seed,

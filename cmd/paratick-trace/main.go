@@ -9,7 +9,8 @@
 // Usage:
 //
 //	paratick-trace [-mode paratick] [-vcpus 1] [-workload fio:rndr:4:4]
-//	               [-events 0] [-buffer 4096] [-seed 1] [-trace-out FILE.json]
+//	               [-overcommit 1] [-sched fifo|fair] [-events 0]
+//	               [-buffer 4096] [-seed 1] [-trace-out FILE.json]
 package main
 
 import (
@@ -32,6 +33,8 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("paratick-trace", flag.ContinueOnError)
 	mode := fs.String("mode", "paratick", "tick mode: dynticks, periodic, paratick")
 	vcpus := fs.Int("vcpus", 1, "vCPU count")
+	overcommit := fs.Int("overcommit", 1, "vCPUs per physical CPU")
+	schedPolicy := fs.String("sched", "fifo", "host vCPU scheduler: fifo, fair")
 	wl := fs.String("workload", "fio:rndr:4:4", "workload spec (see paratick-sim -help)")
 	events := fs.Int("events", 0, "print the last N raw trace events")
 	buffer := fs.Int("buffer", 4096, "trace ring capacity")
@@ -45,6 +48,10 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	pol, err := paratick.ParseSchedPolicy(*schedPolicy)
+	if err != nil {
+		return err
+	}
 	workload, err := paratick.ParseWorkloadSpec(*wl, 0)
 	if err != nil {
 		return err
@@ -52,6 +59,8 @@ func run(args []string, w io.Writer) error {
 	rep, err := paratick.Run(paratick.Scenario{
 		Mode:          m,
 		VCPUs:         *vcpus,
+		Overcommit:    *overcommit,
+		Sched:         pol,
 		Seed:          *seed,
 		Workload:      workload,
 		TraceCapacity: *buffer,

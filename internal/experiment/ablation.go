@@ -137,11 +137,12 @@ func RunIdleExitAblation(opts Options) (*AblationResult, error) {
 		func(i int) (metrics.Result, error) {
 			v := variants[i]
 			spec := Spec{
-				Name:       "ablation-idle-exit/" + v.name,
-				Mode:       v.mode,
-				VCPUs:      1,
-				PolicyOpts: v.opts,
-				Setup:      setup,
+				Name:        "ablation-idle-exit/" + v.name,
+				Mode:        v.mode,
+				VCPUs:       1,
+				PolicyOpts:  v.opts,
+				SchedPolicy: opts.SchedPolicy,
+				Setup:       setup,
 			}
 			return run(spec, opts.Seed, opts.Meter)
 		})
@@ -179,13 +180,14 @@ func RunFrequencyMismatchAblation(opts Options) (*AblationResult, error) {
 		func(i int) (metrics.Result, error) {
 			v := variants[i]
 			spec := Spec{
-				Name:    "ablation-freq/" + v.name,
-				Mode:    core.Paratick,
-				VCPUs:   1,
-				GuestHz: 1000,
-				HostHz:  250,
-				TopUp:   v.topUp,
-				Setup:   setup,
+				Name:        "ablation-freq/" + v.name,
+				Mode:        core.Paratick,
+				VCPUs:       1,
+				GuestHz:     1000,
+				HostHz:      250,
+				TopUp:       v.topUp,
+				SchedPolicy: opts.SchedPolicy,
+				Setup:       setup,
 			}
 			return run(spec, opts.Seed, opts.Meter)
 		})
@@ -210,11 +212,12 @@ func RunHaltPollAblation(opts Options) (*AblationResult, error) {
 		func(i int) (metrics.Result, error) {
 			hp := windows[i]
 			spec := Spec{
-				Name:     fmt.Sprintf("ablation-haltpoll/%v", hp),
-				Mode:     core.DynticksIdle,
-				VCPUs:    1,
-				HaltPoll: hp,
-				Setup:    fioSetup(opts),
+				Name:        fmt.Sprintf("ablation-haltpoll/%v", hp),
+				Mode:        core.DynticksIdle,
+				VCPUs:       1,
+				HaltPoll:    hp,
+				SchedPolicy: opts.SchedPolicy,
+				Setup:       fioSetup(opts),
 			}
 			return run(spec, opts.Seed, opts.Meter)
 		})
@@ -284,38 +287,22 @@ func RunPLEAblation(opts Options) (*AblationResult, error) {
 	results, err := runParallel(opts.WorkerCount(), len(variants),
 		func(vi int) (metrics.Result, error) {
 			v := variants[vi]
-			engine := sim.NewEngine(opts.Seed)
-			cfg := kvm.DefaultConfig()
-			cfg.PLEWindow = v.ple
-			host, err := kvm.NewHost(engine, cfg)
-			if err != nil {
-				return metrics.Result{}, err
+			spec := Spec{
+				Name:         "ple/" + v.name,
+				Mode:         core.DynticksIdle,
+				VCPUs:        4,
+				PLEWindow:    v.ple,
+				AdaptiveSpin: v.spin,
+				SchedPolicy:  opts.SchedPolicy,
+				Setup: func(vm *kvm.VM) error {
+					lock := vm.Kernel().NewLock("hot")
+					for i := 0; i < 4; i++ {
+						vm.Kernel().Spawn(fmt.Sprintf("t%d", i), i, &spinLockProgram{lock: lock, iters: iters})
+					}
+					return nil
+				},
 			}
-			gcfg := guest.DefaultConfig()
-			gcfg.Mode = core.DynticksIdle
-			gcfg.AdaptiveSpin = v.spin
-			placement, err := cfg.Topology.SpreadAcross(4, 1)
-			if err != nil {
-				return metrics.Result{}, err
-			}
-			vm, err := host.NewVM("ple", gcfg, placement)
-			if err != nil {
-				return metrics.Result{}, err
-			}
-			lock := vm.Kernel().NewLock("hot")
-			for i := 0; i < 4; i++ {
-				vm.Kernel().Spawn(fmt.Sprintf("t%d", i), i, &spinLockProgram{lock: lock, iters: iters})
-			}
-			vm.OnWorkloadDone = func(sim.Time) { engine.Stop() }
-			vm.Start()
-			engine.RunUntil(maxSimTime)
-			opts.Meter.AddRun(engine.Fired())
-			if done, _ := vm.WorkloadDone(); !done {
-				return metrics.Result{}, fmt.Errorf("experiment ple/%s: workload hung", v.name)
-			}
-			r := vm.Result("ple/" + v.name)
-			r.Events = engine.Fired()
-			return r, nil
+			return run(spec, opts.Seed, opts.Meter)
 		})
 	if err != nil {
 		return nil, err
@@ -347,9 +334,10 @@ func RunCoalescingAblation(opts Options) (*AblationResult, error) {
 			dev.CoalesceWindow = coalesce
 			dev.CoalesceMax = 8
 			spec := Spec{
-				Name:  fmt.Sprintf("ablation-coalesce/%v/%v", coalesce, mode),
-				Mode:  mode,
-				VCPUs: 1,
+				Name:        fmt.Sprintf("ablation-coalesce/%v/%v", coalesce, mode),
+				Mode:        mode,
+				VCPUs:       1,
+				SchedPolicy: opts.SchedPolicy,
 				Setup: func(vm *kvm.VM) error {
 					d, err := vm.AttachDevice("disk0", dev)
 					if err != nil {

@@ -39,6 +39,63 @@ type ConsolidationResult struct {
 	Rows     []ConsolidationRow
 }
 
+// wrapPlace pins vcpus one per pCPU starting at base, wrapping around the
+// 16-CPU consolidation host so placements overcommit 2:1.
+func wrapPlace(vcpus, base int) []hw.CPUID {
+	out := make([]hw.CPUID, vcpus)
+	for i := range out {
+		out[i] = hw.CPUID((base + i) % 16)
+	}
+	return out
+}
+
+// consolidationScenario declares the §3.1 fleet: 32 vCPUs over 16 pCPUs —
+// four idle 4-vCPU VMs, one 8-vCPU blocking-sync VM, one 4-vCPU I/O VM, one
+// 4-vCPU compute VM — all under one tick mode.
+func consolidationScenario(opts Options, mode core.Mode, dur sim.Time) Scenario {
+	s := Scenario{
+		Name:        "consolidation/" + mode.String(),
+		Topology:    hw.SmallTopology(), // 16 pCPUs
+		SchedPolicy: opts.SchedPolicy,
+		Duration:    dur,
+	}
+	for i := 0; i < 4; i++ {
+		s.VMs = append(s.VMs, VMSpec{
+			Name: fmt.Sprintf("idle%d", i), Mode: mode, Placement: wrapPlace(4, i*4),
+		})
+	}
+	bench := workload.DefaultSyncBench()
+	bench.Threads = 8
+	bench.SyncsPerSec = 2000
+	bench.Duration = dur
+	s.VMs = append(s.VMs, VMSpec{
+		Name: "sync", Mode: mode, Placement: wrapPlace(8, 0),
+		Setup: func(vm *kvm.VM) error { return bench.Spawn(vm.Kernel()) },
+	})
+	job := workload.DefaultFioJob(workload.RandRead, 4096, int64(float64(16<<20)*opts.Scale))
+	s.VMs = append(s.VMs, VMSpec{
+		Name: "io", Mode: mode, Placement: wrapPlace(4, 8),
+		Setup: func(vm *kvm.VM) error {
+			dev, err := vm.AttachDevice("disk0", opts.Device)
+			if err != nil {
+				return err
+			}
+			return job.Spawn(vm.Kernel(), dev)
+		},
+	})
+	s.VMs = append(s.VMs, VMSpec{
+		Name: "compute", Mode: mode, Placement: wrapPlace(4, 12),
+		Setup: func(vm *kvm.VM) error {
+			for i := 0; i < 4; i++ {
+				vm.Kernel().Spawn(fmt.Sprintf("c%d", i), i,
+					guest.Steps(guest.Compute(dur/4)))
+			}
+			return nil
+		},
+	})
+	return s
+}
+
 // RunConsolidation simulates the fleet for 1 s × scale under each mode and
 // reports system-wide costs.
 func RunConsolidation(opts Options) (*ConsolidationResult, error) {
@@ -63,80 +120,13 @@ func RunConsolidation(opts Options) (*ConsolidationResult, error) {
 }
 
 func runConsolidationMode(opts Options, mode core.Mode, dur sim.Time) (ConsolidationRow, error) {
-	engine := sim.NewEngine(opts.Seed)
-	cfg := kvm.DefaultConfig()
-	cfg.Topology = hw.SmallTopology() // 16 pCPUs
-	host, err := kvm.NewHost(engine, cfg)
+	sr, err := runScenario(consolidationScenario(opts, mode, dur), opts.Seed, opts.Meter)
 	if err != nil {
 		return ConsolidationRow{}, err
 	}
-	gcfg := guest.DefaultConfig()
-	gcfg.Mode = mode
-
-	// The fleet, 32 vCPUs over 16 pCPUs (2:1): four idle 4-vCPU VMs, one
-	// 8-vCPU blocking-sync VM, one 4-vCPU I/O VM, one 4-vCPU compute VM.
-	var vms []*kvm.VM
-	place := func(vcpus int, base int) []hw.CPUID {
-		out := make([]hw.CPUID, vcpus)
-		for i := range out {
-			out[i] = hw.CPUID((base + i) % 16)
-		}
-		return out
-	}
-	newVM := func(name string, vcpus, base int) (*kvm.VM, error) {
-		vm, err := host.NewVM(name, gcfg, place(vcpus, base))
-		if err != nil {
-			return nil, err
-		}
-		vms = append(vms, vm)
-		return vm, nil
-	}
-	for i := 0; i < 4; i++ {
-		if _, err := newVM(fmt.Sprintf("idle%d", i), 4, i*4); err != nil {
-			return ConsolidationRow{}, err
-		}
-	}
-	syncVM, err := newVM("sync", 8, 0)
-	if err != nil {
-		return ConsolidationRow{}, err
-	}
-	bench := workload.DefaultSyncBench()
-	bench.Threads = 8
-	bench.SyncsPerSec = 2000
-	bench.Duration = dur
-	if err := bench.Spawn(syncVM.Kernel()); err != nil {
-		return ConsolidationRow{}, err
-	}
-	ioVM, err := newVM("io", 4, 8)
-	if err != nil {
-		return ConsolidationRow{}, err
-	}
-	dev, err := ioVM.AttachDevice("disk0", opts.Device)
-	if err != nil {
-		return ConsolidationRow{}, err
-	}
-	job := workload.DefaultFioJob(workload.RandRead, 4096, int64(float64(16<<20)*opts.Scale))
-	if err := job.Spawn(ioVM.Kernel(), dev); err != nil {
-		return ConsolidationRow{}, err
-	}
-	computeVM, err := newVM("compute", 4, 12)
-	if err != nil {
-		return ConsolidationRow{}, err
-	}
-	for i := 0; i < 4; i++ {
-		computeVM.Kernel().Spawn(fmt.Sprintf("c%d", i), i,
-			guest.Steps(guest.Compute(dur/4)))
-	}
-
-	for _, vm := range vms {
-		vm.Start()
-	}
-	engine.RunUntil(dur)
-	opts.Meter.AddRun(engine.Fired())
-
 	row := ConsolidationRow{Mode: mode}
-	for _, vm := range vms {
-		c := vm.Counters()
+	for i := range sr.Results {
+		c := &sr.Results[i].Counters
 		row.TotalExits += c.TotalExits()
 		row.TimerExits += c.TimerExits()
 		row.HostOverhead += c.HostOverhead

@@ -106,10 +106,11 @@ func RunCrossover(opts Options) (*CrossoverResult, error) {
 		func(i int) (uint64, error) {
 			idle, mode := idles[i/len(modes)], modes[i%len(modes)]
 			spec := Spec{
-				Name:     fmt.Sprintf("crossover/%v/%v", idle, mode),
-				Mode:     mode,
-				VCPUs:    1,
-				Duration: dur,
+				Name:        fmt.Sprintf("crossover/%v/%v", idle, mode),
+				Mode:        mode,
+				VCPUs:       1,
+				Duration:    dur,
+				SchedPolicy: opts.SchedPolicy,
 				Setup: func(vm *kvm.VM) error {
 					dev, err := vm.AttachDevice("delay", delayLineProfile(idle))
 					if err != nil {

@@ -54,6 +54,12 @@ func renderAll(t *testing.T, workers int) string {
 	}
 	out += cons.Render()
 
+	oc, err := RunOvercommit(opts)
+	if err != nil {
+		t.Fatalf("overcommit (workers=%d): %v", workers, err)
+	}
+	out += oc.Render() + oc.Table().CSV()
+
 	abl, err := RunAllAblations(opts)
 	if err != nil {
 		t.Fatalf("ablations (workers=%d): %v", workers, err)

@@ -38,8 +38,9 @@ func runFig4Once(opts Options) (*ParsecFigure, error) {
 		func(i int) (metrics.Comparison, error) {
 			p := profiles[i]
 			spec := Spec{
-				Name:  "parsec-seq/" + p.Name,
-				VCPUs: 1,
+				Name:        "parsec-seq/" + p.Name,
+				VCPUs:       1,
+				SchedPolicy: opts.SchedPolicy,
 				Setup: func(vm *kvm.VM) error {
 					dev, err := vm.AttachDevice("disk0", opts.Device)
 					if err != nil {
@@ -104,9 +105,10 @@ func runFig5SizeOnce(opts Options, size VMSize) (*ParsecFigure, error) {
 		func(i int) (metrics.Comparison, error) {
 			p := profiles[i]
 			spec := Spec{
-				Name:    "parsec-par/" + size.Name + "/" + p.Name,
-				VCPUs:   size.VCPUs,
-				Sockets: size.Sockets,
+				Name:        "parsec-par/" + size.Name + "/" + p.Name,
+				VCPUs:       size.VCPUs,
+				Sockets:     size.Sockets,
+				SchedPolicy: opts.SchedPolicy,
 				Setup: func(vm *kvm.VM) error {
 					dev, err := vm.AttachDevice("disk0", opts.Device)
 					if err != nil {

@@ -101,8 +101,9 @@ func RunFig6(opts Options) (*FioFigure, error) {
 func runFioCell(opts Options, pat workload.FioPattern, bs int) (FioCell, error) {
 	job := workload.DefaultFioJob(pat, bs, fioTotalBytes(bs, opts.Scale))
 	spec := Spec{
-		Name:  fmt.Sprintf("fio/%s/%dk", pat, bs/1024),
-		VCPUs: 1,
+		Name:        fmt.Sprintf("fio/%s/%dk", pat, bs/1024),
+		VCPUs:       1,
+		SchedPolicy: opts.SchedPolicy,
 		Setup: func(vm *kvm.VM) error {
 			dev, err := vm.AttachDevice("disk0", opts.Device)
 			if err != nil {

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"paratick/internal/core"
+	"paratick/internal/sched"
+)
+
+// TestOvercommitSweep is the acceptance check for the pluggable scheduler:
+// under overcommit, sched.Fair must deliver wakeup IPIs with a lower p99
+// pend-to-delivery latency than sched.FIFO, because a woken sync vCPU no
+// longer waits behind full fixed timeslices of spinning antagonists.
+func TestOvercommitSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overcommit sweep is slow")
+	}
+	res, err := RunOvercommit(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(res.Ratios) * len(res.Modes) * len(res.Policies)
+	if len(res.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), wantCells)
+	}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.Inject.Count() == 0 {
+			t.Errorf("%d:1 %s/%s: no wakeups observed", c.Ratio, c.Mode, c.Policy)
+		}
+	}
+	// The headline: Fair beats FIFO on p99 injection latency at every
+	// overcommitted ratio in the dynticks baseline.
+	for _, ratio := range []int{2, 3, 4} {
+		fifo := res.Cell(ratio, core.DynticksIdle, sched.FIFO)
+		fair := res.Cell(ratio, core.DynticksIdle, sched.Fair)
+		if fifo == nil || fair == nil {
+			t.Fatalf("missing %d:1 dynticks cells", ratio)
+		}
+		if fair.Inject.P99() >= fifo.Inject.P99() {
+			t.Errorf("%d:1 dynticks: fair p99 (%v) not below fifo p99 (%v)",
+				ratio, fair.Inject.P99(), fifo.Inject.P99())
+		}
+	}
+	// Queueing delay grows with the overcommit ratio under FIFO.
+	shallow := res.Cell(2, core.DynticksIdle, sched.FIFO)
+	deep := res.Cell(4, core.DynticksIdle, sched.FIFO)
+	if deep.Inject.P99() <= shallow.Inject.P99() {
+		t.Errorf("fifo p99 should grow with ratio: 4:1 %v vs 2:1 %v",
+			deep.Inject.P99(), shallow.Inject.P99())
+	}
+	r := res.Render()
+	for _, want := range []string{"Overcommit sweep", "fifo", "fair", "4:1"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if len(res.Table().Rows) != wantCells {
+		t.Errorf("table rows = %d, want %d", len(res.Table().Rows), wantCells)
+	}
+}

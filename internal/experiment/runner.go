@@ -12,10 +12,10 @@ import (
 	"sync/atomic"
 
 	"paratick/internal/core"
-	"paratick/internal/guest"
 	"paratick/internal/iodev"
 	"paratick/internal/kvm"
 	"paratick/internal/metrics"
+	"paratick/internal/sched"
 	"paratick/internal/sim"
 )
 
@@ -40,6 +40,10 @@ type Options struct {
 	// Meter, when non-nil, accumulates run/event telemetry across all runs
 	// (including concurrent ones) for throughput reporting.
 	Meter *metrics.Meter
+	// SchedPolicy is the host vCPU scheduling policy experiments run under
+	// (zero → sched.FIFO, the legacy behaviour). Experiments that compare
+	// policies, like the overcommit sweep, ignore it and run both.
+	SchedPolicy sched.Kind
 }
 
 // DefaultOptions returns full-scale settings with the NVMe-class device.
@@ -124,7 +128,8 @@ func (o Options) Validate() error {
 	return o.Device.Validate()
 }
 
-// Spec describes one single-VM simulation run.
+// Spec describes one single-VM simulation run. It is the degenerate case of
+// a Scenario (see scenario.go): Run turns it into a one-VM fleet.
 type Spec struct {
 	Name       string
 	Mode       core.Mode
@@ -135,6 +140,15 @@ type Spec struct {
 	PolicyOpts core.Options
 	HaltPoll   sim.Time
 	TopUp      bool
+	// Timeslice overrides the pCPU timeslice (0 → 6 ms default).
+	Timeslice sim.Time
+	// PLEWindow enables pause-loop exiting on the host (0 → disabled, the
+	// paper's setting).
+	PLEWindow sim.Time
+	// AdaptiveSpin enables the guest's optimistic-spin lock path.
+	AdaptiveSpin sim.Time
+	// SchedPolicy selects the host vCPU scheduler (zero → sched.FIFO).
+	SchedPolicy sched.Kind
 	// Duration runs for a fixed simulated time (open-ended workloads);
 	// when 0 the run ends at workload completion.
 	Duration sim.Time
@@ -145,6 +159,31 @@ type Spec struct {
 // maxSimTime caps runaway simulations; any paper experiment finishes far
 // sooner.
 const maxSimTime = 1000 * sim.Second
+
+// scenario lifts the single-VM spec into a one-VM Scenario.
+func (spec Spec) scenario() Scenario {
+	return Scenario{
+		Name:        spec.Name,
+		HostHz:      spec.HostHz,
+		Timeslice:   spec.Timeslice,
+		HaltPoll:    spec.HaltPoll,
+		PLEWindow:   spec.PLEWindow,
+		SchedPolicy: spec.SchedPolicy,
+		Duration:    spec.Duration,
+		VMs: []VMSpec{{
+			Name:         spec.Name,
+			Mode:         spec.Mode,
+			GuestHz:      spec.GuestHz,
+			PolicyOpts:   spec.PolicyOpts,
+			AdaptiveSpin: spec.AdaptiveSpin,
+			TopUp:        spec.TopUp,
+			VCPUs:        spec.VCPUs,
+			Sockets:      spec.Sockets,
+			Workload:     spec.Setup != nil,
+			Setup:        spec.Setup,
+		}},
+	}
+}
 
 // Run executes one spec and returns its result.
 func Run(spec Spec, seed uint64) (metrics.Result, error) {
@@ -159,59 +198,11 @@ func run(spec Spec, seed uint64, m *metrics.Meter) (metrics.Result, error) {
 	if spec.VCPUs <= 0 {
 		return metrics.Result{}, fmt.Errorf("experiment %s: need vCPUs", spec.Name)
 	}
-	engine := sim.NewEngine(seed)
-	cfg := kvm.DefaultConfig()
-	if spec.HostHz > 0 {
-		cfg.HostHz = spec.HostHz
-	}
-	cfg.HaltPoll = spec.HaltPoll
-	host, err := kvm.NewHost(engine, cfg)
+	res, err := runScenario(spec.scenario(), seed, m)
 	if err != nil {
 		return metrics.Result{}, err
 	}
-	sockets := spec.Sockets
-	if sockets == 0 {
-		sockets = 1
-	}
-	placement, err := cfg.Topology.SpreadAcross(spec.VCPUs, sockets)
-	if err != nil {
-		return metrics.Result{}, fmt.Errorf("experiment %s: %w", spec.Name, err)
-	}
-	gcfg := guest.DefaultConfig()
-	gcfg.Mode = spec.Mode
-	gcfg.PolicyOpts = spec.PolicyOpts
-	if spec.GuestHz > 0 {
-		gcfg.TickHz = spec.GuestHz
-	}
-	vm, err := host.NewVM(spec.Name, gcfg, placement)
-	if err != nil {
-		return metrics.Result{}, err
-	}
-	if spec.Mode == core.Paratick && spec.TopUp {
-		vm.SetEntryHook(&core.ParatickHost{TopUp: true})
-	}
-	if spec.Setup != nil {
-		if err := spec.Setup(vm); err != nil {
-			return metrics.Result{}, fmt.Errorf("experiment %s setup: %w", spec.Name, err)
-		}
-	}
-	deadline := spec.Duration
-	if deadline == 0 {
-		deadline = maxSimTime
-		vm.OnWorkloadDone = func(sim.Time) { engine.Stop() }
-	}
-	vm.Start()
-	engine.RunUntil(deadline)
-	if spec.Duration == 0 {
-		if done, _ := vm.WorkloadDone(); !done {
-			return metrics.Result{}, fmt.Errorf("experiment %s: workload did not finish within %v (live tasks %d)",
-				spec.Name, deadline, vm.Kernel().LiveTasks())
-		}
-	}
-	res := vm.Result(spec.Name)
-	res.Events = engine.Fired()
-	m.AddRun(res.Events)
-	return res, nil
+	return res.Results[0], nil
 }
 
 // CompareModes runs the spec under the dynticks baseline and paratick and

@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"fmt"
+
+	"paratick/internal/core"
+	"paratick/internal/guest"
+	"paratick/internal/hw"
+	"paratick/internal/kvm"
+	"paratick/internal/metrics"
+	"paratick/internal/sched"
+	"paratick/internal/sim"
+)
+
+// VMSpec describes one virtual machine inside a Scenario.
+type VMSpec struct {
+	Name       string
+	Mode       core.Mode
+	GuestHz    int // 0 → guest default (250)
+	PolicyOpts core.Options
+	// AdaptiveSpin enables the guest's optimistic-spin lock path.
+	AdaptiveSpin sim.Time
+	// TopUp enables the §4.1 frequency top-up (paratick mode only).
+	TopUp bool
+	// VCPUs/Sockets place the vCPUs via Topology.SpreadAcross. Placement,
+	// when non-nil, pins them explicitly instead (overcommitted placements).
+	VCPUs     int
+	Sockets   int // 0 → 1
+	Placement []hw.CPUID
+	// Workload marks this VM's tasks as the scenario's completion condition:
+	// a Scenario with Duration 0 runs until every workload VM finishes.
+	Workload bool
+	// Setup spawns the VM's tasks and devices.
+	Setup func(vm *kvm.VM) error
+}
+
+// Scenario is one simulation run: a host configuration plus the fleet of
+// VMs sharing it. A single-VM Spec is the degenerate case (see Spec.scenario);
+// consolidation and overcommit studies declare multi-VM fleets.
+type Scenario struct {
+	Name string
+	// Topology overrides the host CPU layout; the zero value keeps the
+	// paper's 80-CPU machine.
+	Topology hw.Topology
+	HostHz   int // 0 → 250
+	// Timeslice overrides the pCPU timeslice (0 → 6 ms default).
+	Timeslice   sim.Time
+	HaltPoll    sim.Time
+	PLEWindow   sim.Time
+	SchedPolicy sched.Kind
+	// Duration runs for a fixed simulated time; when 0 the scenario ends
+	// once every Workload-marked VM completes.
+	Duration sim.Time
+	VMs      []VMSpec
+}
+
+// ScenarioResult carries per-VM results in VMSpec order.
+type ScenarioResult struct {
+	Results []metrics.Result
+	Events  uint64
+}
+
+// Validate checks the scenario is runnable.
+func (s Scenario) Validate() error {
+	if len(s.VMs) == 0 {
+		return fmt.Errorf("experiment %s: scenario needs at least one VM", s.Name)
+	}
+	if s.Duration == 0 {
+		any := false
+		for _, v := range s.VMs {
+			any = any || v.Workload
+		}
+		if !any {
+			return fmt.Errorf("experiment %s: no workload VM and no duration", s.Name)
+		}
+	}
+	for _, v := range s.VMs {
+		if v.VCPUs <= 0 && len(v.Placement) == 0 {
+			return fmt.Errorf("experiment %s: VM %q needs vCPUs or a placement", s.Name, v.Name)
+		}
+	}
+	return nil
+}
+
+// RunScenario executes the scenario and returns per-VM results.
+func RunScenario(s Scenario, seed uint64) (*ScenarioResult, error) {
+	return runScenario(s, seed, nil)
+}
+
+// runScenario is RunScenario with telemetry. The construction order is
+// load-bearing for reproducibility: each VM is created and set up in VMSpec
+// order (kernel and device creation fork the engine's RNG), then all VMs
+// start in the same order, exactly as the pre-scenario runners did.
+func runScenario(s Scenario, seed uint64, m *metrics.Meter) (*ScenarioResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(seed)
+	cfg := kvm.DefaultConfig()
+	if s.Topology.Sockets > 0 {
+		cfg.Topology = s.Topology
+	}
+	if s.HostHz > 0 {
+		cfg.HostHz = s.HostHz
+	}
+	if s.Timeslice > 0 {
+		cfg.Timeslice = s.Timeslice
+	}
+	cfg.HaltPoll = s.HaltPoll
+	cfg.PLEWindow = s.PLEWindow
+	cfg.SchedPolicy = s.SchedPolicy
+	host, err := kvm.NewHost(engine, cfg)
+	if err != nil {
+		return nil, err
+	}
+	vms := make([]*kvm.VM, 0, len(s.VMs))
+	workloads := 0
+	for _, vs := range s.VMs {
+		placement := vs.Placement
+		if placement == nil {
+			sockets := vs.Sockets
+			if sockets == 0 {
+				sockets = 1
+			}
+			placement, err = cfg.Topology.SpreadAcross(vs.VCPUs, sockets)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+			}
+		}
+		gcfg := guest.DefaultConfig()
+		gcfg.Mode = vs.Mode
+		gcfg.PolicyOpts = vs.PolicyOpts
+		gcfg.AdaptiveSpin = vs.AdaptiveSpin
+		if vs.GuestHz > 0 {
+			gcfg.TickHz = vs.GuestHz
+		}
+		vm, err := host.NewVM(vs.Name, gcfg, placement)
+		if err != nil {
+			return nil, err
+		}
+		if vs.Mode == core.Paratick && vs.TopUp {
+			vm.SetEntryHook(&core.ParatickHost{TopUp: true})
+		}
+		if vs.Setup != nil {
+			if err := vs.Setup(vm); err != nil {
+				return nil, fmt.Errorf("experiment %s setup %s: %w", s.Name, vs.Name, err)
+			}
+		}
+		if vs.Workload {
+			workloads++
+		}
+		vms = append(vms, vm)
+	}
+	deadline := s.Duration
+	if deadline == 0 {
+		deadline = maxSimTime
+		remaining := workloads
+		for i, vs := range s.VMs {
+			if !vs.Workload {
+				continue
+			}
+			vms[i].OnWorkloadDone = func(sim.Time) {
+				remaining--
+				if remaining == 0 {
+					engine.Stop()
+				}
+			}
+		}
+	}
+	for _, vm := range vms {
+		vm.Start()
+	}
+	engine.RunUntil(deadline)
+	m.AddRun(engine.Fired())
+	if s.Duration == 0 {
+		for i, vs := range s.VMs {
+			if !vs.Workload {
+				continue
+			}
+			if done, _ := vms[i].WorkloadDone(); !done {
+				return nil, fmt.Errorf("experiment %s: workload did not finish within %v (live tasks %d)",
+					s.Name, deadline, vms[i].Kernel().LiveTasks())
+			}
+		}
+	}
+	out := &ScenarioResult{Events: engine.Fired()}
+	for i, vm := range vms {
+		res := vm.Result(s.VMs[i].Name)
+		res.Events = out.Events
+		out.Results = append(out.Results, res)
+	}
+	return out, nil
+}

@@ -6,7 +6,6 @@ import (
 
 	"paratick/internal/analytic"
 	"paratick/internal/core"
-	"paratick/internal/guest"
 	"paratick/internal/hw"
 	"paratick/internal/kvm"
 	"paratick/internal/metrics"
@@ -79,44 +78,36 @@ func RunTable1(opts Options) (*Table1Result, error) {
 // runTable1Workload simulates nVMs 16-vCPU VMs (idle, or running the §3.3
 // blocking-sync workload) for dur and returns total timer-related exits.
 func runTable1Workload(opts Options, mode core.Mode, nVMs int, sync bool, dur sim.Time) (uint64, error) {
-	engine := sim.NewEngine(opts.Seed)
-	cfg := kvm.DefaultConfig()
-	cfg.Topology = hw.SmallTopology() // the §3.3 16-pCPU system
-	host, err := kvm.NewHost(engine, cfg)
-	if err != nil {
-		return 0, err
-	}
-	gcfg := guest.DefaultConfig()
-	gcfg.Mode = mode
 	// All VMs span the 16 pCPUs (vCPU i on pCPU i) — the overcommitted
 	// consolidation scenario of §3.1.
 	placement := make([]hw.CPUID, 16)
 	for i := range placement {
 		placement[i] = hw.CPUID(i)
 	}
-	var vms []*kvm.VM
+	s := Scenario{
+		Name:        fmt.Sprintf("table1/%s", mode),
+		Topology:    hw.SmallTopology(), // the §3.3 16-pCPU system
+		SchedPolicy: opts.SchedPolicy,
+		Duration:    dur,
+	}
 	for n := 0; n < nVMs; n++ {
-		vm, err := host.NewVM(fmt.Sprintf("vm%d", n), gcfg, placement)
-		if err != nil {
-			return 0, err
-		}
+		vs := VMSpec{Name: fmt.Sprintf("vm%d", n), Mode: mode, Placement: placement}
 		if sync {
-			bench := workload.DefaultSyncBench()
-			bench.Duration = dur
-			if err := bench.Spawn(vm.Kernel()); err != nil {
-				return 0, err
+			vs.Setup = func(vm *kvm.VM) error {
+				bench := workload.DefaultSyncBench()
+				bench.Duration = dur
+				return bench.Spawn(vm.Kernel())
 			}
 		}
-		vms = append(vms, vm)
+		s.VMs = append(s.VMs, vs)
 	}
-	for _, vm := range vms {
-		vm.Start()
+	sr, err := runScenario(s, opts.Seed, opts.Meter)
+	if err != nil {
+		return 0, err
 	}
-	engine.RunUntil(dur)
-	opts.Meter.AddRun(engine.Fired())
 	var exits uint64
-	for _, vm := range vms {
-		exits += vm.Counters().TimerExits()
+	for i := range sr.Results {
+		exits += sr.Results[i].Counters.TimerExits()
 	}
 	return exits, nil
 }

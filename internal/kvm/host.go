@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"paratick/internal/hw"
+	"paratick/internal/sched"
 	"paratick/internal/sim"
 	"paratick/internal/trace"
 )
@@ -34,6 +35,9 @@ type Config struct {
 	// (§6: "only beneficial in overcommitted environments"), so 0 is the
 	// default.
 	PLEWindow sim.Time
+	// SchedPolicy selects the host vCPU scheduler. The zero value is
+	// sched.FIFO, the legacy policy, so existing configs are unchanged.
+	SchedPolicy sched.Kind
 }
 
 // DefaultConfig returns the paper's host setup: the 80-CPU NUMA box,
@@ -67,6 +71,9 @@ func (c Config) Validate() error {
 	if c.PLEWindow < 0 {
 		return fmt.Errorf("kvm: PLEWindow must be non-negative, got %v", c.PLEWindow)
 	}
+	if err := c.SchedPolicy.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -80,8 +87,12 @@ type Host struct {
 	cost   hw.CostModel
 	pcpus  []*PCPU
 	vms    []*VM
+	sched  sched.Scheduler
 
 	nextIOVector hw.Vector
+	// nextSchedKey hands out host-wide vCPU ordinals (sched.Node.Key), the
+	// stable tie-break the scheduling layer's determinism contract requires.
+	nextSchedKey uint64
 
 	// tracer, when set, records exits/injections (perf-style; see
 	// internal/trace). nil disables tracing.
@@ -97,6 +108,11 @@ func NewHost(engine *sim.Engine, cfg Config) (*Host, error) {
 		return nil, err
 	}
 	h := &Host{engine: engine, cfg: cfg, cost: cfg.Cost, nextIOVector: hw.IODeviceBase}
+	s, err := sched.New(cfg.SchedPolicy, cfg.Topology, cfg.Timeslice)
+	if err != nil {
+		return nil, err
+	}
+	h.sched = s
 	n := cfg.Topology.NumCPUs()
 	period := cfg.HostTickPeriod()
 	for i := 0; i < n; i++ {
@@ -121,6 +137,9 @@ func (h *Host) Config() Config { return h.cfg }
 
 // PCPUs returns the physical CPUs.
 func (h *Host) PCPUs() []*PCPU { return h.pcpus }
+
+// Scheduler returns the host's vCPU scheduler.
+func (h *Host) Scheduler() sched.Scheduler { return h.sched }
 
 // VMs returns the created VMs.
 func (h *Host) VMs() []*VM { return h.vms }

@@ -20,7 +20,6 @@ type PCPU struct {
 	id   hw.CPUID
 	tick *hw.PeriodicTimer
 
-	runq    []*VCPU
 	current *VCPU
 
 	// seg is the in-flight segment: a SegRun in guest context, or any
@@ -43,7 +42,7 @@ func (p *PCPU) ID() hw.CPUID { return p.id }
 func (p *PCPU) Current() *VCPU { return p.current }
 
 // RunQueueLen returns the number of runnable vCPUs waiting for this pCPU.
-func (p *PCPU) RunQueueLen() int { return len(p.runq) }
+func (p *PCPU) RunQueueLen() int { return p.host.sched.QueueLen(p.id) }
 
 func (p *PCPU) cost() *hw.CostModel { return &p.host.cost }
 
@@ -68,16 +67,23 @@ func (p *PCPU) now() sim.Time { return p.host.engine.Now() }
 
 func (p *PCPU) enqueue(v *VCPU) {
 	v.state = VCPURunnable
-	p.runq = append(p.runq, v)
+	p.host.sched.Enqueue(p.id, v, p.now())
 }
 
-// maybeDispatch enters the next runnable vCPU if the pCPU is free.
+// maybeDispatch asks the scheduler for the next runnable vCPU if the pCPU is
+// free. The policy may hand back a vCPU stolen from a sibling queue; the
+// vCPU is re-homed here (a no-op self-assignment under FIFO, which never
+// migrates).
 func (p *PCPU) maybeDispatch() {
-	if p.current != nil || p.dispatchPending || len(p.runq) == 0 {
+	if p.current != nil || p.dispatchPending {
 		return
 	}
-	v := p.runq[0]
-	p.runq = p.runq[0:copy(p.runq, p.runq[1:])]
+	e := p.host.sched.PickNext(p.id, p.now())
+	if e == nil {
+		return
+	}
+	v := e.(*VCPU)
+	v.pcpu = p
 	v.vm.counters.HostOverhead += p.cost().HostSchedSwitch
 	p.enter(v)
 }
@@ -279,6 +285,7 @@ func (p *PCPU) halt(v *VCPU) {
 }
 
 func (p *PCPU) deschedule(v *VCPU) {
+	p.host.sched.Ran(v, p.now()-v.sliceStart)
 	v.state = VCPUHalted
 	p.current = nil
 	p.traceEvent(trace.KindSched, v, "deschedule")
@@ -363,7 +370,7 @@ func (p *PCPU) onHostTick(now sim.Time) {
 		// The tick interrupts guest execution: an external-interrupt exit
 		// plus the host tick handler. This is the exit paratick reuses for
 		// virtual-tick injection on the subsequent entry.
-		expire := len(p.runq) > 0 && now-v.sliceStart >= p.host.cfg.Timeslice
+		expire := p.host.sched.TickPreempt(p.id, v, v.sliceStart, now)
 		p.interruptGuest(v, metrics.ExitExternalIRQ,
 			p.cost().ExitExternalIRQ+tickWork, expire)
 		return
@@ -396,6 +403,7 @@ func (p *PCPU) interruptGuest(v *VCPU, reason metrics.ExitReason, hostCost sim.T
 		p.segEvent = sim.Event{}
 		if expireSlice {
 			cnt.HostOverhead += p.cost().HostSchedSwitch
+			p.host.sched.Ran(v, p.now()-v.sliceStart)
 			p.enqueue(v)
 			p.current = nil
 			p.maybeDispatch()

@@ -5,6 +5,7 @@ import (
 
 	"paratick/internal/core"
 	"paratick/internal/hw"
+	"paratick/internal/sched"
 	"paratick/internal/sim"
 	"paratick/internal/trace"
 )
@@ -43,6 +44,10 @@ type VCPU struct {
 
 	state   VCPUState
 	pending []pendingIRQ
+
+	// node is the scheduling layer's per-entity state; its Key is this
+	// vCPU's host-wide creation ordinal.
+	node sched.Node
 
 	// guestTimer realizes the guest's TSC-deadline timer: while the vCPU
 	// runs, its expiry models a VMX preemption-timer exit; while the vCPU
@@ -83,8 +88,13 @@ func (v *VCPU) VM() *VM { return v.vm }
 // State returns the scheduling state.
 func (v *VCPU) State() VCPUState { return v.state }
 
-// PCPU returns the physical CPU this vCPU is pinned to.
+// PCPU returns the physical CPU this vCPU currently calls home: its pinned
+// placement under sched.FIFO, or the last pCPU that dispatched it when the
+// policy migrates vCPUs (sched.Fair work stealing).
 func (v *VCPU) PCPU() *PCPU { return v.pcpu }
+
+// SchedNode exposes the scheduler-owned state (sched.Entity).
+func (v *VCPU) SchedNode() *sched.Node { return &v.node }
 
 // PendingIRQs returns a copy of the pending vector list.
 func (v *VCPU) PendingIRQs() []hw.Vector {

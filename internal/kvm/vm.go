@@ -59,6 +59,8 @@ func (h *Host) NewVM(name string, gcfg guest.Config, placement []hw.CPUID) (*VM,
 			pcpu:  h.pcpus[cpu],
 			state: VCPUStopped,
 		}
+		v.node.Key = h.nextSchedKey
+		h.nextSchedKey++
 		v.guestTimer = hw.NewDeadlineTimer(h.engine, "guest-timer", v.onGuestTimer)
 		v.topUpTimer = hw.NewDeadlineTimer(h.engine, "topup-timer", v.onTopUpTimer)
 		vm.vcpus = append(vm.vcpus, v)

@@ -8,6 +8,7 @@ import (
 	"paratick/internal/guest"
 	"paratick/internal/hw"
 	"paratick/internal/kvm"
+	"paratick/internal/sched"
 	"paratick/internal/sim"
 	"paratick/internal/trace"
 )
@@ -56,6 +57,41 @@ func ParseTickMode(s string) (TickMode, error) {
 	}
 }
 
+// SchedPolicy selects the host's vCPU scheduling policy.
+type SchedPolicy int
+
+const (
+	// SchedFIFO is the legacy host scheduler: strict per-pCPU arrival
+	// order with a fixed timeslice. The zero value, so existing scenarios
+	// behave exactly as before.
+	SchedFIFO SchedPolicy = iota
+	// SchedFair is a CFS-like virtual-runtime policy with per-socket idle
+	// work stealing; it bounds wakeup latency under overcommit.
+	SchedFair
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string { return p.internal().String() }
+
+func (p SchedPolicy) internal() sched.Kind {
+	if p == SchedFair {
+		return sched.Fair
+	}
+	return sched.FIFO
+}
+
+// ParseSchedPolicy parses "fifo" (or "") and "fair"/"cfs".
+func ParseSchedPolicy(s string) (SchedPolicy, error) {
+	k, err := sched.Parse(s)
+	if err != nil {
+		return 0, err
+	}
+	if k == sched.Fair {
+		return SchedFair, nil
+	}
+	return SchedFIFO, nil
+}
+
 // Scenario describes one simulated virtual machine and its workload.
 // The zero value of every field selects the paper's defaults.
 type Scenario struct {
@@ -71,6 +107,11 @@ type Scenario struct {
 	// Overcommit pins that many vCPUs onto each physical CPU (default 1,
 	// no time sharing) — the consolidation scenario of §3.1.
 	Overcommit int
+	// Sched is the host vCPU scheduling policy (default SchedFIFO, the
+	// legacy behaviour). Only matters when Overcommit > 1.
+	Sched SchedPolicy
+	// Timeslice overrides the host pCPU timeslice (default 6ms).
+	Timeslice time.Duration
 	// GuestHz / HostHz are the tick frequencies (default 250, the paper's).
 	GuestHz int
 	HostHz  int
@@ -136,7 +177,7 @@ func (s Scenario) Validate() error {
 	if s.Workload == nil && s.Duration <= 0 {
 		return fmt.Errorf("paratick: scenario %q needs a Workload or a Duration", s.Name)
 	}
-	if s.Duration < 0 || s.HaltPoll < 0 || s.PLEWindow < 0 || s.AdaptiveSpin < 0 {
+	if s.Duration < 0 || s.HaltPoll < 0 || s.PLEWindow < 0 || s.AdaptiveSpin < 0 || s.Timeslice < 0 {
 		return fmt.Errorf("paratick: negative duration")
 	}
 	return nil
@@ -153,6 +194,10 @@ func Run(s Scenario) (*Report, error) {
 	cfg.HostHz = s.HostHz
 	cfg.HaltPoll = sim.Time(s.HaltPoll.Nanoseconds())
 	cfg.PLEWindow = sim.Time(s.PLEWindow.Nanoseconds())
+	cfg.SchedPolicy = s.Sched.internal()
+	if s.Timeslice > 0 {
+		cfg.Timeslice = sim.Time(s.Timeslice.Nanoseconds())
+	}
 	host, err := kvm.NewHost(engine, cfg)
 	if err != nil {
 		return nil, err
