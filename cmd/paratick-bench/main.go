@@ -8,12 +8,21 @@
 //	               [-seed 1] [-device nvme|sata-ssd|hdd] [-out DIR]
 //	               [-workers N] [-bench-json FILE] [-manifest FILE]
 //	               [-trace-out FILE.json] [-cpuprofile FILE] [-memprofile FILE]
+//	paratick-bench -perf-suite [-perf-out FILE.json] [-perf-baseline FILE.json]
+//	               [-perf-threshold 1.25]
 //
 // -scale shrinks the workloads for quick runs (0.1 ≈ a tenth of the paper's
 // durations). -out additionally writes each table as CSV into DIR. -workers
 // fans independent simulation runs across N goroutines (0 = one per CPU);
 // output is byte-identical regardless of worker count. -bench-json writes
 // one timing record per experiment (wall clock, events fired, events/sec).
+//
+// -perf-suite runs the pinned micro-benchmark kernels of internal/perf
+// (timer wheel, event engine, one end-to-end experiment) via
+// testing.Benchmark and prints ns/op, allocs/op, and events/sec. -perf-out
+// writes the machine-readable report; -perf-baseline compares against a
+// committed report (BENCH_PR4.json) and fails when any kernel's ns/op grows
+// past -perf-threshold or its allocs/op grows at all.
 //
 // Observability extras:
 //
@@ -68,8 +77,16 @@ func run(args []string, w io.Writer) error {
 	traceOut := fs.String("trace-out", "", "file for a Chrome trace-event JSON of the reference scenario (optional)")
 	cpuProfile := fs.String("cpuprofile", "", "file for a pprof CPU profile (optional)")
 	memProfile := fs.String("memprofile", "", "file for a pprof heap profile (optional)")
+	perfSuite := fs.Bool("perf-suite", false, "run the pinned micro-benchmark suite (internal/perf) instead of the experiments")
+	perfOut := fs.String("perf-out", "", "file for the perf-suite report JSON (optional)")
+	perfBaseline := fs.String("perf-baseline", "", "baseline report JSON to compare against; regressions beyond -perf-threshold fail (optional)")
+	perfThreshold := fs.Float64("perf-threshold", 1.25, "max tolerated ns/op ratio vs the perf baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *perfSuite {
+		return runPerfSuite(w, *perfOut, *perfBaseline, *perfThreshold)
 	}
 
 	opts := experiment.DefaultOptions()

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"paratick/internal/perf"
+)
+
+// perfSuiteResult is one kernel's measurement in the -perf-out JSON.
+type perfSuiteResult struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// perfSuiteReport is the -perf-out / -perf-baseline JSON document. The
+// environment header records where the numbers came from; comparisons only
+// ever run against a baseline measured on comparable hardware (CI regenerates
+// its own baseline expectations via a generous threshold instead).
+type perfSuiteReport struct {
+	GoVersion string            `json:"go_version"`
+	GOARCH    string            `json:"goarch"`
+	GOOS      string            `json:"goos"`
+	Results   []perfSuiteResult `json:"results"`
+}
+
+// runPerfSuite measures every pinned kernel in internal/perf with
+// testing.Benchmark, prints the table, optionally writes the report JSON,
+// and — when a baseline is given — fails if any kernel regressed by more
+// than the threshold in ns/op or allocates more than the baseline at all.
+func runPerfSuite(w io.Writer, outPath, baselinePath string, threshold float64) error {
+	if threshold <= 0 {
+		return fmt.Errorf("perf-threshold must be positive, got %g", threshold)
+	}
+	report := perfSuiteReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		GOOS:      runtime.GOOS,
+	}
+	fmt.Fprintln(w, "== perf suite ==")
+	for _, k := range perf.Kernels() {
+		r := testing.Benchmark(k.Fn)
+		if r.N == 0 {
+			return fmt.Errorf("kernel %s failed (benchmark aborted)", k.Name)
+		}
+		res := perfSuiteResult{
+			Name:        k.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if eps, ok := r.Extra["events/sec"]; ok {
+			res.EventsPerSec = eps
+		}
+		report.Results = append(report.Results, res)
+		fmt.Fprintf(w, "%-28s %12.1f ns/op %8d allocs/op %8d B/op",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		if res.EventsPerSec > 0 {
+			fmt.Fprintf(w, " %14.0f events/sec", res.EventsPerSec)
+		}
+		fmt.Fprintln(w)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	if baselinePath != "" {
+		return comparePerfBaseline(w, report, baselinePath, threshold)
+	}
+	return nil
+}
+
+// comparePerfBaseline checks the fresh report against a committed baseline:
+// ns/op may grow by at most the threshold factor, and allocs/op by at most
+// 1% — which for the zero-alloc wheel and engine kernels means any
+// allocation at all fails, while the end-to-end kernel's six-figure count
+// may jitter by the odd amortized allocation. Kernels added since the
+// baseline pass with a note; kernels that vanished from the suite fail, so
+// a rename cannot silently drop coverage.
+func comparePerfBaseline(w io.Writer, report perfSuiteReport, path string, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("perf baseline: %w", err)
+	}
+	var base perfSuiteReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("perf baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]perfSuiteResult, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	fmt.Fprintf(w, "-- vs baseline %s (threshold %.2fx) --\n", path, threshold)
+	var failures []string
+	for _, res := range report.Results {
+		old, ok := baseline[res.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s new kernel, no baseline\n", res.Name)
+			continue
+		}
+		delete(baseline, res.Name)
+		ratio := res.NsPerOp / old.NsPerOp
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx)",
+				res.Name, res.NsPerOp, old.NsPerOp, ratio, threshold))
+		}
+		if res.AllocsPerOp > old.AllocsPerOp &&
+			float64(res.AllocsPerOp) > float64(old.AllocsPerOp)*1.01 {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d",
+				res.Name, res.AllocsPerOp, old.AllocsPerOp))
+		}
+		fmt.Fprintf(w, "%-28s %6.2fx ns/op, %d vs %d allocs/op: %s\n",
+			res.Name, ratio, res.AllocsPerOp, old.AllocsPerOp, status)
+	}
+	for name := range baseline {
+		failures = append(failures, fmt.Sprintf(
+			"%s: present in baseline but missing from the suite", name))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(w, "FAIL:", f)
+		}
+		return fmt.Errorf("perf suite regressed on %d check(s)", len(failures))
+	}
+	fmt.Fprintln(w, "perf suite within baseline")
+	return nil
+}

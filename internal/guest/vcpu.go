@@ -120,7 +120,7 @@ func (v *VCPU) RunTickWork() {
 		k.counters.TickInterval.Observe(now - v.lastTickAt)
 	}
 	v.lastTickAt = now
-	v.wheel.AdvanceTo(now)
+	v.serviceWheel(now)
 	if v.rcuPending && now >= v.rcuDeadline {
 		v.rcuPending = false
 		v.rcuDeadline = sim.Forever
@@ -140,7 +140,19 @@ func (v *VCPU) AddKernelWork(d sim.Time, label string) {
 	v.addKernelSeg(d, label)
 }
 
+// serviceWheel advances the timer wheel to now, firing due soft timers.
+// This is the first wheel touch after an idle period: under dynticks or
+// paratick a long idle gap spans millions of jiffies, and the bitmap-
+// indexed wheel crosses them in O(occupied buckets), so both the tick
+// handler and the wakeup-IPI path service the wheel unconditionally rather
+// than rationing calls to what used to be an O(elapsed) walk.
+func (v *VCPU) serviceWheel(now sim.Time) int {
+	return v.wheel.AdvanceTo(now)
+}
+
 // NextSoftEvent returns the earliest pending soft timer or RCU deadline.
+// Both tick policies evaluate this on every idle entry (Fig. 1b / Fig. 3c);
+// the wheel answers from its occupancy bitmaps without scanning buckets.
 func (v *VCPU) NextSoftEvent() sim.Time {
 	next := v.wheel.NextExpiry()
 	if v.rcuPending && v.rcuDeadline < next {
@@ -276,7 +288,7 @@ func (v *VCPU) Deliver(vec hw.Vector) {
 		case vec == hw.RescheduleVector:
 			// Wakeup IPI: the waker already queued the task; entry cost
 			// plus wheel service (softirqs run on IRQ exit).
-			v.wheel.AdvanceTo(v.Now())
+			v.serviceWheel(v.Now())
 		case vec == hw.CallFuncVector:
 			v.addKernelSeg(400, "call-func")
 		default:

@@ -8,6 +8,7 @@ package guest
 
 import (
 	"fmt"
+	"math/bits"
 
 	"paratick/internal/sim"
 )
@@ -16,6 +17,10 @@ const (
 	wheelLevels     = 6
 	wheelSlots      = 64
 	wheelLevelShift = 3 // each level is 8× coarser
+
+	// overflowLevel marks a timer parked on the far-future overflow list
+	// (beyond the top level's horizon) rather than in a wheel bucket.
+	overflowLevel = -1
 )
 
 // SoftTimer is one entry in the timer wheel: an application or kernel soft
@@ -27,8 +32,19 @@ type SoftTimer struct {
 	// Fire runs when the timer expires.
 	Fire func(now sim.Time)
 
+	// fireJiff is the effective fire jiffy, fixed at Add time: the deadline
+	// rounded up to jiffy granularity, but never at or before the jiffy the
+	// wheel had already processed (a late add fires at the next boundary,
+	// not a full wheel lap later). All placement math runs on fireJiff, so
+	// every bucket's occupancy bit corresponds exactly to when its timers
+	// fire or cascade.
+	fireJiff int64
+	// seq is the Add order; timers expiring in the same jiffy fire in
+	// (Deadline, seq) order.
+	seq uint64
+
 	level, slot int
-	index       int // position within the bucket while queued
+	index       int // position within the bucket (or overflow list) while queued
 	queued      bool
 }
 
@@ -39,14 +55,40 @@ func (t *SoftTimer) Pending() bool { return t != nil && t.queued }
 // kernel/time/timer.c: 64-slot levels, each level 8× coarser than the one
 // below, timers cascading downward as time advances. Granularity is one
 // jiffy; timers never fire early.
+//
+// Each level carries a 64-bit occupancy bitmap — bit s set iff bucket s is
+// non-empty — maintained on every Add/Cancel/expire. The bitmaps make the
+// two hot queries cheap:
+//
+//   - NextExpiry locates the earliest occupied bucket per level with a
+//     rotate + TrailingZeros64 and scans only those (at most one bucket per
+//     level), instead of walking all 6×64 buckets.
+//   - AdvanceTo jumps directly from one occupied slot boundary (or cascade
+//     boundary, or overflow-migration point) to the next, so advancing an
+//     idle vCPU across millions of empty jiffies costs O(occupied buckets),
+//     not O(elapsed jiffies).
+//
+// Timers whose deadline lies beyond the top level's horizon are parked on a
+// separate overflow list and migrate into the wheel once the horizon
+// reaches them; this keeps the per-level invariant exact (every in-wheel
+// timer's fire jiffy falls inside its bucket's current-lap span).
 type TimerWheel struct {
 	jiffy   sim.Time
+	maxJiff int64 // sim.Forever / jiffy: fire jiffies at or past this mean "never"
 	curJiff int64 // jiffies fully processed
 	buckets [wheelLevels][wheelSlots][]*SoftTimer
-	count   int
-	// nextCache caches the earliest deadline (sim.Forever when empty or
-	// stale-free); recomputed lazily.
-	nextCache sim.Time
+	occ     [wheelLevels]uint64 // bit s set iff buckets[level][s] is non-empty
+	// overflow holds timers beyond the top level's reach, unordered, with
+	// index-swap removal like a bucket. It is empty in steady state.
+	overflow []*SoftTimer
+	count    int
+	seq      uint64
+
+	// nextJiff caches the earliest pending fire jiffy; nextOK marks it
+	// valid. Invalidated when the holder of the minimum is canceled or
+	// fires; recomputed from the bitmaps, never by a full scan.
+	nextJiff int64
+	nextOK   bool
 }
 
 // NewTimerWheel creates a wheel with the given jiffy duration.
@@ -54,7 +96,7 @@ func NewTimerWheel(jiffy sim.Time) *TimerWheel {
 	if jiffy <= 0 {
 		panic(fmt.Sprintf("guest: timer wheel jiffy must be positive, got %v", jiffy))
 	}
-	return &TimerWheel{jiffy: jiffy, nextCache: sim.Forever}
+	return &TimerWheel{jiffy: jiffy, maxJiff: int64(sim.Forever / jiffy)}
 }
 
 // Jiffy returns the wheel granularity.
@@ -73,27 +115,13 @@ func levelReach(level int) int64 {
 	return wheelSlots * levelSpan(level)
 }
 
-// place computes (level, slot) for a deadline given the current jiffy.
-func (w *TimerWheel) place(deadlineJiff int64) (int, int) {
-	delta := deadlineJiff - w.curJiff
-	if delta < 1 {
-		delta = 1
-	}
-	for lvl := 0; lvl < wheelLevels; lvl++ {
-		if delta < levelReach(lvl) {
-			slot := (deadlineJiff / levelSpan(lvl)) % wheelSlots
-			return lvl, int(slot)
-		}
-	}
-	// Beyond the top level's horizon: clamp into the top level's furthest
-	// slot; the timer will cascade (and be re-placed) as time advances.
-	lvl := wheelLevels - 1
-	slot := ((w.curJiff + levelReach(lvl) - levelSpan(lvl)) / levelSpan(lvl)) % wheelSlots
-	return lvl, int(slot)
-}
-
+// deadlineJiffies rounds a deadline up to jiffies. Deadlines at or near
+// sim.Forever — where the round-up `deadline + jiffy - 1` would overflow and
+// wrap negative — saturate to maxJiff, the "never fires" jiffy.
 func (w *TimerWheel) deadlineJiffies(deadline sim.Time) int64 {
-	// Round up: a timer never fires before its deadline.
+	if deadline > sim.Forever-w.jiffy+1 {
+		return w.maxJiff
+	}
 	return int64((deadline + w.jiffy - 1) / w.jiffy)
 }
 
@@ -106,15 +134,44 @@ func (w *TimerWheel) Add(t *SoftTimer) {
 	if t.Pending() {
 		panic("guest: Add of already-pending timer")
 	}
-	lvl, slot := w.place(w.deadlineJiffies(t.Deadline))
-	t.level, t.slot = lvl, slot
-	t.index = len(w.buckets[lvl][slot])
-	t.queued = true
-	w.buckets[lvl][slot] = append(w.buckets[lvl][slot], t)
-	w.count++
-	if t.Deadline < w.nextCache {
-		w.nextCache = t.Deadline
+	fj := w.deadlineJiffies(t.Deadline)
+	if fj <= w.curJiff {
+		// Late add: the deadline's jiffy is already processed. Fire at the
+		// next boundary — never in a processed slot, which would delay the
+		// timer a full wheel lap.
+		fj = w.curJiff + 1
 	}
+	t.fireJiff = fj
+	t.seq = w.seq
+	w.seq++
+	w.insert(t)
+	if w.nextOK && fj < w.nextJiff {
+		w.nextJiff = fj
+	}
+}
+
+// insert places a timer by its (already fixed) fire jiffy: into the finest
+// level whose reach covers it, or onto the overflow list beyond the top
+// level's horizon. Used by Add, cascades, and overflow migration.
+func (w *TimerWheel) insert(t *SoftTimer) {
+	delta := t.fireJiff - w.curJiff
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		if delta < levelReach(lvl) {
+			slot := int((t.fireJiff / levelSpan(lvl)) % wheelSlots)
+			t.level, t.slot = lvl, slot
+			t.index = len(w.buckets[lvl][slot])
+			t.queued = true
+			w.buckets[lvl][slot] = append(w.buckets[lvl][slot], t)
+			w.occ[lvl] |= 1 << uint(slot)
+			w.count++
+			return
+		}
+	}
+	t.level = overflowLevel
+	t.index = len(w.overflow)
+	t.queued = true
+	w.overflow = append(w.overflow, t)
+	w.count++
 }
 
 // Cancel removes a pending timer; a no-op for detached timers. Returns
@@ -123,14 +180,28 @@ func (w *TimerWheel) Cancel(t *SoftTimer) bool {
 	if !t.Pending() {
 		return false
 	}
-	b := w.buckets[t.level][t.slot]
-	last := len(b) - 1
-	b[t.index] = b[last]
-	b[t.index].index = t.index
-	w.buckets[t.level][t.slot] = b[:last]
+	if t.level == overflowLevel {
+		last := len(w.overflow) - 1
+		w.overflow[t.index] = w.overflow[last]
+		w.overflow[t.index].index = t.index
+		w.overflow[last] = nil
+		w.overflow = w.overflow[:last]
+	} else {
+		b := w.buckets[t.level][t.slot]
+		last := len(b) - 1
+		b[t.index] = b[last]
+		b[t.index].index = t.index
+		b[last] = nil
+		w.buckets[t.level][t.slot] = b[:last]
+		if last == 0 {
+			w.occ[t.level] &^= 1 << uint(t.slot)
+		}
+	}
 	t.queued = false
 	w.count--
-	// nextCache may now be stale (too early); that only costs a recompute.
+	if w.nextOK && t.fireJiff == w.nextJiff {
+		w.nextOK = false
+	}
 	return true
 }
 
@@ -144,94 +215,211 @@ func (w *TimerWheel) NextExpiry() sim.Time {
 	if w.count == 0 {
 		return sim.Forever
 	}
-	if w.nextCache != sim.Forever {
-		// Verify the cache still points at a live deadline.
-		if w.cacheLive() {
-			return w.fireTime(w.nextCache)
-		}
+	if !w.nextOK {
+		w.nextJiff = w.earliestFireJiff()
+		w.nextOK = true
 	}
-	w.recomputeNext()
-	return w.fireTime(w.nextCache)
+	return w.fireTimeOf(w.nextJiff)
 }
 
-// fireTime rounds a deadline up to the jiffy boundary the wheel fires at.
-func (w *TimerWheel) fireTime(deadline sim.Time) sim.Time {
-	if deadline == sim.Forever {
+// fireTimeOf converts a fire jiffy to simulated time; jiffies at or past
+// maxJiff mean "never".
+func (w *TimerWheel) fireTimeOf(fj int64) sim.Time {
+	if fj >= w.maxJiff {
 		return sim.Forever
 	}
-	return sim.Time(w.deadlineJiffies(deadline)) * w.jiffy
+	return sim.Time(fj) * w.jiffy
 }
 
-func (w *TimerWheel) cacheLive() bool {
+// earliestFireJiff finds the minimum pending fire jiffy from the occupancy
+// bitmaps: per level it inspects only the earliest occupied bucket (whose
+// span is provably the earliest at that level), pruned against the best
+// candidate so far, plus the overflow list.
+func (w *TimerWheel) earliestFireJiff() int64 {
+	best := w.maxJiff
 	for lvl := 0; lvl < wheelLevels; lvl++ {
-		for slot := 0; slot < wheelSlots; slot++ {
-			for _, t := range w.buckets[lvl][slot] {
-				if t.Deadline == w.nextCache {
-					return true
-				}
+		occ := w.occ[lvl]
+		if occ == 0 {
+			continue
+		}
+		span := levelSpan(lvl)
+		k := nextOccupied(occ, w.curJiff/span+1)
+		if k*span >= best {
+			continue // the whole bucket starts at or after the best so far
+		}
+		for _, t := range w.buckets[lvl][int(k%wheelSlots)] {
+			if t.fireJiff < best {
+				best = t.fireJiff
 			}
 		}
 	}
-	return false
+	for _, t := range w.overflow {
+		if t.fireJiff < best {
+			best = t.fireJiff
+		}
+	}
+	return best
 }
 
-func (w *TimerWheel) recomputeNext() {
-	w.nextCache = sim.Forever
+// nextOccupied returns the smallest position k ≥ from whose slot (k mod 64)
+// has its bit set in occ. occ must be non-zero; the result is < from+64.
+// Rotating occ right by (from mod 64) aligns slot (from+i) mod 64 with bit
+// i, so TrailingZeros64 yields the offset directly.
+func nextOccupied(occ uint64, from int64) int64 {
+	rot := bits.RotateLeft64(occ, -int(uint64(from)%wheelSlots))
+	return from + int64(bits.TrailingZeros64(rot))
+}
+
+// nextEventJiffy returns the first jiffy after curJiff at which the wheel
+// has any work: an occupied level-0 slot expiring, an occupied higher-level
+// bucket cascading at its slot boundary, or an overflow timer entering the
+// top level's horizon. Returns maxJiff when nothing is pending.
+func (w *TimerWheel) nextEventJiffy() int64 {
+	next := w.maxJiff
 	for lvl := 0; lvl < wheelLevels; lvl++ {
-		for slot := 0; slot < wheelSlots; slot++ {
-			for _, t := range w.buckets[lvl][slot] {
-				if t.Deadline < w.nextCache {
-					w.nextCache = t.Deadline
-				}
+		if w.occ[lvl] == 0 {
+			continue
+		}
+		span := levelSpan(lvl)
+		k := nextOccupied(w.occ[lvl], w.curJiff/span+1)
+		if ev := k * span; ev < next {
+			next = ev
+		}
+	}
+	if len(w.overflow) > 0 {
+		reach := levelReach(wheelLevels - 1)
+		for _, t := range w.overflow {
+			if ev := t.fireJiff - reach + 1; ev < next {
+				next = ev
 			}
 		}
 	}
+	return next
 }
 
 // AdvanceTo processes all jiffies up to now, firing expired timers in
-// deadline order within each jiffy. It returns the number fired.
+// (Deadline, Add-order) order within each jiffy. It returns the number
+// fired. Empty stretches are skipped wholesale: the clock jumps from one
+// occupied boundary to the next, so a long idle gap costs only the few
+// buckets actually holding timers.
 func (w *TimerWheel) AdvanceTo(now sim.Time) int {
 	target := int64(now / w.jiffy)
+	if target <= w.curJiff {
+		return 0
+	}
 	fired := 0
 	for w.curJiff < target {
-		w.curJiff++
-		fired += w.expireJiffy(now)
+		if w.count == 0 {
+			break
+		}
+		next := w.nextEventJiffy()
+		if next > target {
+			break
+		}
+		w.curJiff = next
+		fired += w.processJiffy(now)
+	}
+	if w.curJiff < target {
+		w.curJiff = target
 	}
 	if fired > 0 {
-		w.recomputeNext()
+		w.nextOK = false
 	}
 	return fired
 }
 
-func (w *TimerWheel) expireJiffy(now sim.Time) int {
-	fired := 0
-	// Cascade higher levels whose slot boundary we crossed.
+// processJiffy runs the wheel work due at curJiff: overflow migration,
+// cascades of higher levels whose slot boundary was crossed, then the
+// level-0 bucket drain.
+func (w *TimerWheel) processJiffy(now sim.Time) int {
+	// Far-future timers whose fire jiffy is now within the top level's
+	// horizon migrate into the wheel proper.
+	if len(w.overflow) > 0 {
+		reach := levelReach(wheelLevels - 1)
+		for i := 0; i < len(w.overflow); {
+			t := w.overflow[i]
+			if t.fireJiff-w.curJiff < reach {
+				last := len(w.overflow) - 1
+				w.overflow[i] = w.overflow[last]
+				w.overflow[i].index = i
+				w.overflow[last] = nil
+				w.overflow = w.overflow[:last]
+				t.queued = false
+				w.count--
+				w.insert(t)
+				continue // the swapped-in element now sits at i
+			}
+			i++
+		}
+	}
+	// Cascade higher levels whose slot boundary we crossed. Re-placements
+	// always land at a finer level (their remaining delta is below this
+	// level's slot span), so the bucket being drained is never appended to.
 	for lvl := 1; lvl < wheelLevels; lvl++ {
 		if w.curJiff%levelSpan(lvl) != 0 {
 			break
 		}
 		slot := int((w.curJiff / levelSpan(lvl)) % wheelSlots)
 		pending := w.buckets[lvl][slot]
-		w.buckets[lvl][slot] = nil
+		if len(pending) == 0 {
+			continue
+		}
+		w.buckets[lvl][slot] = pending[:0]
+		w.occ[lvl] &^= 1 << uint(slot)
 		for _, t := range pending {
 			t.queued = false
 			w.count--
-			w.Add(t) // re-place at a finer level
+			w.insert(t)
+		}
+		for i := range pending {
+			pending[i] = nil
 		}
 	}
+	// Drain the level-0 bucket. Every timer is detached before any Fire
+	// callback runs, so a handler canceling a sibling expiring in the same
+	// jiffy sees a clean no-op instead of a stale bucket reference.
 	slot := int(w.curJiff % wheelSlots)
 	b := w.buckets[0][slot]
-	w.buckets[0][slot] = nil
+	if len(b) == 0 {
+		return 0
+	}
+	w.buckets[0][slot] = b[:0]
+	w.occ[0] &^= 1 << uint(slot)
 	for _, t := range b {
 		t.queued = false
 		w.count--
-		if w.deadlineJiffies(t.Deadline) > w.curJiff {
-			// Lives in a future lap of this slot.
-			w.Add(t)
+	}
+	sortByDeadline(b)
+	fired := 0
+	for _, t := range b {
+		if t.fireJiff > w.curJiff {
+			// Defensive: a timer placed for a future lap of this slot
+			// (cannot happen with fireJiff-based placement) re-queues.
+			w.insert(t)
 			continue
 		}
 		fired++
 		t.Fire(now)
 	}
+	for i := range b {
+		b[i] = nil
+	}
 	return fired
+}
+
+// sortByDeadline orders a drained bucket by (Deadline, Add order) so same-
+// jiffy expirations fire deterministically in deadline order, matching the
+// AdvanceTo contract. Insertion sort: buckets are small and the common case
+// (already ordered) is a single pass with zero allocations.
+func sortByDeadline(b []*SoftTimer) {
+	for i := 1; i < len(b); i++ {
+		t := b[i]
+		j := i - 1
+		for j >= 0 && (b[j].Deadline > t.Deadline ||
+			(b[j].Deadline == t.Deadline && b[j].seq > t.seq)) {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = t
+	}
 }

@@ -45,6 +45,67 @@ func BenchmarkWheelAdvance(b *testing.B) {
 	}
 }
 
+// BenchmarkWheelAdvanceSparseIdle measures the idle fast-forward: one
+// pending timer, and each operation advances the wheel across a million
+// empty jiffies to fire it. This is the dynticks/paratick long-idle case —
+// with occupancy bitmaps the advance jumps straight to the occupied
+// boundary instead of walking every jiffy.
+func BenchmarkWheelAdvanceSparseIdle(b *testing.B) {
+	const gap = 1_000_000 // jiffies per advance
+	w := NewTimerWheel(sim.Millisecond)
+	tm := &SoftTimer{Fire: func(sim.Time) {}}
+	now := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if now > sim.Forever-2*gap*sim.Millisecond {
+			// Rewind before simulated time would saturate at sim.Forever
+			// (~9.2M iterations at 10¹² ns per advance).
+			w = NewTimerWheel(sim.Millisecond)
+			now = 0
+		}
+		now += gap * sim.Millisecond
+		tm.Deadline = now
+		w.Add(tm)
+		if w.AdvanceTo(now) != 1 {
+			b.Fatal("sparse advance did not fire the timer")
+		}
+	}
+}
+
+// BenchmarkWheelAdvanceDense measures jiffy processing with 10⁴ timers
+// spread across mixed levels, each re-queueing on fire so occupancy stays
+// constant. Most single-jiffy advances fire something, which is the case
+// that used to trigger a full recomputeNext scan of every bucket.
+func BenchmarkWheelAdvanceDense(b *testing.B) {
+	const n = 10_000
+	w := NewTimerWheel(sim.Millisecond)
+	rng := sim.NewRand(1)
+	// Deadlines up to 20s → levels 0 through 3 at a 1ms jiffy, ~0.5
+	// expirations per jiffy.
+	span := func() sim.Time { return rng.Between(sim.Millisecond, 20*sim.Second) }
+	var requeue func(t *SoftTimer) func(sim.Time)
+	requeue = func(t *SoftTimer) func(sim.Time) {
+		return func(now sim.Time) {
+			t.Deadline = now + span()
+			t.Fire = requeue(t)
+			w.Add(t)
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := &SoftTimer{Deadline: span()}
+		t.Fire = requeue(t)
+		w.Add(t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		now += sim.Millisecond
+		w.AdvanceTo(now)
+	}
+}
+
 // BenchmarkWheelNextExpiry measures the idle-entry lookup.
 func BenchmarkWheelNextExpiry(b *testing.B) {
 	w := NewTimerWheel(sim.Millisecond)
@@ -61,4 +122,71 @@ func BenchmarkWheelNextExpiry(b *testing.B) {
 		sink = w.NextExpiry()
 	}
 	_ = sink
+}
+
+// BenchmarkWheelNextExpiryDense measures the idle-entry evaluation against
+// a dense wheel (10⁴ timers, mixed levels) with the realistic churn around
+// it: every idle entry arms a short wakeup timer that the subsequent idle
+// exit cancels, so each NextExpiry follows a mutation that invalidated the
+// cached minimum. The old wheel re-validated its cache by scanning all
+// 6×64 buckets and every queued timer; the bitmaps answer from the
+// earliest occupied bucket per level.
+func BenchmarkWheelNextExpiryDense(b *testing.B) {
+	const n = 10_000
+	w := NewTimerWheel(sim.Millisecond)
+	rng := sim.NewRand(1)
+	for i := 0; i < n; i++ {
+		w.Add(&SoftTimer{
+			// 1s..2000s: occupancy across levels 1 through 5.
+			Deadline: rng.Between(sim.Second, 2000*sim.Second),
+			Fire:     func(sim.Time) {},
+		})
+	}
+	wakeup := &SoftTimer{Fire: func(sim.Time) {}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink sim.Time
+	for i := 0; i < b.N; i++ {
+		// The wakeup is the earliest pending timer, so canceling it always
+		// invalidates the cached minimum.
+		wakeup.Deadline = sim.Time(i%1000+1) * sim.Millisecond
+		w.Add(wakeup)
+		sink = w.NextExpiry()
+		w.Cancel(wakeup)
+		sink = w.NextExpiry()
+	}
+	_ = sink
+}
+
+// TestWheelSteadyStateAllocs asserts the hot wheel operations — Add,
+// Cancel, and NextExpiry, including the recompute after a cache-
+// invalidating cancel — allocate nothing once bucket capacity exists.
+func TestWheelSteadyStateAllocs(t *testing.T) {
+	w := NewTimerWheel(sim.Millisecond)
+	rng := sim.NewRand(7)
+	for i := 0; i < 256; i++ {
+		w.Add(&SoftTimer{
+			Deadline: rng.Between(sim.Millisecond, 100*sim.Second),
+			Fire:     func(sim.Time) {},
+		})
+	}
+	tm := &SoftTimer{Fire: func(sim.Time) {}}
+	// Warm every slot the loop will touch so append never grows a bucket.
+	for i := 0; i < 2000; i++ {
+		tm.Deadline = sim.Time(i%1999+1) * sim.Millisecond
+		w.Add(tm)
+		w.Cancel(tm)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Deadline = sim.Time(i%1999+1) * sim.Millisecond
+		w.Add(tm)
+		_ = w.NextExpiry()
+		w.Cancel(tm)
+		_ = w.NextExpiry() // recompute path: the canceled timer was the minimum
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Add/NextExpiry/Cancel steady state allocates %.1f allocs/op, want 0", allocs)
+	}
 }

@@ -327,6 +327,155 @@ func TestWheelCancelThenReAdd(t *testing.T) {
 	}
 }
 
+// TestWheelForeverDeadline pins the deadlineJiffies overflow fix: adding a
+// timer at sim.Forever (or close enough that the round-up `deadline + jiffy
+// - 1` would wrap negative) must not panic, must report NextExpiry ==
+// Forever, and must never fire within any realistic horizon.
+func TestWheelForeverDeadline(t *testing.T) {
+	for _, deadline := range []sim.Time{
+		sim.Forever,
+		sim.Forever - 1,
+		sim.Forever - testJiffy + 2, // just inside the overflow zone
+	} {
+		w := NewTimerWheel(testJiffy)
+		tm := &SoftTimer{Deadline: deadline, Fire: func(sim.Time) { t.Fatalf("deadline %v fired", deadline) }}
+		w.Add(tm)
+		if !tm.Pending() {
+			t.Fatalf("deadline %v: timer not pending", deadline)
+		}
+		if got := w.NextExpiry(); got != sim.Forever {
+			t.Fatalf("deadline %v: NextExpiry = %v, want Forever", deadline, got)
+		}
+		if n := w.AdvanceTo(1000 * sim.Second); n != 0 {
+			t.Fatalf("deadline %v: fired %d timers", deadline, n)
+		}
+		if got := w.NextExpiry(); got != sim.Forever {
+			t.Fatalf("deadline %v after advance: NextExpiry = %v, want Forever", deadline, got)
+		}
+		if !w.Cancel(tm) {
+			t.Fatalf("deadline %v: Cancel returned false", deadline)
+		}
+	}
+}
+
+// TestWheelForeverAmongOthers checks a Forever timer does not mask or
+// distort the expiry of ordinary timers sharing the wheel.
+func TestWheelForeverAmongOthers(t *testing.T) {
+	w := NewTimerWheel(testJiffy)
+	w.Add(&SoftTimer{Deadline: sim.Forever, Fire: func(sim.Time) { t.Fatal("forever fired") }})
+	fired := false
+	w.Add(&SoftTimer{Deadline: 2 * testJiffy, Fire: func(sim.Time) { fired = true }})
+	if got := w.NextExpiry(); got != 2*testJiffy {
+		t.Fatalf("NextExpiry = %v, want %v", got, 2*testJiffy)
+	}
+	if n := w.AdvanceTo(3 * testJiffy); n != 1 || !fired {
+		t.Fatalf("fired %d (%v), want 1", n, fired)
+	}
+	if got := w.NextExpiry(); got != sim.Forever {
+		t.Fatalf("NextExpiry = %v, want Forever", got)
+	}
+}
+
+// TestWheelLateAddFiresNextJiffy: a deadline at or before the current jiffy
+// fires at the next boundary, not a full wheel lap later.
+func TestWheelLateAddFiresNextJiffy(t *testing.T) {
+	w := NewTimerWheel(testJiffy)
+	w.AdvanceTo(10 * testJiffy)
+	var firedAt sim.Time
+	w.Add(&SoftTimer{Deadline: 3 * testJiffy, Fire: func(now sim.Time) { firedAt = now }})
+	if got := w.NextExpiry(); got != 11*testJiffy {
+		t.Fatalf("NextExpiry = %v, want %v", got, 11*testJiffy)
+	}
+	if n := w.AdvanceTo(11 * testJiffy); n != 1 {
+		t.Fatalf("fired %d, want 1", n)
+	}
+	if firedAt != 11*testJiffy {
+		t.Fatalf("fired at %v, want %v", firedAt, 11*testJiffy)
+	}
+}
+
+// TestWheelSameJiffyDeadlineOrder pins the AdvanceTo contract: timers
+// expiring within one jiffy fire in (Deadline, Add-order) order even when
+// added out of deadline order.
+func TestWheelSameJiffyDeadlineOrder(t *testing.T) {
+	w := NewTimerWheel(testJiffy)
+	var order []int
+	mk := func(id int, d sim.Time) *SoftTimer {
+		return &SoftTimer{Deadline: d, Fire: func(sim.Time) { order = append(order, id) }}
+	}
+	// All four round up to jiffy 3 (= 12ms at the 4ms test jiffy); ids 2 and
+	// 3 share a deadline, so Add order breaks their tie.
+	w.Add(mk(0, 11*sim.Millisecond))
+	w.Add(mk(1, 9*sim.Millisecond))
+	w.Add(mk(2, 10*sim.Millisecond))
+	w.Add(mk(3, 10*sim.Millisecond))
+	if n := w.AdvanceTo(12 * sim.Millisecond); n != 4 {
+		t.Fatalf("fired %d, want 4", n)
+	}
+	want := []int{1, 2, 3, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWheelCancelSiblingDuringFire: a Fire handler canceling another timer
+// that expires in the same jiffy must see a clean no-op (the sibling is
+// already detached), not a stale bucket reference.
+func TestWheelCancelSiblingDuringFire(t *testing.T) {
+	w := NewTimerWheel(testJiffy)
+	var second *SoftTimer
+	secondFired := false
+	first := &SoftTimer{Deadline: testJiffy - 1, Fire: func(sim.Time) {
+		if w.Cancel(second) {
+			t.Error("canceling an expiring sibling reported pending")
+		}
+	}}
+	second = &SoftTimer{Deadline: testJiffy, Fire: func(sim.Time) { secondFired = true }}
+	w.Add(first)
+	w.Add(second)
+	if n := w.AdvanceTo(2 * testJiffy); n != 2 {
+		t.Fatalf("fired %d, want 2", n)
+	}
+	if !secondFired {
+		t.Fatal("detached sibling never fired")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel retains %d timers", w.Len())
+	}
+}
+
+// TestWheelSparseAdvanceSkipsEmptyJiffies checks the O(occupancy) fast
+// path end to end: one timer, a multi-million-jiffy advance, exact fire
+// time — and an empty wheel advancing even further.
+func TestWheelSparseAdvanceSkipsEmptyJiffies(t *testing.T) {
+	w := NewTimerWheel(sim.Millisecond)
+	var firedAt sim.Time
+	deadline := 3_000_000 * sim.Millisecond // beyond the top level's 2,097,152-jiffy reach
+	w.Add(&SoftTimer{Deadline: deadline, Fire: func(now sim.Time) { firedAt = now }})
+	if n := w.AdvanceTo(deadline - sim.Millisecond); n != 0 {
+		t.Fatalf("fired %d early", n)
+	}
+	if n := w.AdvanceTo(deadline); n != 1 {
+		t.Fatalf("fired %d, want 1", n)
+	}
+	if firedAt != deadline {
+		t.Fatalf("fired at %v, want %v", firedAt, deadline)
+	}
+	// Empty wheel: a huge advance must be a cheap no-op that still moves
+	// the clock (a subsequent late add fires at the next boundary).
+	if n := w.AdvanceTo(100_000 * sim.Second); n != 0 {
+		t.Fatalf("empty advance fired %d", n)
+	}
+	fired := false
+	w.Add(&SoftTimer{Deadline: sim.Second, Fire: func(sim.Time) { fired = true }})
+	w.AdvanceTo(100_000*sim.Second + sim.Millisecond)
+	if !fired {
+		t.Fatal("late add after empty fast-forward never fired")
+	}
+}
+
 func TestWheelFireCanAddTimers(t *testing.T) {
 	// A firing timer that re-queues itself (periodic soft timer pattern).
 	w := NewTimerWheel(testJiffy)

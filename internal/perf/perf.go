@@ -1,0 +1,205 @@
+// Package perf pins the benchmark kernels behind the -perf-suite regression
+// gate of cmd/paratick-bench. Each kernel is a self-contained testing.B
+// function exercising one hot path of the simulator through its public API:
+// the guest timer wheel (add/cancel, idle-entry NextExpiry, sparse and dense
+// AdvanceTo), the sim event engine, and one small end-to-end experiment.
+//
+// The kernels deliberately duplicate the shapes of the in-package
+// *_bench_test.go benchmarks rather than importing them: test files cannot
+// be imported, and a perf package imported from the packages under test
+// would cycle. Keeping the kernels here, frozen, also means the regression
+// gate compares like with like across commits even when the exploratory
+// in-package benchmarks evolve. When a kernel changes shape, the committed
+// baseline (BENCH_PR4.json) must be regenerated in the same commit — see
+// EXPERIMENTS.md.
+package perf
+
+import (
+	"testing"
+
+	"paratick/internal/experiment"
+	"paratick/internal/guest"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+)
+
+// Kernel is one pinned benchmark of the regression suite.
+type Kernel struct {
+	// Name identifies the kernel in suite output and baselines; renaming a
+	// kernel orphans its baseline entry, so treat names as stable.
+	Name string
+	// Desc is a one-line summary printed by -perf-suite.
+	Desc string
+	// Fn is the benchmark body, run via testing.Benchmark.
+	Fn func(b *testing.B)
+}
+
+// Kernels returns the suite in fixed order.
+func Kernels() []Kernel {
+	return []Kernel{
+		{
+			Name: "wheel/add-cancel",
+			Desc: "timer wheel Add+Cancel cycle (guest sleep/wake hot path)",
+			Fn:   wheelAddCancel,
+		},
+		{
+			Name: "wheel/next-expiry-dense",
+			Desc: "NextExpiry on 10k-timer wheel with cache-invalidating churn",
+			Fn:   wheelNextExpiryDense,
+		},
+		{
+			Name: "wheel/advance-sparse",
+			Desc: "AdvanceTo across 1M empty jiffies firing one timer",
+			Fn:   wheelAdvanceSparse,
+		},
+		{
+			Name: "wheel/advance-dense",
+			Desc: "1-jiffy AdvanceTo with 10k re-queueing timers",
+			Fn:   wheelAdvanceDense,
+		},
+		{
+			Name: "engine/schedule-fire",
+			Desc: "sim engine schedule+dispatch cycle",
+			Fn:   engineScheduleFire,
+		},
+		{
+			Name: "engine/cancel-heavy",
+			Desc: "sim engine cancel+re-arm against a 1k-deep queue",
+			Fn:   engineCancelHeavy,
+		},
+		{
+			Name: "e2e/table1",
+			Desc: "Table 1 experiment end to end at smoke scale (events/sec)",
+			Fn:   e2eTable1,
+		},
+	}
+}
+
+func wheelAddCancel(b *testing.B) {
+	w := guest.NewTimerWheel(sim.Millisecond)
+	tm := &guest.SoftTimer{Fire: func(sim.Time) {}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Deadline = sim.Time(i%1000+1) * sim.Millisecond
+		w.Add(tm)
+		w.Cancel(tm)
+	}
+}
+
+func wheelNextExpiryDense(b *testing.B) {
+	const n = 10_000
+	w := guest.NewTimerWheel(sim.Millisecond)
+	rng := sim.NewRand(1)
+	for i := 0; i < n; i++ {
+		w.Add(&guest.SoftTimer{
+			Deadline: rng.Between(sim.Second, 2000*sim.Second),
+			Fire:     func(sim.Time) {},
+		})
+	}
+	wakeup := &guest.SoftTimer{Fire: func(sim.Time) {}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink sim.Time
+	for i := 0; i < b.N; i++ {
+		// The wakeup is the earliest timer, so canceling it invalidates the
+		// wheel's cached minimum and forces a bitmap recompute.
+		wakeup.Deadline = sim.Time(i%1000+1) * sim.Millisecond
+		w.Add(wakeup)
+		sink = w.NextExpiry()
+		w.Cancel(wakeup)
+		sink = w.NextExpiry()
+	}
+	_ = sink
+}
+
+func wheelAdvanceSparse(b *testing.B) {
+	const gap = 1_000_000 // jiffies per advance
+	w := guest.NewTimerWheel(sim.Millisecond)
+	tm := &guest.SoftTimer{Fire: func(sim.Time) {}}
+	now := sim.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if now > sim.Forever-2*gap*sim.Millisecond {
+			// Rewind before simulated time saturates at sim.Forever.
+			w = guest.NewTimerWheel(sim.Millisecond)
+			now = 0
+		}
+		now += gap * sim.Millisecond
+		tm.Deadline = now
+		w.Add(tm)
+		if w.AdvanceTo(now) != 1 {
+			b.Fatal("sparse advance did not fire the timer")
+		}
+	}
+}
+
+func wheelAdvanceDense(b *testing.B) {
+	const n = 10_000
+	w := guest.NewTimerWheel(sim.Millisecond)
+	rng := sim.NewRand(1)
+	span := func() sim.Time { return rng.Between(sim.Millisecond, 20*sim.Second) }
+	var requeue func(t *guest.SoftTimer) func(sim.Time)
+	requeue = func(t *guest.SoftTimer) func(sim.Time) {
+		return func(now sim.Time) {
+			t.Deadline = now + span()
+			t.Fire = requeue(t)
+			w.Add(t)
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := &guest.SoftTimer{Deadline: span()}
+		t.Fire = requeue(t)
+		w.Add(t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		now += sim.Millisecond
+		w.AdvanceTo(now)
+	}
+}
+
+func engineScheduleFire(b *testing.B) {
+	e := sim.NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, "b", func(*sim.Engine) {})
+		e.Step()
+	}
+}
+
+func engineCancelHeavy(b *testing.B) {
+	e := sim.NewEngine(1)
+	const depth = 1024
+	ring := make([]sim.Event, depth)
+	for i := range ring {
+		ring[i] = e.After(sim.Time(i+1), "seed", func(*sim.Engine) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % depth
+		e.Cancel(ring[slot])
+		ring[slot] = e.After(sim.Time(depth+i+1), "rearm", func(*sim.Engine) {})
+	}
+}
+
+func e2eTable1(b *testing.B) {
+	opts := experiment.DefaultOptions()
+	opts.Scale = 0.02
+	opts.Workers = 1
+	m := &metrics.Meter{}
+	opts.Meter = m
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunTable1(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(m.Events())/secs, "events/sec")
+	}
+}

@@ -4,6 +4,9 @@ import "testing"
 
 // BenchmarkEngineScheduleFire measures raw event throughput: schedule one
 // event and dispatch it, repeatedly.
+//
+// Pinned in the -perf-suite regression gate as engine/schedule-fire; keep
+// the kernel in internal/perf in sync when changing the shape here.
 func BenchmarkEngineScheduleFire(b *testing.B) {
 	e := NewEngine(1)
 	b.ReportAllocs()
@@ -39,6 +42,9 @@ func BenchmarkEngineDeepQueue(b *testing.B) {
 // a deep queue, every iteration cancels an interior event and schedules a
 // replacement further out — the paratick entry-hook pattern of overwriting
 // an armed deadline on every VM entry.
+//
+// Pinned in the -perf-suite regression gate as engine/cancel-heavy; keep
+// the kernel in internal/perf in sync when changing the shape here.
 func BenchmarkEngineCancelHeavy(b *testing.B) {
 	e := NewEngine(1)
 	const depth = 1024
