@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 
 	"paratick/internal/perf"
@@ -132,7 +133,14 @@ func comparePerfBaseline(w io.Writer, report perfSuiteReport, path string, thres
 		fmt.Fprintf(w, "%-28s %6.2fx ns/op, %d vs %d allocs/op: %s\n",
 			res.Name, ratio, res.AllocsPerOp, old.AllocsPerOp, status)
 	}
+	// Baseline kernels the suite no longer covers, in sorted order so the
+	// failure report is byte-stable run to run.
+	missing := make([]string, 0, len(baseline))
 	for name := range baseline {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
 		failures = append(failures, fmt.Sprintf(
 			"%s: present in baseline but missing from the suite", name))
 	}

@@ -49,6 +49,8 @@ type SoftTimer struct {
 }
 
 // Pending reports whether the timer is queued in a wheel.
+//
+//paratick:noalloc
 func (t *SoftTimer) Pending() bool { return t != nil && t.queued }
 
 // TimerWheel is a hierarchical timer wheel in the style of Linux's
@@ -106,11 +108,15 @@ func (w *TimerWheel) Jiffy() sim.Time { return w.jiffy }
 func (w *TimerWheel) Len() int { return w.count }
 
 // levelSpan returns the number of jiffies one slot covers at a level.
+//
+//paratick:noalloc
 func levelSpan(level int) int64 {
 	return 1 << (uint(level) * wheelLevelShift)
 }
 
 // levelReach returns how many jiffies ahead a level can represent.
+//
+//paratick:noalloc
 func levelReach(level int) int64 {
 	return wheelSlots * levelSpan(level)
 }
@@ -118,6 +124,8 @@ func levelReach(level int) int64 {
 // deadlineJiffies rounds a deadline up to jiffies. Deadlines at or near
 // sim.Forever — where the round-up `deadline + jiffy - 1` would overflow and
 // wrap negative — saturate to maxJiff, the "never fires" jiffy.
+//
+//paratick:noalloc
 func (w *TimerWheel) deadlineJiffies(deadline sim.Time) int64 {
 	if deadline > sim.Forever-w.jiffy+1 {
 		return w.maxJiff
@@ -127,6 +135,8 @@ func (w *TimerWheel) deadlineJiffies(deadline sim.Time) int64 {
 
 // Add queues a timer. Adding an already-pending timer panics — cancel it
 // first, mirroring the kernel's add_timer contract.
+//
+//paratick:noalloc
 func (w *TimerWheel) Add(t *SoftTimer) {
 	if t == nil || t.Fire == nil {
 		panic("guest: Add of nil timer or timer without Fire")
@@ -153,6 +163,8 @@ func (w *TimerWheel) Add(t *SoftTimer) {
 // insert places a timer by its (already fixed) fire jiffy: into the finest
 // level whose reach covers it, or onto the overflow list beyond the top
 // level's horizon. Used by Add, cascades, and overflow migration.
+//
+//paratick:noalloc
 func (w *TimerWheel) insert(t *SoftTimer) {
 	delta := t.fireJiff - w.curJiff
 	for lvl := 0; lvl < wheelLevels; lvl++ {
@@ -176,6 +188,8 @@ func (w *TimerWheel) insert(t *SoftTimer) {
 
 // Cancel removes a pending timer; a no-op for detached timers. Returns
 // whether the timer was pending.
+//
+//paratick:noalloc
 func (w *TimerWheel) Cancel(t *SoftTimer) bool {
 	if !t.Pending() {
 		return false
@@ -211,6 +225,8 @@ func (w *TimerWheel) Cancel(t *SoftTimer) bool {
 // idle-entry evaluation (Fig. 1b / Fig. 3c); returning the rounded time
 // matters: a wakeup timer armed at the raw deadline would fire a jiffy
 // before the wheel is willing to expire the soft timer.
+//
+//paratick:noalloc
 func (w *TimerWheel) NextExpiry() sim.Time {
 	if w.count == 0 {
 		return sim.Forever
@@ -224,6 +240,8 @@ func (w *TimerWheel) NextExpiry() sim.Time {
 
 // fireTimeOf converts a fire jiffy to simulated time; jiffies at or past
 // maxJiff mean "never".
+//
+//paratick:noalloc
 func (w *TimerWheel) fireTimeOf(fj int64) sim.Time {
 	if fj >= w.maxJiff {
 		return sim.Forever
@@ -235,6 +253,8 @@ func (w *TimerWheel) fireTimeOf(fj int64) sim.Time {
 // bitmaps: per level it inspects only the earliest occupied bucket (whose
 // span is provably the earliest at that level), pruned against the best
 // candidate so far, plus the overflow list.
+//
+//paratick:noalloc
 func (w *TimerWheel) earliestFireJiff() int64 {
 	best := w.maxJiff
 	for lvl := 0; lvl < wheelLevels; lvl++ {
@@ -265,6 +285,8 @@ func (w *TimerWheel) earliestFireJiff() int64 {
 // has its bit set in occ. occ must be non-zero; the result is < from+64.
 // Rotating occ right by (from mod 64) aligns slot (from+i) mod 64 with bit
 // i, so TrailingZeros64 yields the offset directly.
+//
+//paratick:noalloc
 func nextOccupied(occ uint64, from int64) int64 {
 	rot := bits.RotateLeft64(occ, -int(uint64(from)%wheelSlots))
 	return from + int64(bits.TrailingZeros64(rot))
@@ -274,6 +296,8 @@ func nextOccupied(occ uint64, from int64) int64 {
 // has any work: an occupied level-0 slot expiring, an occupied higher-level
 // bucket cascading at its slot boundary, or an overflow timer entering the
 // top level's horizon. Returns maxJiff when nothing is pending.
+//
+//paratick:noalloc
 func (w *TimerWheel) nextEventJiffy() int64 {
 	next := w.maxJiff
 	for lvl := 0; lvl < wheelLevels; lvl++ {
@@ -302,6 +326,8 @@ func (w *TimerWheel) nextEventJiffy() int64 {
 // fired. Empty stretches are skipped wholesale: the clock jumps from one
 // occupied boundary to the next, so a long idle gap costs only the few
 // buckets actually holding timers.
+//
+//paratick:noalloc
 func (w *TimerWheel) AdvanceTo(now sim.Time) int {
 	target := int64(now / w.jiffy)
 	if target <= w.curJiff {
@@ -331,6 +357,8 @@ func (w *TimerWheel) AdvanceTo(now sim.Time) int {
 // processJiffy runs the wheel work due at curJiff: overflow migration,
 // cascades of higher levels whose slot boundary was crossed, then the
 // level-0 bucket drain.
+//
+//paratick:noalloc
 func (w *TimerWheel) processJiffy(now sim.Time) int {
 	// Far-future timers whose fire jiffy is now within the top level's
 	// horizon migrate into the wheel proper.
@@ -411,6 +439,8 @@ func (w *TimerWheel) processJiffy(now sim.Time) int {
 // jiffy expirations fire deterministically in deadline order, matching the
 // AdvanceTo contract. Insertion sort: buckets are small and the common case
 // (already ordered) is a single pass with zero allocations.
+//
+//paratick:noalloc
 func sortByDeadline(b []*SoftTimer) {
 	for i := 1; i < len(b); i++ {
 		t := b[i]

@@ -8,6 +8,8 @@ import (
 // vectorClass buckets a hardware interrupt vector into the coarse classes
 // the metrics package histograms injection latency by. The metrics package
 // deliberately does not import hw, so the mapping lives on the kvm side.
+//
+//paratick:noalloc
 func vectorClass(vec hw.Vector) metrics.VectorClass {
 	switch vec {
 	case hw.LocalTimerVector:

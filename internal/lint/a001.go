@@ -1,0 +1,368 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// noallocDirective marks a function as a pinned zero-allocation hot path.
+const noallocDirective = "//paratick:noalloc"
+
+// AnalyzerA001 checks every function annotated `//paratick:noalloc` for
+// allocation-prone constructs:
+//
+//   - map and slice composite literals, make, new;
+//   - append into a function-local slice without preallocated-capacity
+//     evidence (a make with an explicit capacity, or a reslice like b[:0];
+//     appends into fields, parameters, and package state are assumed
+//     pool-managed by the surrounding design and stay legal);
+//   - fmt calls and function literals (closures);
+//   - interface boxing at call sites: passing a non-pointer-shaped concrete
+//     value where an interface parameter is expected;
+//   - string ↔ []byte/[]rune conversions.
+//
+// Direct calls to same-package functions and methods must themselves be
+// annotated, so an allocation cannot hide one call deep. Dynamic calls
+// (function-typed fields and variables, interface methods) and cross-package
+// calls are outside the rule's reach — the annotation documents that those
+// callees are vetted by the package's allocation benchmarks instead.
+//
+// Anything reachable only through panic(…) is exempt: allocating while
+// aborting is free.
+var AnalyzerA001 = &Analyzer{
+	Name: "A001",
+	Doc:  "no allocation-prone constructs inside //paratick:noalloc functions",
+	Run:  runA001,
+}
+
+func runA001(cfg *Config, pkg *Package) []Diagnostic {
+	annotated := make(map[types.Object]bool)
+	var decls []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isNoalloc(fd.Doc) {
+				continue
+			}
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+				annotated[obj] = true
+			}
+			decls = append(decls, fd)
+		}
+	}
+	var out []Diagnostic
+	for _, fd := range decls {
+		out = append(out, checkNoalloc(pkg, annotated, fd)...)
+	}
+	return out
+}
+
+// isNoalloc reports whether the doc comment carries the noalloc directive.
+func isNoalloc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, noallocDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNoalloc reports every allocation-prone construct in one annotated
+// function.
+func checkNoalloc(pkg *Package, annotated map[types.Object]bool, fd *ast.FuncDecl) []Diagnostic {
+	name := fd.Name.Name
+	panicSpans := collectPanicSpans(pkg, fd.Body)
+	inPanic := func(n ast.Node) bool {
+		for _, s := range panicSpans {
+			if n.Pos() >= s[0] && n.End() <= s[1] {
+				return true
+			}
+		}
+		return false
+	}
+	localInit := collectLocalInits(pkg, fd.Body)
+
+	var out []Diagnostic
+	diag := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     pkg.position(n.Pos()),
+			Rule:    "A001",
+			Message: fmt.Sprintf("noalloc %s: ", name) + fmt.Sprintf(format, args...),
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !inPanic(n) {
+				diag(n, "function literal allocates a closure")
+			}
+			return false
+		case *ast.CompositeLit:
+			if inPanic(n) {
+				return true
+			}
+			if tv, ok := pkg.Info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					diag(n, "map literal allocates")
+				case *types.Slice:
+					diag(n, "slice literal allocates")
+				}
+			}
+		case *ast.CallExpr:
+			if inPanic(n) {
+				return true
+			}
+			checkCall(pkg, annotated, localInit, n, name, diag)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCall applies the call-site rules: banned builtins, append capacity
+// evidence, fmt, same-package callee propagation, conversions, and
+// interface boxing.
+func checkCall(pkg *Package, annotated map[types.Object]bool, localInit map[types.Object]ast.Expr,
+	call *ast.CallExpr, fn string, diag func(ast.Node, string, ...any)) {
+
+	switch target := call.Fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[target].(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "make":
+				diag(call, "make allocates")
+			case "new":
+				diag(call, "new allocates")
+			case "append":
+				checkAppend(pkg, localInit, call, diag)
+			}
+			return
+		case *types.Func:
+			if obj.Pkg() == pkg.Types && !annotated[obj] {
+				diag(call, "calls %s, which is not annotated %s", obj.Name(), noallocDirective)
+			}
+		case *types.TypeName:
+			checkConversion(pkg, call, diag)
+			return
+		case *types.Var:
+			// Dynamic call through a function value: the callee is vetted by
+			// benchmarks, but its arguments can still box — fall through.
+		}
+	case *ast.SelectorExpr:
+		if path, fname, ok := qualifiedCallee(pkg.Info, target); ok {
+			if path == "fmt" {
+				diag(call, "fmt.%s allocates", fname)
+				return // already flagged; don't also report its boxed args
+			}
+			// Other cross-package calls: outside the rule's reach.
+		} else if selection := pkg.Info.Selections[target]; selection != nil {
+			switch selection.Kind() {
+			case types.MethodVal:
+				if m, ok := selection.Obj().(*types.Func); ok && m.Pkg() == pkg.Types {
+					if _, isIface := selection.Recv().Underlying().(*types.Interface); !isIface && !annotated[m] {
+						diag(call, "calls method %s, which is not annotated %s", m.Name(), noallocDirective)
+					}
+				}
+			case types.FieldVal:
+				// Function-typed field (e.g. a handler): dynamic, vetted by
+				// benchmarks.
+			}
+		}
+	default:
+		// Conversion to a non-ident type expression, or a call of a call:
+		// check conversions, skip callee propagation.
+		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			checkConversion(pkg, call, diag)
+			return
+		}
+	}
+	checkBoxing(pkg, call, diag)
+}
+
+// checkAppend flags append into a function-local slice with no
+// preallocated-capacity evidence.
+func checkAppend(pkg *Package, localInit map[types.Object]ast.Expr, call *ast.CallExpr, diag func(ast.Node, string, ...any)) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return // fields, indexed buckets, …: pool-managed by design
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	init, declaredHere := localInit[obj]
+	if !declaredHere {
+		return // parameter or outer state: caller-managed
+	}
+	if hasCapEvidence(init) {
+		return
+	}
+	diag(call, "append into local %q without preallocated-capacity evidence (make with explicit cap, or a reslice like b[:0])", id.Name)
+}
+
+// hasCapEvidence reports whether a local slice's initializer guarantees
+// capacity: a 3-arg make, or a reslice of existing storage.
+func hasCapEvidence(init ast.Expr) bool {
+	switch e := init.(type) {
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) == 3 {
+			return true
+		}
+	case *ast.SliceExpr:
+		return true // b[:0], b[:n], b[low:high:max] reuse existing storage
+	}
+	return false
+}
+
+// collectLocalInits maps every variable defined inside the body to its
+// initializer expression (nil for bare declarations).
+func collectLocalInits(pkg *Package, body *ast.BlockStmt) map[types.Object]ast.Expr {
+	out := make(map[types.Object]ast.Expr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					if i < len(n.Rhs) {
+						out[obj] = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						out[obj] = n.Rhs[0] // multi-value assignment
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					var init ast.Expr
+					if i < len(n.Values) {
+						init = n.Values[i]
+					}
+					out[obj] = init
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkConversion flags string ↔ []byte/[]rune conversions, which copy.
+func checkConversion(pkg *Package, call *ast.CallExpr, diag func(ast.Node, string, ...any)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dstTV, ok1 := pkg.Info.Types[call.Fun]
+	srcTV, ok2 := pkg.Info.Types[call.Args[0]]
+	if !ok1 || !ok2 {
+		return
+	}
+	dst, src := dstTV.Type.Underlying(), srcTV.Type.Underlying()
+	if isString(dst) && isByteOrRuneSlice(src) || isByteOrRuneSlice(dst) && isString(src) {
+		diag(call, "string conversion copies and allocates")
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// checkBoxing flags non-pointer-shaped concrete arguments passed to
+// interface parameters: the conversion heap-allocates the value.
+func checkBoxing(pkg *Package, call *ast.CallExpr, diag func(ast.Node, string, ...any)) {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				paramType = params.At(params.Len() - 1).Type() // slice passed whole
+			} else {
+				paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := paramType.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		argTV, ok := pkg.Info.Types[arg]
+		if !ok || argTV.IsNil() {
+			continue
+		}
+		at := argTV.Type
+		if _, alreadyIface := at.Underlying().(*types.Interface); alreadyIface {
+			continue
+		}
+		if pointerShaped(at) {
+			continue
+		}
+		diag(arg, "passing %s as interface %s boxes and allocates", at, paramType)
+	}
+}
+
+// pointerShaped reports whether values of t fit an interface's data word
+// without a heap allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// collectPanicSpans records the source span of every panic(…) call so
+// constructs reachable only while aborting stay exempt.
+func collectPanicSpans(pkg *Package, body *ast.BlockStmt) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				spans = append(spans, [2]token.Pos{call.Lparen, call.Rparen})
+			}
+		}
+		return true
+	})
+	return spans
+}

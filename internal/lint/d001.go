@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// wallclockFuncs are the package time entry points that read the host clock
+// or block on it. Referencing one from a deterministic package makes results
+// depend on the machine, not the seed. time.Duration arithmetic and
+// constants remain legal — only clock reads and timers are banned.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+}
+
+// AnalyzerD001 flags wall-clock reads and host timers in deterministic
+// packages. Simulated time comes from sim.Engine.Now; host time has no place
+// in any package whose output must be a pure function of the seed.
+var AnalyzerD001 = &Analyzer{
+	Name: "D001",
+	Doc:  "no wall clock (time.Now/Since/Sleep/NewTimer/…) in deterministic packages",
+	Run:  runD001,
+}
+
+func runD001(cfg *Config, pkg *Package) []Diagnostic {
+	if !cfg.isDeterministicPkg(pkg.PkgPath) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		if cfg.isExemptFile(pkg.PkgPath, pkg.fileBase(f.Pos())) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := qualifiedCallee(pkg.Info, sel)
+			if ok && path == "time" && wallclockFuncs[name] {
+				out = append(out, Diagnostic{
+					Pos:  pkg.position(sel.Pos()),
+					Rule: "D001",
+					Message: fmt.Sprintf("time.%s in deterministic package %s: use sim.Engine time, never the host clock",
+						name, pkg.PkgPath),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// AnalyzerD002 flags use of math/rand's process-global generator (and the
+// global Seed). The project's only legal randomness is a seeded generator
+// threaded from experiment configuration — internally that is sim.Rand;
+// a seeded *rand.Rand built via rand.New(rand.NewSource(seed)) is tolerated
+// at the edges, so the New* constructors stay legal.
+var AnalyzerD002 = &Analyzer{
+	Name: "D002",
+	Doc:  "no global or unseeded math/rand; thread a seeded generator from config",
+	Run:  runD002,
+}
+
+// randPkgs are the import paths D002 watches.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func runD002(cfg *Config, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := qualifiedCallee(pkg.Info, sel)
+			if !ok || !randPkgs[path] {
+				return true
+			}
+			// Constructors (New, NewSource, NewPCG, …) build an explicitly
+			// seeded generator; every other package-level entry point — and
+			// the deprecated global Seed — goes through shared process state.
+			if strings.HasPrefix(name, "New") {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:  pkg.position(sel.Pos()),
+				Rule: "D002",
+				Message: fmt.Sprintf("%s.%s uses the process-global RNG: thread a seeded generator (sim.Rand) from experiment config",
+					path, name),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerD004 flags goroutine launches and multi-case channel selects
+// outside the approved concurrency surface. The simulation core is
+// single-threaded by contract — determinism depends on it — and the only
+// sanctioned concurrency is the parallel experiment runner (independent
+// engines, results assembled by index) and cmd/ entry points.
+var AnalyzerD004 = &Analyzer{
+	Name: "D004",
+	Doc:  "no goroutines or multi-case selects outside the approved concurrency allowlist",
+	Run:  runD004,
+}
+
+func runD004(cfg *Config, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		if cfg.concurrencyAllowed(pkg.PkgPath, pkg.fileBase(f.Pos())) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				out = append(out, Diagnostic{
+					Pos:     pkg.position(n.Pos()),
+					Rule:    "D004",
+					Message: "goroutine launch outside the approved concurrency allowlist (simulation state is single-threaded by contract)",
+				})
+			case *ast.SelectStmt:
+				if len(n.Body.List) >= 2 {
+					out = append(out, Diagnostic{
+						Pos:     pkg.position(n.Pos()),
+						Rule:    "D004",
+						Message: "multi-case select outside the approved concurrency allowlist: case choice is scheduler-dependent and nondeterministic",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+// Package lint is paratick-vet's analyzer framework: a small, stdlib-only
+// (go/parser + go/types + go/importer) harness that type-checks the module
+// from source and runs project-law analyzers over it.
+//
+// The laws it enforces are the two invariants the reproduction's methodology
+// rests on and that tests can only catch after the fact:
+//
+//   - Determinism: simulation results must be byte-identical for any seed and
+//     worker count. Wall-clock reads, global RNG state, unordered map
+//     iteration feeding output, and unsanctioned concurrency all break this
+//     silently, far from where a golden diff eventually points. Rules D001,
+//     D002, D003 and D004 turn each into a compile-time diagnostic with exact
+//     file:line blame.
+//
+//   - Zero-allocation hot paths: the event engine and timer wheel promise
+//     0 allocs/op in steady state. Rule A001 checks every function annotated
+//     `//paratick:noalloc` for allocation-prone constructs and requires the
+//     same annotation on its statically-resolved same-package callees, so an
+//     allocation cannot hide one call deep.
+//
+// Suppression: a finding that is deliberate carries a justification comment
+// on the same line or the line directly above it —
+//
+//	//lint:ignore D004 reason…   suppresses the named rule(s); a reason is
+//	                             mandatory (comma-separate several rules)
+//	//lint:ordered reason…       shorthand for D003: iteration order is
+//	                             harmless or handled here
+//
+// A directive without a reason does not suppress anything.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at an exact source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic vet-style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule run over a type-checked package.
+type Analyzer struct {
+	// Name is the rule identifier (D001…, A001…) used in diagnostics and
+	// suppression directives.
+	Name string
+	// Doc is a one-line description shown by paratick-vet -list.
+	Doc string
+	// Run reports the rule's findings in pkg. Suppression directives are
+	// applied by RunAnalyzers, not by the rule itself.
+	Run func(cfg *Config, pkg *Package) []Diagnostic
+}
+
+// Analyzers returns every registered rule, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{AnalyzerD001, AnalyzerD002, AnalyzerD003, AnalyzerD004, AnalyzerA001}
+}
+
+// Config scopes the rules to the project layout: which packages carry the
+// determinism contract and where concurrency is sanctioned.
+type Config struct {
+	// DeterministicPkgs are import paths of packages in which D001 (wall
+	// clock) applies: everything they compute must be a pure function of
+	// seeds and scenario parameters.
+	DeterministicPkgs []string
+	// ExemptFiles maps an import path to base filenames excluded from the
+	// deterministic-package rules (e.g. the parallel runner, which owns the
+	// sanctioned concurrency but never touches simulated state).
+	ExemptFiles map[string][]string
+	// ConcurrencyAllow lists where D004 permits goroutine launches and
+	// multi-case selects: either an import-path prefix ("mod/cmd/") or a
+	// single file ("mod/internal/experiment:runner.go").
+	ConcurrencyAllow []string
+}
+
+// DefaultConfig returns the paratick project policy for a module rooted at
+// import path modPath.
+func DefaultConfig(modPath string) *Config {
+	p := func(s string) string { return modPath + "/" + s }
+	return &Config{
+		DeterministicPkgs: []string{
+			p("internal/sim"), p("internal/guest"), p("internal/kvm"),
+			p("internal/core"), p("internal/sched"), p("internal/hw"),
+			p("internal/experiment"),
+		},
+		ExemptFiles: map[string][]string{
+			p("internal/experiment"): {"runner.go"},
+		},
+		ConcurrencyAllow: []string{
+			p("internal/experiment") + ":runner.go",
+			p("cmd") + "/",
+		},
+	}
+}
+
+// isDeterministicPkg reports whether the determinism rules apply to pkgPath.
+func (c *Config) isDeterministicPkg(pkgPath string) bool {
+	for _, p := range c.DeterministicPkgs {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// isExemptFile reports whether base (a file's base name) is excluded from
+// the deterministic-package rules in pkgPath.
+func (c *Config) isExemptFile(pkgPath, base string) bool {
+	for _, f := range c.ExemptFiles[pkgPath] {
+		if f == base {
+			return true
+		}
+	}
+	return false
+}
+
+// concurrencyAllowed reports whether D004 sanctions concurrency in the given
+// file of the given package.
+func (c *Config) concurrencyAllowed(pkgPath, base string) bool {
+	for _, entry := range c.ConcurrencyAllow {
+		if pkg, file, ok := strings.Cut(entry, ":"); ok {
+			if pkg == pkgPath && file == base {
+				return true
+			}
+			continue
+		}
+		if entry == pkgPath || strings.HasPrefix(pkgPath, strings.TrimSuffix(entry, "/")+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs the given rules over every package, drops findings
+// suppressed by a justification directive, and returns the remainder sorted
+// by (file, line, column, rule).
+func RunAnalyzers(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			for _, d := range a.Run(cfg, pkg) {
+				if !pkg.suppressed(d.Rule, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// Package is one type-checked, comment-bearing package under analysis.
+type Package struct {
+	// PkgPath is the import path ("paratick/internal/sim").
+	PkgPath string
+	// Dir is the package directory on disk.
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, sorted by filename.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// directives maps filename → line → rules suppressed there, built
+	// lazily from //lint: comments.
+	directives map[string]map[int][]string
+}
+
+// fileBase returns the base filename of the file containing pos.
+func (p *Package) fileBase(pos token.Pos) string {
+	return filepath.Base(p.Fset.Position(pos).Filename)
+}
+
+// position resolves a token.Pos.
+func (p *Package) position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// suppressed reports whether a justification directive on the diagnostic's
+// line, or the line directly above it, names the rule.
+func (p *Package) suppressed(rule string, pos token.Position) bool {
+	if p.directives == nil {
+		p.directives = parseDirectives(p.Fset, p.Files)
+	}
+	byLine := p.directives[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range byLine[l] {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseDirectives scans every comment for //lint:ignore and //lint:ordered
+// justifications. Directives without a reason are ignored: a suppression
+// must say why.
+func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	add := func(pos token.Position, rules []string) {
+		byLine := out[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int][]string)
+			out[pos.Filename] = byLine
+		}
+		byLine[pos.Line] = append(byLine[pos.Line], rules...)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				switch {
+				case strings.HasPrefix(text, "lint:ignore "):
+					fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore "))
+					if len(fields) < 2 {
+						continue // no reason given
+					}
+					add(fset.Position(c.Pos()), strings.Split(fields[0], ","))
+				case strings.HasPrefix(text, "lint:ordered "):
+					if strings.TrimSpace(strings.TrimPrefix(text, "lint:ordered ")) == "" {
+						continue
+					}
+					add(fset.Position(c.Pos()), []string{"D003"})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pkgNameOf returns the imported package an identifier refers to, or nil if
+// the identifier is not a package qualifier.
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.PkgName {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn
+	}
+	return nil
+}
+
+// qualifiedCallee resolves a selector expression to (package path, name) when
+// it references a package-level object of an imported package.
+func qualifiedCallee(info *types.Info, sel *ast.SelectorExpr) (string, string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn := pkgNameOf(info, id)
+	if pn == nil {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

@@ -1,0 +1,31 @@
+package a001
+
+import "fmt"
+
+// pool is a slab-style accumulator: appends into its fields are assumed
+// pool-managed by the surrounding design.
+type pool struct{ buf []int }
+
+//paratick:noalloc
+func (p *pool) put(x int) {
+	p.buf = append(p.buf, x)
+}
+
+// Fill exercises every sanctioned pattern: annotated same-package callee,
+// integer arithmetic, reslice capacity evidence, and an allocating panic
+// path (allocating while aborting is free).
+//
+//paratick:noalloc
+func Fill(p *pool, xs []int) int {
+	n := 0
+	for _, x := range xs {
+		p.put(x)
+		n += x
+	}
+	scratch := p.buf[:0]
+	scratch = append(scratch, n)
+	if n < 0 {
+		panic(fmt.Sprintf("impossible: %d", n))
+	}
+	return scratch[0]
+}

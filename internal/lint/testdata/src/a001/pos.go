@@ -1,0 +1,24 @@
+package a001
+
+import "fmt"
+
+//paratick:noalloc
+func Hot(xs []int) int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	fmt.Println(len(out))
+	m := map[string]int{}
+	helper()
+	return len(m)
+}
+
+func helper() {}
+
+// Box passes an int where an interface parameter is expected: one finding.
+//
+//paratick:noalloc
+func Box(sink func(any)) {
+	sink(42)
+}

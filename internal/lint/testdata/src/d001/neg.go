@@ -1,0 +1,8 @@
+package d001
+
+import "time"
+
+// Span does pure duration arithmetic: legal in deterministic packages.
+func Span(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}

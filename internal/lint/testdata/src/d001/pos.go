@@ -1,0 +1,10 @@
+package d001
+
+import "time"
+
+// Deadline reads the wall clock and sleeps: two findings.
+func Deadline() time.Time {
+	t := time.Now()
+	time.Sleep(time.Second)
+	return t
+}

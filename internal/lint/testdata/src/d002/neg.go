@@ -1,0 +1,9 @@
+package d002
+
+import "math/rand"
+
+// Seeded threads an explicitly seeded generator: legal.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

@@ -1,0 +1,9 @@
+package d002
+
+import "math/rand"
+
+// Roll uses the process-global RNG: two findings.
+func Roll() int {
+	rand.Seed(42)
+	return rand.Intn(6)
+}

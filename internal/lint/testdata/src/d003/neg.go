@@ -1,0 +1,34 @@
+package d003
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sorted collects keys and sorts them before use: the sanctioned pattern.
+func Sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Counts accumulates integers: order-independent, legal.
+func Counts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Justified documents why ordering is harmless; the directive suppresses
+// the finding.
+func Justified(m map[string]int) {
+	//lint:ordered demo fixture: output is consumed order-insensitively
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,20 @@
+package d003
+
+import "fmt"
+
+// Render prints a map in iteration order: one finding.
+func Render(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Total accumulates floats in map order (float addition is not
+// associative): one finding.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,10 @@
+package d004
+
+// Drain consumes one channel with a single-case select: deterministic,
+// legal.
+func Drain(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}

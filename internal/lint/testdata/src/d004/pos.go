@@ -1,0 +1,10 @@
+package d004
+
+// Fan launches a goroutine and races two channels: two findings.
+func Fan(a, b chan int) {
+	go func() { a <- 1 }()
+	select {
+	case <-a:
+	case <-b:
+	}
+}

@@ -1,0 +1,19 @@
+package ignore
+
+import "fmt"
+
+// Justified carries a reasoned directive: suppressed.
+func Justified(m map[string]int) {
+	//lint:ignore D003 fixture: order is irrelevant here
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// Unjustified carries a reasonless directive: NOT suppressed.
+func Unjustified(m map[string]int) {
+	//lint:ignore D003
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -92,6 +92,8 @@ type Counters struct {
 }
 
 // AddExit records one VM exit of the given reason.
+//
+//paratick:noalloc
 func (c *Counters) AddExit(r ExitReason) { c.Exits[r]++ }
 
 // TotalExits returns the total number of VM exits.

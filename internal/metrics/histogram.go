@@ -23,6 +23,8 @@ type Histogram struct {
 }
 
 // bucketOf maps a duration to its bucket index.
+//
+//paratick:noalloc
 func bucketOf(d sim.Time) int {
 	if d <= 1 {
 		return 0
@@ -32,6 +34,8 @@ func bucketOf(d sim.Time) int {
 
 // Observe records one duration. Negative durations clamp to zero (they would
 // indicate a model bug upstream; the histogram never corrupts).
+//
+//paratick:noalloc
 func (h *Histogram) Observe(d sim.Time) {
 	if d < 0 {
 		d = 0

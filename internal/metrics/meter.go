@@ -13,6 +13,8 @@ type Meter struct {
 
 // AddRun records one completed simulation run that dispatched the given
 // number of engine events.
+//
+//paratick:noalloc
 func (m *Meter) AddRun(events uint64) {
 	if m == nil {
 		return

@@ -29,6 +29,8 @@ type Event struct {
 }
 
 // live reports whether the handle still refers to a queued event.
+//
+//paratick:noalloc
 func (ev Event) live() bool {
 	return ev.n != nil && ev.n.gen == ev.gen && ev.n.index >= 0
 }
@@ -57,6 +59,8 @@ func (ev Event) Pending() bool { return ev.live() }
 
 // less orders the event heap by (when, seq). The seq tie-break makes event
 // ordering — and therefore entire simulations — deterministic.
+//
+//paratick:noalloc
 func less(a, b *node) bool {
 	if a.when != b.when {
 		return a.when < b.when
@@ -128,6 +132,8 @@ func (e *Engine) Fired() uint64 { return e.fired }
 const eventSlab = 64
 
 // acquire returns a node from the free list, refilling it a slab at a time.
+//
+//paratick:noalloc
 func (e *Engine) acquire() *node {
 	if n := len(e.free); n > 0 {
 		nd := e.free[n-1]
@@ -135,6 +141,7 @@ func (e *Engine) acquire() *node {
 		e.free = e.free[:n-1]
 		return nd
 	}
+	//lint:ignore A001 slab refill: one allocation amortized over eventSlab schedules, absent in steady state
 	slab := make([]node, eventSlab)
 	for i := 1; i < eventSlab; i++ {
 		e.free = append(e.free, &slab[i])
@@ -144,6 +151,8 @@ func (e *Engine) acquire() *node {
 
 // release recycles a fired or canceled node. Clearing fn and label drops
 // closure and string references so the pool never retains guest state.
+//
+//paratick:noalloc
 func (e *Engine) release(nd *node) {
 	nd.gen++
 	nd.fn = nil
@@ -152,6 +161,8 @@ func (e *Engine) release(nd *node) {
 }
 
 // siftUp moves queue[i] toward the root until the heap order holds.
+//
+//paratick:noalloc
 func (e *Engine) siftUp(i int) {
 	q := e.queue
 	nd := q[i]
@@ -170,6 +181,8 @@ func (e *Engine) siftUp(i int) {
 }
 
 // siftDown moves queue[i] toward the leaves until the heap order holds.
+//
+//paratick:noalloc
 func (e *Engine) siftDown(i int) {
 	q := e.queue
 	n := len(q)
@@ -195,6 +208,8 @@ func (e *Engine) siftDown(i int) {
 }
 
 // push appends nd and restores the heap order.
+//
+//paratick:noalloc
 func (e *Engine) push(nd *node) {
 	nd.index = len(e.queue)
 	e.queue = append(e.queue, nd)
@@ -202,6 +217,8 @@ func (e *Engine) push(nd *node) {
 }
 
 // popMin removes and returns the earliest node.
+//
+//paratick:noalloc
 func (e *Engine) popMin() *node {
 	q := e.queue
 	root := q[0]
@@ -217,6 +234,8 @@ func (e *Engine) popMin() *node {
 }
 
 // remove deletes nd from an arbitrary heap position.
+//
+//paratick:noalloc
 func (e *Engine) remove(nd *node) {
 	q := e.queue
 	i := nd.index
@@ -241,6 +260,8 @@ func (e *Engine) remove(nd *node) {
 // At schedules fn to run at absolute time when. Scheduling in the past
 // panics: it always indicates a model bug, and silently reordering time
 // would corrupt every metric downstream.
+//
+//paratick:noalloc
 func (e *Engine) At(when Time, label string, fn Handler) Event {
 	if fn == nil {
 		panic("sim: nil event handler")
@@ -259,6 +280,8 @@ func (e *Engine) At(when Time, label string, fn Handler) Event {
 }
 
 // After schedules fn to run delay nanoseconds from now.
+//
+//paratick:noalloc
 func (e *Engine) After(delay Time, label string, fn Handler) Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", delay, label))
@@ -268,6 +291,8 @@ func (e *Engine) After(delay Time, label string, fn Handler) Event {
 
 // Cancel removes a pending event from the queue. Canceling a zero, fired,
 // or already-canceled handle is a harmless no-op and returns false.
+//
+//paratick:noalloc
 func (e *Engine) Cancel(ev Event) bool {
 	if !ev.live() {
 		return false
@@ -279,6 +304,8 @@ func (e *Engine) Cancel(ev Event) bool {
 
 // Step dispatches the single earliest event. It returns false when the queue
 // is empty.
+//
+//paratick:noalloc
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
