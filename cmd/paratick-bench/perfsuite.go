@@ -37,6 +37,8 @@ type perfSuiteReport struct {
 // testing.Benchmark, prints the table, optionally writes the report JSON,
 // and — when a baseline is given — fails if any kernel regressed by more
 // than the threshold in ns/op or allocates more than the baseline at all.
+// Each kernel's absolute allocs/op ceiling (Kernel.MaxAllocs) is enforced
+// unconditionally, baseline or not.
 func runPerfSuite(w io.Writer, outPath, baselinePath string, threshold float64) error {
 	if threshold <= 0 {
 		return fmt.Errorf("perf-threshold must be positive, got %g", threshold)
@@ -47,6 +49,7 @@ func runPerfSuite(w io.Writer, outPath, baselinePath string, threshold float64) 
 		GOOS:      runtime.GOOS,
 	}
 	fmt.Fprintln(w, "== perf suite ==")
+	var ceilingFailures []string
 	for _, k := range perf.Kernels() {
 		r := testing.Benchmark(k.Fn)
 		if r.N == 0 {
@@ -69,6 +72,17 @@ func runPerfSuite(w io.Writer, outPath, baselinePath string, threshold float64) 
 			fmt.Fprintf(w, " %14.0f events/sec", res.EventsPerSec)
 		}
 		fmt.Fprintln(w)
+		if k.MaxAllocs >= 0 && res.AllocsPerOp > k.MaxAllocs {
+			ceilingFailures = append(ceilingFailures, fmt.Sprintf(
+				"%s: %d allocs/op exceeds the ceiling of %d",
+				res.Name, res.AllocsPerOp, k.MaxAllocs))
+		}
+	}
+	if len(ceilingFailures) > 0 {
+		for _, f := range ceilingFailures {
+			fmt.Fprintln(w, "FAIL:", f)
+		}
+		return fmt.Errorf("perf suite exceeded %d allocation ceiling(s)", len(ceilingFailures))
 	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

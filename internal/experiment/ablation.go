@@ -134,7 +134,7 @@ func RunIdleExitAblation(opts Options) (*AblationResult, error) {
 		{"paratick (disarm on idle exit)", core.Paratick, core.Options{DisarmOnIdleExit: true}},
 	}
 	results, err := runParallel(opts.WorkerCount(), len(variants),
-		func(i int) (metrics.Result, error) {
+		func(i int, a *arena) (metrics.Result, error) {
 			v := variants[i]
 			spec := Spec{
 				Name:        "ablation-idle-exit/" + v.name,
@@ -144,7 +144,7 @@ func RunIdleExitAblation(opts Options) (*AblationResult, error) {
 				SchedPolicy: opts.SchedPolicy,
 				Setup:       setup,
 			}
-			return run(spec, opts.Seed, opts.Meter)
+			return run(spec, opts.Seed, opts.Meter, a)
 		})
 	if err != nil {
 		return nil, err
@@ -177,7 +177,7 @@ func RunFrequencyMismatchAblation(opts Options) (*AblationResult, error) {
 		{"paratick 1000Hz, top-up", true},
 	}
 	results, err := runParallel(opts.WorkerCount(), len(variants),
-		func(i int) (metrics.Result, error) {
+		func(i int, a *arena) (metrics.Result, error) {
 			v := variants[i]
 			spec := Spec{
 				Name:        "ablation-freq/" + v.name,
@@ -189,7 +189,7 @@ func RunFrequencyMismatchAblation(opts Options) (*AblationResult, error) {
 				SchedPolicy: opts.SchedPolicy,
 				Setup:       setup,
 			}
-			return run(spec, opts.Seed, opts.Meter)
+			return run(spec, opts.Seed, opts.Meter, a)
 		})
 	if err != nil {
 		return nil, err
@@ -209,7 +209,7 @@ func RunHaltPollAblation(opts Options) (*AblationResult, error) {
 	res := &AblationResult{Title: "Ablation: KVM halt polling (fio rndr 4k, dynticks)"}
 	windows := []sim.Time{0, 50 * sim.Microsecond, 200 * sim.Microsecond}
 	results, err := runParallel(opts.WorkerCount(), len(windows),
-		func(i int) (metrics.Result, error) {
+		func(i int, a *arena) (metrics.Result, error) {
 			hp := windows[i]
 			spec := Spec{
 				Name:        fmt.Sprintf("ablation-haltpoll/%v", hp),
@@ -219,7 +219,7 @@ func RunHaltPollAblation(opts Options) (*AblationResult, error) {
 				SchedPolicy: opts.SchedPolicy,
 				Setup:       fioSetup(opts),
 			}
-			return run(spec, opts.Seed, opts.Meter)
+			return run(spec, opts.Seed, opts.Meter, a)
 		})
 	if err != nil {
 		return nil, err
@@ -285,7 +285,7 @@ func RunPLEAblation(opts Options) (*AblationResult, error) {
 		{"spin 25us, PLE 10us window", 25 * sim.Microsecond, 10 * sim.Microsecond},
 	}
 	results, err := runParallel(opts.WorkerCount(), len(variants),
-		func(vi int) (metrics.Result, error) {
+		func(vi int, a *arena) (metrics.Result, error) {
 			v := variants[vi]
 			spec := Spec{
 				Name:         "ple/" + v.name,
@@ -302,7 +302,7 @@ func RunPLEAblation(opts Options) (*AblationResult, error) {
 					return nil
 				},
 			}
-			return run(spec, opts.Seed, opts.Meter)
+			return run(spec, opts.Seed, opts.Meter, a)
 		})
 	if err != nil {
 		return nil, err
@@ -328,7 +328,7 @@ func RunCoalescingAblation(opts Options) (*AblationResult, error) {
 	windows := []sim.Time{0, 30 * sim.Microsecond}
 	modes := []core.Mode{core.DynticksIdle, core.Paratick}
 	results, err := runParallel(opts.WorkerCount(), len(windows)*len(modes),
-		func(i int) (metrics.Result, error) {
+		func(i int, a *arena) (metrics.Result, error) {
 			coalesce, mode := windows[i/len(modes)], modes[i%len(modes)]
 			dev := opts.Device
 			dev.CoalesceWindow = coalesce
@@ -346,7 +346,7 @@ func RunCoalescingAblation(opts Options) (*AblationResult, error) {
 					return job.Spawn(vm.Kernel(), d)
 				},
 			}
-			return run(spec, opts.Seed, opts.Meter)
+			return run(spec, opts.Seed, opts.Meter, a)
 		})
 	if err != nil {
 		return nil, err

@@ -109,8 +109,8 @@ func RunConsolidation(opts Options) (*ConsolidationResult, error) {
 	res := &ConsolidationResult{Duration: dur}
 	modes := []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick}
 	rows, err := runParallel(opts.WorkerCount(), len(modes),
-		func(i int) (ConsolidationRow, error) {
-			return runConsolidationMode(opts, modes[i], dur)
+		func(i int, a *arena) (ConsolidationRow, error) {
+			return runConsolidationMode(opts, modes[i], dur, a)
 		})
 	if err != nil {
 		return nil, err
@@ -119,8 +119,8 @@ func RunConsolidation(opts Options) (*ConsolidationResult, error) {
 	return res, nil
 }
 
-func runConsolidationMode(opts Options, mode core.Mode, dur sim.Time) (ConsolidationRow, error) {
-	sr, err := runScenario(consolidationScenario(opts, mode, dur), opts.Seed, opts.Meter)
+func runConsolidationMode(opts Options, mode core.Mode, dur sim.Time, a *arena) (ConsolidationRow, error) {
+	sr, err := runScenario(consolidationScenario(opts, mode, dur), opts.Seed, opts.Meter, a)
 	if err != nil {
 		return ConsolidationRow{}, err
 	}

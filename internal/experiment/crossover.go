@@ -103,7 +103,7 @@ func RunCrossover(opts Options) (*CrossoverResult, error) {
 	modes := []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick}
 	// Flatten the (idle period, mode) grid into independent parallel jobs.
 	exits, err := runParallel(opts.WorkerCount(), len(idles)*len(modes),
-		func(i int) (uint64, error) {
+		func(i int, a *arena) (uint64, error) {
 			idle, mode := idles[i/len(modes)], modes[i%len(modes)]
 			spec := Spec{
 				Name:        fmt.Sprintf("crossover/%v/%v", idle, mode),
@@ -122,7 +122,7 @@ func RunCrossover(opts Options) (*CrossoverResult, error) {
 					return nil
 				},
 			}
-			r, err := run(spec, opts.Seed, opts.Meter)
+			r, err := run(spec, opts.Seed, opts.Meter, a)
 			if err != nil {
 				return 0, err
 			}

@@ -35,7 +35,7 @@ func runFig4Once(opts Options) (*ParsecFigure, error) {
 	fig := &ParsecFigure{Title: "Figure 4: sequential PARSEC (1 vCPU)"}
 	profiles := workload.Profiles()
 	comps, err := runParallel(opts.WorkerCount(), len(profiles),
-		func(i int) (metrics.Comparison, error) {
+		func(i int, a *arena) (metrics.Comparison, error) {
 			p := profiles[i]
 			spec := Spec{
 				Name:        "parsec-seq/" + p.Name,
@@ -54,7 +54,7 @@ func runFig4Once(opts Options) (*ParsecFigure, error) {
 					return nil
 				},
 			}
-			cmp, err := compareModes(spec, opts.Seed, opts.Meter)
+			cmp, err := compareModes(spec, opts.Seed, opts.Meter, a)
 			if err != nil {
 				return metrics.Comparison{}, err
 			}
@@ -102,7 +102,7 @@ func runFig5SizeOnce(opts Options, size VMSize) (*ParsecFigure, error) {
 		size.Name, size.VCPUs, size.Sockets)}
 	profiles := workload.Profiles()
 	comps, err := runParallel(opts.WorkerCount(), len(profiles),
-		func(i int) (metrics.Comparison, error) {
+		func(i int, a *arena) (metrics.Comparison, error) {
 			p := profiles[i]
 			spec := Spec{
 				Name:        "parsec-par/" + size.Name + "/" + p.Name,
@@ -118,7 +118,7 @@ func runFig5SizeOnce(opts Options, size VMSize) (*ParsecFigure, error) {
 					return err
 				},
 			}
-			cmp, err := compareModes(spec, opts.Seed, opts.Meter)
+			cmp, err := compareModes(spec, opts.Seed, opts.Meter, a)
 			if err != nil {
 				return metrics.Comparison{}, err
 			}
@@ -156,7 +156,7 @@ func repeatFigure(opts Options, once func(Options) (*ParsecFigure, error)) (*Par
 	if n == 1 {
 		return once(opts)
 	}
-	figs, err := runParallel(opts.WorkerCount(), n, func(r int) (*ParsecFigure, error) {
+	figs, err := runParallel(opts.WorkerCount(), n, func(r int, _ *arena) (*ParsecFigure, error) {
 		o := opts
 		o.Seed = opts.Seed + uint64(r)
 		return once(o)

@@ -72,8 +72,8 @@ func RunFig6(opts Options) (*FioFigure, error) {
 	// job; cells are regrouped by index, keeping category order identical to
 	// the serial nested loops.
 	cells, err := runParallel(opts.WorkerCount(), len(patterns)*len(sizes),
-		func(i int) (FioCell, error) {
-			return runFioCell(opts, patterns[i/len(sizes)], sizes[i%len(sizes)])
+		func(i int, a *arena) (FioCell, error) {
+			return runFioCell(opts, patterns[i/len(sizes)], sizes[i%len(sizes)], a)
 		})
 	if err != nil {
 		return nil, err
@@ -98,7 +98,7 @@ func RunFig6(opts Options) (*FioFigure, error) {
 	return fig, nil
 }
 
-func runFioCell(opts Options, pat workload.FioPattern, bs int) (FioCell, error) {
+func runFioCell(opts Options, pat workload.FioPattern, bs int, a *arena) (FioCell, error) {
 	job := workload.DefaultFioJob(pat, bs, fioTotalBytes(bs, opts.Scale))
 	spec := Spec{
 		Name:        fmt.Sprintf("fio/%s/%dk", pat, bs/1024),
@@ -114,13 +114,13 @@ func runFioCell(opts Options, pat workload.FioPattern, bs int) (FioCell, error) 
 	}
 	base := spec
 	base.Mode = core.DynticksIdle
-	baseRes, err := run(base, opts.Seed, opts.Meter)
+	baseRes, err := run(base, opts.Seed, opts.Meter, a)
 	if err != nil {
 		return FioCell{}, err
 	}
 	para := spec
 	para.Mode = core.Paratick
-	paraRes, err := run(para, opts.Seed, opts.Meter)
+	paraRes, err := run(para, opts.Seed, opts.Meter, a)
 	if err != nil {
 		return FioCell{}, err
 	}

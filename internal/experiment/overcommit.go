@@ -130,10 +130,10 @@ func RunOvercommit(opts Options) (*OvercommitResult, error) {
 		}
 	}
 	cells, err := runParallel(opts.WorkerCount(), len(keys),
-		func(i int) (OvercommitCell, error) {
+		func(i int, a *arena) (OvercommitCell, error) {
 			k := keys[i]
 			sr, err := runScenario(overcommitScenario(opts, k.ratio, k.mode, k.policy, dur),
-				opts.Seed, opts.Meter)
+				opts.Seed, opts.Meter, a)
 			if err != nil {
 				return OvercommitCell{}, err
 			}

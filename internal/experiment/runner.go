@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"paratick/internal/core"
+	"paratick/internal/guest"
 	"paratick/internal/iodev"
 	"paratick/internal/kvm"
 	"paratick/internal/metrics"
@@ -68,20 +69,58 @@ func (o Options) WorkerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// arena is per-worker scratch reused across the independent runs one worker
+// executes serially. The dominant construction cost of a run is its
+// sim.Engine — the wheel bucket arrays and event slab — which Engine.Reset
+// retains across runs. Arenas are never shared between workers, so runs stay
+// race-free, and a run's observable behaviour depends only on its seed (the
+// engine resets to an identical state either way), keeping output
+// byte-identical for any worker count.
+type arena struct {
+	engine *sim.Engine
+	wheels guest.WheelPool
+}
+
+// wheelPool exposes the arena's wheel pool (nil arena → nil pool, meaning
+// freshly allocated wheels).
+func (a *arena) wheelPool() *guest.WheelPool {
+	if a == nil {
+		return nil
+	}
+	return &a.wheels
+}
+
+// engineFor returns the arena's engine reset to seed, creating it on first
+// use. A nil arena (one-off runs outside a worker pool) builds a fresh
+// engine.
+func (a *arena) engineFor(seed uint64) *sim.Engine {
+	if a == nil {
+		return sim.NewEngine(seed)
+	}
+	if a.engine == nil {
+		a.engine = sim.NewEngine(seed)
+	} else {
+		a.engine.Reset(seed)
+	}
+	return a.engine
+}
+
 // runParallel executes n independent jobs across at most workers goroutines
 // and assembles the results by index, so output ordering — and therefore
 // every rendered table — is identical to a serial loop. Jobs must not share
-// mutable state; each experiment run builds its own sim.Engine, host, and
-// VMs. On failure the error of the lowest-index failing job is returned,
+// mutable state; each experiment run builds its own host and VMs, drawing
+// scratch (the reused sim.Engine) only from the worker-private arena it is
+// handed. On failure the error of the lowest-index failing job is returned,
 // keeping even the error path deterministic.
-func runParallel[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+func runParallel[T any](workers, n int, job func(i int, a *arena) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		var a arena
 		for i := 0; i < n; i++ {
-			v, err := job(i)
+			v, err := job(i, &a)
 			if err != nil {
 				return nil, err
 			}
@@ -96,12 +135,13 @@ func runParallel[T any](workers, n int, job func(i int) (T, error)) ([]T, error)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var a arena
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = job(i)
+				out[i], errs[i] = job(i, &a)
 			}
 		}()
 	}
@@ -187,18 +227,19 @@ func (spec Spec) scenario() Scenario {
 
 // Run executes one spec and returns its result.
 func Run(spec Spec, seed uint64) (metrics.Result, error) {
-	return run(spec, seed, nil)
+	return run(spec, seed, nil, nil)
 }
 
-// run is Run with telemetry: engine event counts go to m (which may be nil).
-func run(spec Spec, seed uint64, m *metrics.Meter) (metrics.Result, error) {
+// run is Run with telemetry (engine event counts go to m, which may be nil)
+// and an optional worker arena providing the reused engine.
+func run(spec Spec, seed uint64, m *metrics.Meter, a *arena) (metrics.Result, error) {
 	if spec.Setup == nil && spec.Duration == 0 {
 		return metrics.Result{}, fmt.Errorf("experiment %s: no workload and no duration", spec.Name)
 	}
 	if spec.VCPUs <= 0 {
 		return metrics.Result{}, fmt.Errorf("experiment %s: need vCPUs", spec.Name)
 	}
-	res, err := runScenario(spec.scenario(), seed, m)
+	res, err := runScenario(spec.scenario(), seed, m, a)
 	if err != nil {
 		return metrics.Result{}, err
 	}
@@ -208,20 +249,20 @@ func run(spec Spec, seed uint64, m *metrics.Meter) (metrics.Result, error) {
 // CompareModes runs the spec under the dynticks baseline and paratick and
 // returns the paper's relative metrics.
 func CompareModes(spec Spec, seed uint64) (metrics.Comparison, error) {
-	return compareModes(spec, seed, nil)
+	return compareModes(spec, seed, nil, nil)
 }
 
-// compareModes is CompareModes with telemetry.
-func compareModes(spec Spec, seed uint64, m *metrics.Meter) (metrics.Comparison, error) {
+// compareModes is CompareModes with telemetry and an optional worker arena.
+func compareModes(spec Spec, seed uint64, m *metrics.Meter, a *arena) (metrics.Comparison, error) {
 	base := spec
 	base.Mode = core.DynticksIdle
-	baseRes, err := run(base, seed, m)
+	baseRes, err := run(base, seed, m, a)
 	if err != nil {
 		return metrics.Comparison{}, err
 	}
 	opt := spec
 	opt.Mode = core.Paratick
-	optRes, err := run(opt, seed, m)
+	optRes, err := run(opt, seed, m, a)
 	if err != nil {
 		return metrics.Comparison{}, err
 	}

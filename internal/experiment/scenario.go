@@ -84,18 +84,19 @@ func (s Scenario) Validate() error {
 
 // RunScenario executes the scenario and returns per-VM results.
 func RunScenario(s Scenario, seed uint64) (*ScenarioResult, error) {
-	return runScenario(s, seed, nil)
+	return runScenario(s, seed, nil, nil)
 }
 
-// runScenario is RunScenario with telemetry. The construction order is
-// load-bearing for reproducibility: each VM is created and set up in VMSpec
-// order (kernel and device creation fork the engine's RNG), then all VMs
-// start in the same order, exactly as the pre-scenario runners did.
-func runScenario(s Scenario, seed uint64, m *metrics.Meter) (*ScenarioResult, error) {
+// runScenario is RunScenario with telemetry and an optional worker arena
+// supplying the reused engine. The construction order is load-bearing for
+// reproducibility: each VM is created and set up in VMSpec order (kernel and
+// device creation fork the engine's RNG), then all VMs start in the same
+// order, exactly as the pre-scenario runners did.
+func runScenario(s Scenario, seed uint64, m *metrics.Meter, a *arena) (*ScenarioResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	engine := sim.NewEngine(seed)
+	engine := a.engineFor(seed)
 	cfg := kvm.DefaultConfig()
 	if s.Topology.Sockets > 0 {
 		cfg.Topology = s.Topology
@@ -131,6 +132,7 @@ func runScenario(s Scenario, seed uint64, m *metrics.Meter) (*ScenarioResult, er
 		gcfg.Mode = vs.Mode
 		gcfg.PolicyOpts = vs.PolicyOpts
 		gcfg.AdaptiveSpin = vs.AdaptiveSpin
+		gcfg.Wheels = a.wheelPool()
 		if vs.GuestHz > 0 {
 			gcfg.TickHz = vs.GuestHz
 		}
@@ -188,6 +190,11 @@ func runScenario(s Scenario, seed uint64, m *metrics.Meter) (*ScenarioResult, er
 		res := vm.Result(s.VMs[i].Name)
 		res.Events = out.Events
 		out.Results = append(out.Results, res)
+	}
+	if pool := a.wheelPool(); pool != nil {
+		for _, vm := range vms {
+			pool.ReleaseAll(vm.Kernel())
+		}
 	}
 	return out, nil
 }

@@ -50,14 +50,14 @@ func RunTable1(opts Options) (*Table1Result, error) {
 	// Flatten the (workload, mode) grid into independent parallel jobs and
 	// regroup by index.
 	exits, err := runParallel(opts.WorkerCount(), len(workloads)*len(modes),
-		func(i int) (uint64, error) {
+		func(i int, a *arena) (uint64, error) {
 			w := workloads[i/len(modes)]
 			nVMs := 1
 			if w == "W2" || w == "W4" {
 				nVMs = 4
 			}
 			sync := w == "W3" || w == "W4"
-			return runTable1Workload(opts, modes[i%len(modes)], nVMs, sync, dur)
+			return runTable1Workload(opts, modes[i%len(modes)], nVMs, sync, dur, a)
 		})
 	if err != nil {
 		return nil, err
@@ -77,7 +77,7 @@ func RunTable1(opts Options) (*Table1Result, error) {
 
 // runTable1Workload simulates nVMs 16-vCPU VMs (idle, or running the §3.3
 // blocking-sync workload) for dur and returns total timer-related exits.
-func runTable1Workload(opts Options, mode core.Mode, nVMs int, sync bool, dur sim.Time) (uint64, error) {
+func runTable1Workload(opts Options, mode core.Mode, nVMs int, sync bool, dur sim.Time, a *arena) (uint64, error) {
 	// All VMs span the 16 pCPUs (vCPU i on pCPU i) — the overcommitted
 	// consolidation scenario of §3.1.
 	placement := make([]hw.CPUID, 16)
@@ -101,7 +101,7 @@ func runTable1Workload(opts Options, mode core.Mode, nVMs int, sync bool, dur si
 		}
 		s.VMs = append(s.VMs, vs)
 	}
-	sr, err := runScenario(s, opts.Seed, opts.Meter)
+	sr, err := runScenario(s, opts.Seed, opts.Meter, a)
 	if err != nil {
 		return 0, err
 	}

@@ -31,6 +31,10 @@ type Config struct {
 	// before blocking (Linux mutex optimistic spinning). 0 = block
 	// immediately, the pure blocking synchronization the paper evaluates.
 	AdaptiveSpin sim.Time
+	// Wheels, when non-nil, supplies recycled per-vCPU timer wheels. The
+	// experiment layer points it at a worker-private pool; nil allocates
+	// fresh wheels (identical behaviour, more garbage).
+	Wheels *WheelPool
 }
 
 // DefaultConfig returns the paper's guest configuration: 250 Hz dynticks.
@@ -82,6 +86,44 @@ type Kernel struct {
 	// OnAllDone fires when the last live task finishes — the workload's
 	// completion instant (the paper's "execution time" metric endpoint).
 	OnAllDone func(now sim.Time)
+
+	// segFree pools Segment objects: every unit of guest execution used to
+	// be a fresh heap literal, which made segment churn the second-largest
+	// allocation source in whole-experiment profiles. Segments cycle
+	// acquire → queue → issue → release (at the vCPU's next fetch).
+	segFree []*Segment
+}
+
+// segSlab is how many segments are allocated at once when the pool runs
+// dry; one allocation amortizes over a slab's worth of queued segments.
+const segSlab = 64
+
+// acquireSeg returns a zeroed segment from the pool, refilling it a slab at
+// a time.
+//
+//paratick:noalloc
+func (k *Kernel) acquireSeg() *Segment {
+	if n := len(k.segFree); n > 0 {
+		s := k.segFree[n-1]
+		k.segFree[n-1] = nil
+		k.segFree = k.segFree[:n-1]
+		return s
+	}
+	//lint:ignore A001 slab refill: one allocation amortized over segSlab segments, absent in steady state
+	slab := make([]Segment, segSlab)
+	for i := 1; i < segSlab; i++ {
+		k.segFree = append(k.segFree, &slab[i])
+	}
+	return &slab[0]
+}
+
+// releaseSeg recycles a fully consumed segment. Zeroing drops the OnDone
+// closure, device, and request references so the pool retains no state.
+//
+//paratick:noalloc
+func (k *Kernel) releaseSeg(s *Segment) {
+	*s = Segment{}
+	k.segFree = append(k.segFree, s)
 }
 
 // NewKernel creates a guest kernel recording into counters.
@@ -124,7 +166,9 @@ func (k *Kernel) AddVCPU() *VCPU {
 		kernel:        k,
 		id:            id,
 		policy:        core.NewPolicy(k.cfg.Mode, k.cfg.PolicyOpts),
-		wheel:         NewTimerWheel(k.cfg.TickPeriod()),
+		wheel:         k.cfg.Wheels.acquire(k.cfg.TickPeriod()),
+		queue:         make([]*Segment, 0, 64),
+		runq:          make([]*Task, 0, 16),
 		timerDeadline: sim.Forever,
 		rcuDeadline:   sim.Forever,
 		lastTickAt:    -1,
@@ -147,7 +191,7 @@ func (k *Kernel) Devices() []*iodev.Device { return k.devices }
 
 // NewLock creates a guest-level blocking mutex.
 func (k *Kernel) NewLock(name string) *Lock {
-	return &Lock{kernel: k, name: name}
+	return &Lock{kernel: k, name: name, blockReason: "lock:" + name}
 }
 
 // NewBarrier creates a guest-level barrier for parties tasks.
@@ -155,7 +199,7 @@ func (k *Kernel) NewBarrier(name string, parties int) *Barrier {
 	if parties <= 0 {
 		panic(fmt.Sprintf("guest: barrier %q needs positive parties, got %d", name, parties))
 	}
-	return &Barrier{kernel: k, name: name, parties: parties}
+	return &Barrier{kernel: k, name: name, blockReason: "barrier:" + name, parties: parties}
 }
 
 // Spawn creates a task running prog, pinned to the given vCPU. Tasks are
@@ -176,6 +220,15 @@ func (k *Kernel) Spawn(name string, vcpu int, prog Program) *Task {
 		rng:       k.rng.Fork(uint64(len(k.tasks)) + 0x7a5c),
 		startedAt: k.engine.Now(),
 	}
+	// Pre-bind the task's hot-path callbacks once: a run segment completes
+	// and a sleep timer fires millions of times per run, and a closure
+	// literal per occurrence dominated allocation profiles. Tasks never
+	// migrate (t.vcpu is their home for life), so binding the vCPU is safe.
+	t.runDoneFn = func() {
+		t.remaining = 0
+		t.vcpu.stepComplete(t)
+	}
+	t.sleepFireFn = func(sim.Time) { k.wake(t, t.vcpu) }
 	k.tasks = append(k.tasks, t)
 	k.liveTasks++
 	t.vcpu.runq = append(t.vcpu.runq, t)

@@ -8,10 +8,14 @@ package guest
 
 // Lock is a guest-level blocking mutex with direct handoff.
 type Lock struct {
-	kernel  *Kernel
-	name    string
-	holder  *Task
-	waiters []*Task
+	kernel *Kernel
+	name   string
+	// blockReason is the precomputed BlockReason string for waiters;
+	// building "lock:"+name per contended acquisition allocated on a hot
+	// path.
+	blockReason string
+	holder      *Task
+	waiters     []*Task
 
 	acquisitions uint64
 	contended    uint64
@@ -84,7 +88,14 @@ type Barrier struct {
 	kernel  *Kernel
 	name    string
 	parties int
-	waiting []*Task
+	// blockReason is the precomputed BlockReason string for waiters.
+	blockReason string
+	waiting     []*Task
+	// spare is the previous cycle's waiting buffer, recycled so each release
+	// does not abandon the array. Safe because the returned toWake slice is
+	// consumed synchronously (the caller wakes every task before any of them
+	// can re-arrive).
+	spare []*Task
 
 	cycles uint64
 }
@@ -103,10 +114,13 @@ func (b *Barrier) Cycles() uint64 { return b.cycles }
 
 // arrive registers t. If t completes the party, it returns the tasks to
 // wake (everyone else) and releaseAll=true; otherwise t must block.
+//
+//paratick:noalloc
 func (b *Barrier) arrive(t *Task) (toWake []*Task, releaseAll bool) {
 	if len(b.waiting)+1 >= b.parties {
 		toWake = b.waiting
-		b.waiting = nil
+		b.waiting = b.spare[:0]
+		b.spare = toWake
 		b.cycles++
 		return toWake, true
 	}
@@ -117,13 +131,16 @@ func (b *Barrier) arrive(t *Task) (toWake []*Task, releaseAll bool) {
 // detach removes one party from the barrier — a participating task is
 // exiting. If the remaining waiters now complete a cycle, they are
 // released; the returned tasks must be woken by the caller.
+//
+//paratick:noalloc
 func (b *Barrier) detach() (toWake []*Task) {
 	if b.parties > 0 {
 		b.parties--
 	}
 	if b.parties > 0 && len(b.waiting) >= b.parties {
 		toWake = b.waiting
-		b.waiting = nil
+		b.waiting = b.spare[:0]
+		b.spare = toWake
 		b.cycles++
 	}
 	return toWake
@@ -136,10 +153,11 @@ func (b *Barrier) detach() (toWake []*Task) {
 // the primitive behind the producer/consumer queues of the pipeline PARSEC
 // workloads (dedup, ferret) whose blocking behaviour §3.2 analyzes.
 type Cond struct {
-	kernel  *Kernel
-	name    string
-	lock    *Lock
-	waiters []*Task
+	kernel      *Kernel
+	name        string
+	blockReason string
+	lock        *Lock
+	waiters     []*Task
 
 	waits   uint64
 	signals uint64
@@ -150,7 +168,7 @@ func (k *Kernel) NewCond(name string, l *Lock) *Cond {
 	if l == nil {
 		panic("guest: NewCond with nil lock")
 	}
-	return &Cond{kernel: k, name: name, lock: l}
+	return &Cond{kernel: k, name: name, blockReason: "cond:" + name, lock: l}
 }
 
 // Name returns the condvar's diagnostic name.

@@ -184,6 +184,11 @@ type Task struct {
 	// wakePending marks a wakeup that raced with block bookkeeping.
 	sleepTimer SoftTimer
 
+	// runDoneFn and sleepFireFn are pre-bound in Spawn so the run-segment
+	// and sleep paths never allocate a closure per event.
+	runDoneFn   func()
+	sleepFireFn func(sim.Time)
+
 	startedAt  sim.Time
 	finishedAt sim.Time
 }

@@ -44,6 +44,21 @@ type VCPU struct {
 	// emit, when non-nil, redirects queued segments (used to order
 	// interrupt-handler segments ahead of preempted work).
 	emit *[]*Segment
+
+	// issued is the segment most recently handed to the hypervisor; it is
+	// returned to the kernel's pool when the next segment is fetched (by
+	// then the hypervisor has fully consumed it — completed, preempted, or
+	// aborted it).
+	issued *Segment
+
+	// irqScratch is collect's reusable buffer for interrupt-handler
+	// segments; its contents are copied into the queue before the next
+	// collect call.
+	irqScratch []*Segment
+
+	// stepCtx is the reusable context handed to task programs; programs
+	// read it during Next and must not retain it.
+	stepCtx StepCtx
 }
 
 // ID returns the vCPU index within its VM.
@@ -82,7 +97,11 @@ func (v *VCPU) ArmTimer(deadline sim.Time) {
 	v.timerDeadline = deadline
 	v.kernel.counters.TimerArms++
 	v.addKernelSeg(v.kernel.cost.GuestTimerProgram, "timer-program")
-	v.queueSeg(&Segment{Kind: SegMSRWrite, Deadline: deadline, Label: "arm"})
+	s := v.kernel.acquireSeg()
+	s.Kind = SegMSRWrite
+	s.Deadline = deadline
+	s.Label = "arm"
+	v.queueSeg(s)
 }
 
 // StopTimer disarms the deadline timer (an MSR write of 0).
@@ -91,7 +110,11 @@ func (v *VCPU) StopTimer() {
 	v.timerDeadline = sim.Forever
 	v.kernel.counters.TimerArms++
 	v.addKernelSeg(v.kernel.cost.GuestTimerProgram, "timer-stop")
-	v.queueSeg(&Segment{Kind: SegMSRWrite, Deadline: sim.Forever, Label: "stop"})
+	s := v.kernel.acquireSeg()
+	s.Kind = SegMSRWrite
+	s.Deadline = sim.Forever
+	s.Label = "stop"
+	v.queueSeg(s)
 }
 
 // TimerArmed reports the guest-visible timer state.
@@ -169,13 +192,19 @@ func (v *VCPU) Idle() bool { return v.idle }
 
 // Hypercall queues a paravirtual call segment.
 func (v *VCPU) Hypercall(kind core.HypercallKind, arg int64) {
-	v.queueSeg(&Segment{Kind: SegHypercall, HKind: kind, HArg: arg, Label: kind.String()})
+	s := v.kernel.acquireSeg()
+	s.Kind = SegHypercall
+	s.HKind = kind
+	s.HArg = arg
+	s.Label = kind.String()
+	v.queueSeg(s)
 }
 
 var _ core.GuestVCPU = (*VCPU)(nil)
 
 // --- segment plumbing -------------------------------------------------------
 
+//paratick:noalloc
 func (v *VCPU) queueSeg(s *Segment) {
 	if v.emit != nil {
 		*v.emit = append(*v.emit, s)
@@ -184,26 +213,47 @@ func (v *VCPU) queueSeg(s *Segment) {
 	v.queue = append(v.queue, s)
 }
 
+// pushFront prepends segs to the queue in order, shifting the existing
+// contents with overlapping copies instead of allocating a fresh slice.
+//
+//paratick:noalloc
 func (v *VCPU) pushFront(segs ...*Segment) {
-	v.queue = append(segs, v.queue...)
+	n := len(segs)
+	if n == 0 {
+		return
+	}
+	old := len(v.queue)
+	v.queue = append(v.queue, segs...)
+	copy(v.queue[n:], v.queue[:old])
+	copy(v.queue, segs)
 }
 
+//paratick:noalloc
 func (v *VCPU) addKernelSeg(d sim.Time, label string) {
 	if d <= 0 {
 		return
 	}
-	v.queueSeg(&Segment{Kind: SegRun, Duration: d, Kernel: true, Label: label})
+	s := v.kernel.acquireSeg()
+	s.Kind = SegRun
+	s.Duration = d
+	s.Kernel = true
+	s.Label = label
+	v.queueSeg(s)
 }
 
-// collect routes segments emitted by fn into a fresh slice (for interrupt
-// handlers, whose work must run ahead of preempted segments).
+// collect routes segments emitted by fn into the vCPU's reusable scratch
+// buffer (for interrupt handlers, whose work must run ahead of preempted
+// segments). The returned slice is valid until the next collect call;
+// collect never nests — only Deliver uses it, and delivery cannot re-enter.
+//
+//paratick:noalloc
 func (v *VCPU) collect(fn func()) []*Segment {
-	var segs []*Segment
 	prev := v.emit
-	v.emit = &segs
+	v.irqScratch = v.irqScratch[:0]
+	v.emit = &v.irqScratch
 	fn()
 	v.emit = prev
-	return segs
+	return v.irqScratch
 }
 
 // --- hypervisor-facing interface ---------------------------------------------
@@ -228,12 +278,20 @@ func (v *VCPU) Boot() {
 
 // Next returns the next segment to execute. The guest always has something
 // to do: with no runnable tasks it emits the idle-entry sequence ending in
-// SegHLT.
+// SegHLT. The previously issued segment is recycled here: by the time the
+// hypervisor asks for the next segment it has fully consumed the last one
+// (completed, preempted — which banks remaining work elsewhere — or
+// aborted).
 func (v *VCPU) Next() *Segment {
+	if v.issued != nil {
+		v.kernel.releaseSeg(v.issued)
+		v.issued = nil
+	}
 	for {
 		if len(v.queue) > 0 {
 			s := v.queue[0]
 			v.queue = v.queue[0:copy(v.queue, v.queue[1:])]
+			v.issued = s
 			return s
 		}
 		v.schedule()
@@ -255,9 +313,10 @@ func (v *VCPU) Preempt(seg *Segment, remaining sim.Time) {
 		t.remaining = remaining
 		return
 	}
-	rest := *seg
+	rest := v.kernel.acquireSeg()
+	*rest = *seg
 	rest.Duration = remaining
-	v.pushFront(&rest)
+	v.pushFront(rest)
 }
 
 // taskOf maps a user-run segment back to the task that owns it.
@@ -332,7 +391,10 @@ func (v *VCPU) schedule() {
 			// Spurious wakeup: re-evaluate idle entry (Fig. 1b / 3c) and
 			// halt again.
 			v.policy.OnIdleEnter(v)
-			v.queueSeg(&Segment{Kind: SegHLT, Label: "re-idle"})
+			s := v.kernel.acquireSeg()
+			s.Kind = SegHLT
+			s.Label = "re-idle"
+			v.queueSeg(s)
 			return
 		}
 		v.exitIdle()
@@ -374,7 +436,10 @@ func (v *VCPU) enterIdle() {
 	v.idle = true
 	v.kernel.counters.IdleEnters++
 	v.policy.OnIdleEnter(v)
-	v.queueSeg(&Segment{Kind: SegHLT, Label: "idle"})
+	s := v.kernel.acquireSeg()
+	s.Kind = SegHLT
+	s.Label = "idle"
+	v.queueSeg(s)
 }
 
 func (v *VCPU) exitIdle() {
@@ -396,22 +461,21 @@ func (v *VCPU) advanceTask() {
 	v.stepComplete(t)
 }
 
+//paratick:noalloc
 func (v *VCPU) pushTaskRun(t *Task) {
-	v.queueSeg(&Segment{
-		Kind:     SegRun,
-		Duration: t.remaining,
-		Label:    t.Name,
-		OnDone: func() {
-			t.remaining = 0
-			v.stepComplete(t)
-		},
-	})
+	s := v.kernel.acquireSeg()
+	s.Kind = SegRun
+	s.Duration = t.remaining
+	s.Label = t.Name
+	s.OnDone = t.runDoneFn
+	v.queueSeg(s)
 }
 
-// stepComplete fetches and applies the task's next program step.
+// stepComplete fetches and applies the task's next program step. The context
+// is the vCPU's reusable scratch; programs must not retain it past Next.
 func (v *VCPU) stepComplete(t *Task) {
-	ctx := &StepCtx{Now: v.Now(), Rand: t.rng, TaskID: t.ID}
-	v.applyStep(t, t.prog.Next(ctx))
+	v.stepCtx = StepCtx{Now: v.Now(), Rand: t.rng, TaskID: t.ID}
+	v.applyStep(t, t.prog.Next(&v.stepCtx))
 }
 
 func (v *VCPU) applyStep(t *Task, step Step) {
@@ -429,7 +493,7 @@ func (v *VCPU) applyStep(t *Task, step Step) {
 		v.addKernelSeg(k.cost.GuestSyscall, "nanosleep")
 		t.sleepTimer = SoftTimer{
 			Deadline: v.Now() + step.D,
-			Fire:     func(sim.Time) { k.wake(t, v) },
+			Fire:     t.sleepFireFn,
 		}
 		v.wheel.Add(&t.sleepTimer)
 		v.block(t, "sleep")
@@ -446,27 +510,27 @@ func (v *VCPU) applyStep(t *Task, step Step) {
 			// pause-loop exiting (PLE) targets — and why the paper disables
 			// PLE when studying pure blocking synchronization (§6).
 			lock := step.L
-			v.queueSeg(&Segment{
-				Kind:     SegRun,
-				Duration: t.rng.Jitter(spin, 0.2),
-				Kernel:   true,
-				Spin:     true,
-				Label:    "lock-spin",
-				OnDone: func() {
-					if lock.tryAcquireFast(t) {
-						v.stepComplete(t)
-						return
-					}
-					lock.enqueueWaiter(t)
-					v.addKernelSeg(k.cost.GuestSyscall, "futex-wait")
-					v.block(t, "lock:"+lock.name)
-				},
-			})
+			s := v.kernel.acquireSeg()
+			s.Kind = SegRun
+			s.Duration = t.rng.Jitter(spin, 0.2)
+			s.Kernel = true
+			s.Spin = true
+			s.Label = "lock-spin"
+			s.OnDone = func() {
+				if lock.tryAcquireFast(t) {
+					v.stepComplete(t)
+					return
+				}
+				lock.enqueueWaiter(t)
+				v.addKernelSeg(k.cost.GuestSyscall, "futex-wait")
+				v.block(t, lock.blockReason)
+			}
+			v.queueSeg(s)
 			return
 		}
 		step.L.enqueueWaiter(t)
 		v.addKernelSeg(k.cost.GuestSyscall, "futex-wait")
-		v.block(t, "lock:"+step.L.name)
+		v.block(t, step.L.blockReason)
 
 	case StepUnlock:
 		next := step.L.release(t)
@@ -486,7 +550,7 @@ func (v *VCPU) applyStep(t *Task, step Step) {
 			v.stepComplete(t)
 			return
 		}
-		v.block(t, "barrier:"+step.B.name)
+		v.block(t, step.B.blockReason)
 
 	case StepCondWait:
 		v.addKernelSeg(k.cost.GuestSyscall, "cond-wait")
@@ -494,7 +558,7 @@ func (v *VCPU) applyStep(t *Task, step Step) {
 		if next := step.C.lock.release(t); next != nil {
 			k.wake(next, v)
 		}
-		v.block(t, "cond:"+step.C.name)
+		v.block(t, step.C.blockReason)
 
 	case StepCondSignal, StepCondBroadcast:
 		n := 1
@@ -534,7 +598,12 @@ func (v *VCPU) applyStep(t *Task, step Step) {
 		if step.Blocking {
 			req.Cookie = t
 		}
-		v.queueSeg(&Segment{Kind: SegIOSubmit, Req: req, Dev: step.Dev, Label: "io-kick"})
+		s := v.kernel.acquireSeg()
+		s.Kind = SegIOSubmit
+		s.Req = req
+		s.Dev = step.Dev
+		s.Label = "io-kick"
+		v.queueSeg(s)
 		if step.Blocking {
 			v.block(t, "io")
 			return
@@ -588,7 +657,11 @@ func (k *Kernel) wake(t *Task, waker *VCPU) {
 	t.vcpu.runq = append(t.vcpu.runq, t)
 	if waker != nil && waker != t.vcpu {
 		waker.addKernelSeg(k.cost.GuestWakeup, "wakeup-remote")
-		waker.queueSeg(&Segment{Kind: SegIPI, Target: t.vcpu.id, Label: "resched-ipi"})
+		s := k.acquireSeg()
+		s.Kind = SegIPI
+		s.Target = t.vcpu.id
+		s.Label = "resched-ipi"
+		waker.queueSeg(s)
 	}
 }
 

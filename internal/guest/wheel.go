@@ -101,6 +101,81 @@ func NewTimerWheel(jiffy sim.Time) *TimerWheel {
 	return &TimerWheel{jiffy: jiffy, maxJiff: int64(sim.Forever / jiffy)}
 }
 
+// Reset returns the wheel to its just-constructed state with the given
+// jiffy, detaching any still-pending timers but retaining bucket capacity.
+// The occupancy bitmaps locate the live buckets, so a near-empty wheel —
+// the common end-of-run state — resets in O(occupied buckets).
+func (w *TimerWheel) Reset(jiffy sim.Time) {
+	if jiffy <= 0 {
+		panic(fmt.Sprintf("guest: timer wheel jiffy must be positive, got %v", jiffy))
+	}
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		occ := w.occ[lvl]
+		for occ != 0 {
+			s := bits.TrailingZeros64(occ)
+			occ &^= 1 << uint(s)
+			b := w.buckets[lvl][s]
+			for i, t := range b {
+				t.queued = false
+				b[i] = nil
+			}
+			w.buckets[lvl][s] = b[:0]
+		}
+		w.occ[lvl] = 0
+	}
+	for i, t := range w.overflow {
+		t.queued = false
+		w.overflow[i] = nil
+	}
+	w.overflow = w.overflow[:0]
+	w.jiffy = jiffy
+	w.maxJiff = int64(sim.Forever / jiffy)
+	w.curJiff = 0
+	w.count = 0
+	w.seq = 0
+	w.nextJiff = 0
+	w.nextOK = false
+}
+
+// WheelPool recycles TimerWheels across simulation runs. The wheel struct is
+// dominated by its 6×64 bucket slice headers (~10 KB), which made fresh
+// per-vCPU wheels the largest allocation in whole-experiment profiles; a
+// pool amortizes that to the fleet's high-water mark. Pools are
+// single-goroutine: each worker owns one and never shares it.
+type WheelPool struct {
+	free []*TimerWheel
+}
+
+// acquire pops a reset wheel from the pool, or builds one. A nil pool
+// always builds fresh (the no-pooling default).
+func (p *WheelPool) acquire(jiffy sim.Time) *TimerWheel {
+	if p == nil {
+		return NewTimerWheel(jiffy)
+	}
+	if n := len(p.free); n > 0 {
+		w := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		w.Reset(jiffy)
+		return w
+	}
+	return NewTimerWheel(jiffy)
+}
+
+// ReleaseAll takes every vCPU wheel of a finished kernel back into the
+// pool. The kernel must not run again afterwards.
+func (p *WheelPool) ReleaseAll(k *Kernel) {
+	if p == nil {
+		return
+	}
+	for _, v := range k.vcpus {
+		if v.wheel != nil {
+			p.free = append(p.free, v.wheel)
+			v.wheel = nil
+		}
+	}
+}
+
 // Jiffy returns the wheel granularity.
 func (w *TimerWheel) Jiffy() sim.Time { return w.jiffy }
 

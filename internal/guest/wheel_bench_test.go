@@ -23,18 +23,15 @@ func BenchmarkWheelAddCancel(b *testing.B) {
 func BenchmarkWheelAdvance(b *testing.B) {
 	w := NewTimerWheel(sim.Millisecond)
 	rng := sim.NewRand(1)
-	// Keep ~64 timers alive: each firing re-queues itself further out.
-	var requeue func(t *SoftTimer) func(sim.Time)
-	requeue = func(t *SoftTimer) func(sim.Time) {
-		return func(now sim.Time) {
-			t.Deadline = now + rng.Between(sim.Millisecond, 200*sim.Millisecond)
-			t.Fire = requeue(t)
-			w.Add(t)
-		}
-	}
+	// Keep ~64 timers alive: each firing re-queues itself further out. The
+	// requeue closure is bound once per timer — rebuilding it per fire
+	// allocates.
 	for i := 0; i < 64; i++ {
 		t := &SoftTimer{Deadline: rng.Between(sim.Millisecond, 200*sim.Millisecond)}
-		t.Fire = requeue(t)
+		t.Fire = func(now sim.Time) {
+			t.Deadline = now + rng.Between(sim.Millisecond, 200*sim.Millisecond)
+			w.Add(t)
+		}
 		w.Add(t)
 	}
 	b.ResetTimer()
@@ -84,17 +81,14 @@ func BenchmarkWheelAdvanceDense(b *testing.B) {
 	// Deadlines up to 20s → levels 0 through 3 at a 1ms jiffy, ~0.5
 	// expirations per jiffy.
 	span := func() sim.Time { return rng.Between(sim.Millisecond, 20*sim.Second) }
-	var requeue func(t *SoftTimer) func(sim.Time)
-	requeue = func(t *SoftTimer) func(sim.Time) {
-		return func(now sim.Time) {
-			t.Deadline = now + span()
-			t.Fire = requeue(t)
-			w.Add(t)
-		}
-	}
 	for i := 0; i < n; i++ {
 		t := &SoftTimer{Deadline: span()}
-		t.Fire = requeue(t)
+		// Bind the requeue closure once per timer: rebuilding it per fire
+		// was the benchmark's only steady-state allocation (48 B/op).
+		t.Fire = func(now sim.Time) {
+			t.Deadline = now + span()
+			w.Add(t)
+		}
 		w.Add(t)
 	}
 	b.ReportAllocs()
@@ -188,5 +182,39 @@ func TestWheelSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Add/NextExpiry/Cancel steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestWheelAdvanceDenseZeroBytes locks in the advance-dense allocation fix:
+// a populated wheel advancing jiffy by jiffy, with every fired timer
+// re-queueing itself, must not allocate in steady state. The requeue
+// closure is bound once per timer; a regression that rebuilds it per fire
+// (the old 48 B/op) trips this immediately.
+func TestWheelAdvanceDenseZeroBytes(t *testing.T) {
+	const n = 1000
+	w := NewTimerWheel(sim.Millisecond)
+	rng := sim.NewRand(1)
+	span := func() sim.Time { return rng.Between(sim.Millisecond, 20*sim.Second) }
+	for i := 0; i < n; i++ {
+		tm := &SoftTimer{Deadline: span()}
+		tm.Fire = func(now sim.Time) {
+			tm.Deadline = now + span()
+			w.Add(tm)
+		}
+		w.Add(tm)
+	}
+	// Warm the wheel: the first pass through each level grows bucket slices;
+	// afterwards re-queues land in capacity the wheel already owns.
+	now := sim.Time(0)
+	for i := 0; i < 40_000; i++ {
+		now += sim.Millisecond
+		w.AdvanceTo(now)
+	}
+	allocs := testing.AllocsPerRun(10_000, func() {
+		now += sim.Millisecond
+		w.AdvanceTo(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("dense advance steady state allocates %.1f allocs/op, want 0", allocs)
 	}
 }

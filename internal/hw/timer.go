@@ -17,6 +17,7 @@ type DeadlineTimer struct {
 	label    string // precomputed event label; arming is a hot path
 	engine   *sim.Engine
 	fire     func(now sim.Time)
+	handler  sim.Handler // pre-bound expiry handler; arming must not allocate
 	ev       sim.Event
 	deadline sim.Time
 	armCount uint64
@@ -28,7 +29,13 @@ func NewDeadlineTimer(engine *sim.Engine, name string, fire func(now sim.Time)) 
 	if engine == nil || fire == nil {
 		panic("hw: DeadlineTimer requires an engine and a fire callback")
 	}
-	return &DeadlineTimer{name: name, label: "timer:" + name, engine: engine, fire: fire}
+	t := &DeadlineTimer{name: name, label: "timer:" + name, engine: engine, fire: fire}
+	t.handler = func(e *sim.Engine) {
+		t.ev = sim.Event{}
+		t.expireCt++
+		t.fire(e.Now())
+	}
+	return t
 }
 
 // Arm programs the timer to expire at deadline, replacing any previous
@@ -44,11 +51,7 @@ func (t *DeadlineTimer) Arm(deadline sim.Time) {
 	}
 	t.deadline = deadline
 	t.armCount++
-	t.ev = t.engine.At(deadline, t.label, func(e *sim.Engine) {
-		t.ev = sim.Event{}
-		t.expireCt++
-		t.fire(e.Now())
-	})
+	t.ev = t.engine.At(deadline, t.label, t.handler)
 }
 
 // ArmAfter programs the timer to expire delay from now.
@@ -92,13 +95,14 @@ func (t *DeadlineTimer) Expirations() uint64 { return t.expireCt }
 // offset staggers ticks across physical CPUs the way real LAPIC calibration
 // does, preventing the model from firing every host tick in lockstep.
 type PeriodicTimer struct {
-	name   string
-	label  string
-	engine *sim.Engine
-	period sim.Time
-	fire   func(now sim.Time)
-	ev     sim.Event
-	ticks  uint64
+	name    string
+	label   string
+	engine  *sim.Engine
+	period  sim.Time
+	fire    func(now sim.Time)
+	handler sim.Handler // pre-bound tick handler; rescheduling must not allocate
+	ev      sim.Event
+	ticks   uint64
 }
 
 // NewPeriodicTimer creates a stopped periodic timer.
@@ -109,7 +113,13 @@ func NewPeriodicTimer(engine *sim.Engine, name string, period sim.Time, fire fun
 	if period <= 0 {
 		panic(fmt.Sprintf("hw: PeriodicTimer %q period must be positive, got %v", name, period))
 	}
-	return &PeriodicTimer{name: name, label: "ptimer:" + name, engine: engine, period: period, fire: fire}
+	t := &PeriodicTimer{name: name, label: "ptimer:" + name, engine: engine, period: period, fire: fire}
+	t.handler = func(e *sim.Engine) {
+		t.ticks++
+		t.schedule(e.Now() + t.period)
+		t.fire(e.Now())
+	}
+	return t
 }
 
 // Start begins ticking; the first tick fires phase nanoseconds from now and
@@ -124,12 +134,9 @@ func (t *PeriodicTimer) Start(phase sim.Time) {
 	t.schedule(t.engine.Now() + phase)
 }
 
+//paratick:noalloc
 func (t *PeriodicTimer) schedule(when sim.Time) {
-	t.ev = t.engine.At(when, t.label, func(e *sim.Engine) {
-		t.ticks++
-		t.schedule(e.Now() + t.period)
-		t.fire(e.Now())
-	})
+	t.ev = t.engine.At(when, t.label, t.handler)
 }
 
 // Stop halts the timer.

@@ -117,6 +117,7 @@ func NewHost(engine *sim.Engine, cfg Config) (*Host, error) {
 	period := cfg.HostTickPeriod()
 	for i := 0; i < n; i++ {
 		p := &PCPU{host: h, id: hw.CPUID(i)}
+		p.bindHandlers()
 		// Stagger host ticks across pCPUs deterministically, like LAPIC
 		// calibration skew on real machines. The offset starts away from 0
 		// so host ticks do not land exactly on guest tick deadlines (which

@@ -33,6 +33,38 @@ type PCPU struct {
 	pollStart       sim.Time
 	pollEvent       sim.Event
 	dispatchPending bool
+
+	// irqExpire carries interruptGuest's expire-slice decision to irqDone.
+	irqExpire bool
+
+	// Pre-bound completion handlers, created once in bindHandlers: the
+	// exec/exit/halt/wake paths schedule millions of events per run, and a
+	// closure literal at each schedule site was the dominant allocation in
+	// the whole experiment layer.
+	runDoneFn  sim.Handler
+	exitDoneFn sim.Handler
+	hltDoneFn  sim.Handler
+	pollDoneFn sim.Handler
+	wakeupFn   sim.Handler
+	irqDoneFn  sim.Handler
+}
+
+// bindHandlers installs the pCPU's pre-bound event handlers. Called once at
+// construction; every handler reads the in-flight state (p.current, p.seg,
+// p.irqExpire) from the struct instead of a per-event closure environment.
+// That state is stable across the host-side handling window: p.current only
+// changes in deschedule/dispatch paths that run strictly after these
+// handlers, and wake-side paths re-check it.
+func (p *PCPU) bindHandlers() {
+	p.runDoneFn = func(*sim.Engine) { p.runDone() }
+	p.exitDoneFn = func(*sim.Engine) { p.exitDone() }
+	p.hltDoneFn = func(*sim.Engine) { p.hltDone() }
+	p.pollDoneFn = func(*sim.Engine) { p.pollDone() }
+	p.wakeupFn = func(*sim.Engine) {
+		p.dispatchPending = false
+		p.maybeDispatch()
+	}
+	p.irqDoneFn = func(*sim.Engine) { p.irqDone() }
 }
 
 // ID returns the physical CPU id.
@@ -127,6 +159,7 @@ func (p *PCPU) exec(entry bool) {
 			p.traceEvent(trace.KindInject, v, irq.vec.String())
 			v.gcpu.Deliver(irq.vec)
 		}
+		v.recyclePending(irqs)
 	}
 	seg := v.gcpu.Next()
 	p.seg = seg
@@ -137,18 +170,10 @@ func (p *PCPU) exec(entry bool) {
 		if seg.Spin {
 			p.chargePLE(v, seg)
 		}
-		p.segEvent = p.host.engine.After(seg.Duration, "pcpu-run", func(*sim.Engine) {
-			p.runDone()
-		})
+		p.segEvent = p.host.engine.After(seg.Duration, "pcpu-run", p.runDoneFn)
 
 	case guest.SegMSRWrite:
-		p.atomic(metrics.ExitMSRWrite, c.ExitMSRWrite+c.HostTimerArm, func() {
-			if seg.Deadline == sim.Forever {
-				v.guestTimer.Cancel()
-			} else {
-				v.guestTimer.Arm(seg.Deadline)
-			}
-		})
+		p.atomic(metrics.ExitMSRWrite, c.ExitMSRWrite+c.HostTimerArm)
 
 	case guest.SegHLT:
 		if !v.gcpu.ShouldHalt() {
@@ -160,20 +185,13 @@ func (p *PCPU) exec(entry bool) {
 		p.halt(v)
 
 	case guest.SegIOSubmit:
-		p.atomic(metrics.ExitIOKick, c.ExitIOKick, func() {
-			seg.Dev.Submit(seg.Req)
-		})
+		p.atomic(metrics.ExitIOKick, c.ExitIOKick)
 
 	case guest.SegIPI:
-		p.atomic(metrics.ExitIPI, p.ipiCost(v, seg.Target), func() {
-			target := v.vm.vcpus[seg.Target]
-			target.pendIRQ(hw.RescheduleVector)
-		})
+		p.atomic(metrics.ExitIPI, p.ipiCost(v, seg.Target))
 
 	case guest.SegHypercall:
-		p.atomic(metrics.ExitHypercall, c.ExitHypercall, func() {
-			v.vm.applyHypercall(seg.HKind, seg.HArg)
-		})
+		p.atomic(metrics.ExitHypercall, c.ExitHypercall)
 
 	default:
 		panic("kvm: unknown segment kind")
@@ -235,20 +253,43 @@ func (p *PCPU) chargeRun(v *VCPU, seg *guestSegment, d sim.Time) {
 }
 
 // atomic executes a non-run segment: a VM exit of the given reason whose
-// handling occupies the pCPU for hostCost, then applies its effect.
-func (p *PCPU) atomic(reason metrics.ExitReason, hostCost sim.Time, apply func()) {
+// handling occupies the pCPU for hostCost; exitDone then applies its
+// effect from the segment fields.
+func (p *PCPU) atomic(reason metrics.ExitReason, hostCost sim.Time) {
 	v := p.current
 	cnt := v.vm.counters
 	cnt.AddExit(reason)
 	cnt.HostOverhead += hostCost
 	cnt.ExitCost[reason].Observe(hostCost)
 	p.traceSpan(trace.KindExit, v, reason.String(), hostCost)
-	p.segEvent = p.host.engine.After(hostCost, "pcpu-exit", func(*sim.Engine) {
-		p.seg = nil
-		p.segEvent = sim.Event{}
-		apply()
-		p.execNext()
-	})
+	p.segEvent = p.host.engine.After(hostCost, "pcpu-exit", p.exitDoneFn)
+}
+
+// exitDone completes an atomic (non-run, non-HLT) exit: the host-side
+// handling window has elapsed, so apply the segment's architectural effect
+// and re-enter the guest.
+func (p *PCPU) exitDone() {
+	v := p.current
+	seg := p.seg
+	p.seg = nil
+	p.segEvent = sim.Event{}
+	switch seg.Kind {
+	case guest.SegMSRWrite:
+		if seg.Deadline == sim.Forever {
+			v.guestTimer.Cancel()
+		} else {
+			v.guestTimer.Arm(seg.Deadline)
+		}
+	case guest.SegIOSubmit:
+		seg.Dev.Submit(seg.Req)
+	case guest.SegIPI:
+		v.vm.vcpus[seg.Target].pendIRQ(hw.RescheduleVector)
+	case guest.SegHypercall:
+		v.vm.applyHypercall(seg.HKind, seg.HArg)
+	default:
+		panic("kvm: atomic exit with unexpected segment kind")
+	}
+	p.execNext()
 }
 
 // halt processes a SegHLT: the HLT exit, then either halt polling or
@@ -260,28 +301,39 @@ func (p *PCPU) halt(v *VCPU) {
 	cnt.HostOverhead += c.ExitHLT
 	cnt.ExitCost[metrics.ExitHLT].Observe(c.ExitHLT)
 	p.traceSpan(trace.KindExit, v, metrics.ExitHLT.String(), c.ExitHLT)
-	p.segEvent = p.host.engine.After(c.ExitHLT, "pcpu-hlt", func(*sim.Engine) {
-		p.seg = nil
-		p.segEvent = sim.Event{}
-		if v.hasPending() {
-			// An interrupt raced with the halt: stay on the CPU.
-			p.execNext()
-			return
-		}
-		if hp := p.host.cfg.HaltPoll; hp > 0 {
-			v.state = VCPUHalted
-			p.polling = true
-			p.pollStart = p.now()
-			p.pollEvent = p.host.engine.After(hp, "pcpu-poll", func(*sim.Engine) {
-				p.polling = false
-				p.pollEvent = sim.Event{}
-				cnt.HostOverhead += hp // cycles burned polling
-				p.deschedule(v)
-			})
-			return
-		}
-		p.deschedule(v)
-	})
+	p.segEvent = p.host.engine.After(c.ExitHLT, "pcpu-hlt", p.hltDoneFn)
+}
+
+// hltDone completes the HLT exit: the vCPU either stays on the CPU (an
+// interrupt raced with the halt), enters the halt-poll window, or is
+// descheduled.
+func (p *PCPU) hltDone() {
+	v := p.current
+	p.seg = nil
+	p.segEvent = sim.Event{}
+	if v.hasPending() {
+		// An interrupt raced with the halt: stay on the CPU.
+		p.execNext()
+		return
+	}
+	if hp := p.host.cfg.HaltPoll; hp > 0 {
+		v.state = VCPUHalted
+		p.polling = true
+		p.pollStart = p.now()
+		p.pollEvent = p.host.engine.After(hp, "pcpu-poll", p.pollDoneFn)
+		return
+	}
+	p.deschedule(v)
+}
+
+// pollDone ends an expired halt-poll window: the polling cycles are charged
+// as host overhead and the vCPU is descheduled.
+func (p *PCPU) pollDone() {
+	v := p.current
+	p.polling = false
+	p.pollEvent = sim.Event{}
+	v.vm.counters.HostOverhead += p.host.cfg.HaltPoll // cycles burned polling
+	p.deschedule(v)
 }
 
 func (p *PCPU) deschedule(v *VCPU) {
@@ -309,10 +361,7 @@ func (p *PCPU) wake(v *VCPU) {
 	p.enqueue(v)
 	if p.current == nil && !p.dispatchPending {
 		p.dispatchPending = true
-		p.host.engine.After(p.cost().HostSchedDelay, "pcpu-wakeup", func(*sim.Engine) {
-			p.dispatchPending = false
-			p.maybeDispatch()
-		})
+		p.host.engine.After(p.cost().HostSchedDelay, "pcpu-wakeup", p.wakeupFn)
 	}
 }
 
@@ -399,16 +448,22 @@ func (p *PCPU) interruptGuest(v *VCPU, reason metrics.ExitReason, hostCost sim.T
 	cnt.HostOverhead += hostCost
 	cnt.ExitCost[reason].Observe(hostCost)
 	p.traceSpan(trace.KindExit, v, reason.String(), hostCost)
-	p.segEvent = p.host.engine.After(hostCost, "pcpu-irq-exit", func(*sim.Engine) {
-		p.segEvent = sim.Event{}
-		if expireSlice {
-			cnt.HostOverhead += p.cost().HostSchedSwitch
-			p.host.sched.Ran(v, p.now()-v.sliceStart)
-			p.enqueue(v)
-			p.current = nil
-			p.maybeDispatch()
-			return
-		}
-		p.execNext()
-	})
+	p.irqExpire = expireSlice
+	p.segEvent = p.host.engine.After(hostCost, "pcpu-irq-exit", p.irqDoneFn)
+}
+
+// irqDone completes an interrupt-induced exit: the vCPU resumes, or — when
+// its timeslice expired with the interrupt — rotates through the run queue.
+func (p *PCPU) irqDone() {
+	v := p.current
+	p.segEvent = sim.Event{}
+	if p.irqExpire {
+		v.vm.counters.HostOverhead += p.cost().HostSchedSwitch
+		p.host.sched.Ran(v, p.now()-v.sliceStart)
+		p.enqueue(v)
+		p.current = nil
+		p.maybeDispatch()
+		return
+	}
+	p.execNext()
 }

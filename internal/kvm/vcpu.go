@@ -44,6 +44,10 @@ type VCPU struct {
 
 	state   VCPUState
 	pending []pendingIRQ
+	// pendingSpare is the drained pending buffer awaiting reuse: the
+	// injection path double-buffers so draining never reallocates while
+	// delivery handlers pend fresh interrupts.
+	pendingSpare []pendingIRQ
 
 	// node is the scheduling layer's per-entity state; its Key is this
 	// vCPU's host-wide creation ordinal.
@@ -144,11 +148,25 @@ func (v *VCPU) queuePendingNoReact(vec hw.Vector) {
 // hasPending reports whether any interrupt is queued.
 func (v *VCPU) hasPending() bool { return len(v.pending) > 0 }
 
-// drainPending empties and returns the pending interrupts.
+// drainPending empties and returns the pending interrupts, swapping in the
+// spare buffer so delivery handlers can pend new interrupts while the
+// caller iterates the drained ones. The caller hands the drained slice back
+// via recyclePending once done.
+//
+//paratick:noalloc
 func (v *VCPU) drainPending() []pendingIRQ {
 	out := v.pending
-	v.pending = nil
+	v.pending = v.pendingSpare
+	v.pendingSpare = nil
 	return out
+}
+
+// recyclePending returns a slice obtained from drainPending to the spare
+// buffer for the next drain.
+//
+//paratick:noalloc
+func (v *VCPU) recyclePending(drained []pendingIRQ) {
+	v.pendingSpare = drained[:0]
 }
 
 // onGuestTimer fires when the guest's armed deadline passes.

@@ -10,7 +10,7 @@
 // would cycle. Keeping the kernels here, frozen, also means the regression
 // gate compares like with like across commits even when the exploratory
 // in-package benchmarks evolve. When a kernel changes shape, the committed
-// baseline (BENCH_PR4.json) must be regenerated in the same commit — see
+// baseline (BENCH_PR6.json) must be regenerated in the same commit — see
 // EXPERIMENTS.md.
 package perf
 
@@ -32,6 +32,13 @@ type Kernel struct {
 	Desc string
 	// Fn is the benchmark body, run via testing.Benchmark.
 	Fn func(b *testing.B)
+	// MaxAllocs is an absolute allocs/op ceiling enforced by -perf-suite on
+	// every run, independent of any baseline: the zero value demands a
+	// zero-allocation steady state (the contract for every wheel and engine
+	// kernel), and a negative value disables the check. Unlike the baseline
+	// comparison this cannot drift — a regenerated baseline with worse
+	// numbers still fails the ceiling.
+	MaxAllocs int64
 }
 
 // Kernels returns the suite in fixed order.
@@ -68,9 +75,20 @@ func Kernels() []Kernel {
 			Fn:   engineCancelHeavy,
 		},
 		{
-			Name: "e2e/table1",
-			Desc: "Table 1 experiment end to end at smoke scale (events/sec)",
-			Fn:   e2eTable1,
+			Name: "engine/batch-dispatch",
+			Desc: "StepBatch draining 64 same-instant events per op",
+			Fn:   engineBatchDispatch,
+		},
+		{
+			Name: "engine/horizon-cascade",
+			Desc: "beyond-horizon schedule + heap→wheel cascade + fire, 128 events/op",
+			Fn:   engineHorizonCascade,
+		},
+		{
+			Name:      "e2e/table1",
+			Desc:      "Table 1 experiment end to end at smoke scale (events/sec)",
+			Fn:        e2eTable1,
+			MaxAllocs: 47_000,
 		},
 	}
 }
@@ -139,17 +157,15 @@ func wheelAdvanceDense(b *testing.B) {
 	w := guest.NewTimerWheel(sim.Millisecond)
 	rng := sim.NewRand(1)
 	span := func() sim.Time { return rng.Between(sim.Millisecond, 20*sim.Second) }
-	var requeue func(t *guest.SoftTimer) func(sim.Time)
-	requeue = func(t *guest.SoftTimer) func(sim.Time) {
-		return func(now sim.Time) {
-			t.Deadline = now + span()
-			t.Fire = requeue(t)
-			w.Add(t)
-		}
-	}
 	for i := 0; i < n; i++ {
 		t := &guest.SoftTimer{Deadline: span()}
-		t.Fire = requeue(t)
+		// Bind the requeue closure once per timer: rebuilding it per fire
+		// allocated 48 B on every expiry and was the kernel's only
+		// steady-state allocation.
+		t.Fire = func(now sim.Time) {
+			t.Deadline = now + span()
+			w.Add(t)
+		}
 		w.Add(t)
 	}
 	b.ReportAllocs()
@@ -183,6 +199,47 @@ func engineCancelHeavy(b *testing.B) {
 		slot := i % depth
 		e.Cancel(ring[slot])
 		ring[slot] = e.After(sim.Time(depth+i+1), "rearm", func(*sim.Engine) {})
+	}
+}
+
+// engineBatchDispatch measures the batched same-jiffy dispatch path: every
+// op schedules 64 events for the same instant and drains them with one
+// StepBatch — the workload shape of a tick wave across a fleet's vCPUs.
+func engineBatchDispatch(b *testing.B) {
+	e := sim.NewEngine(1)
+	const fanout = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < fanout; j++ {
+			e.After(1, "b", func(*sim.Engine) {})
+		}
+		if e.StepBatch() != fanout {
+			b.Fatal("batch did not drain the same-instant group")
+		}
+	}
+}
+
+// engineHorizonCascade measures the overflow tier: every op schedules 128
+// events beyond the near-horizon window (so they land in the min-heap),
+// then runs across the idle gap, forcing the heap→wheel cascade and firing
+// them all — the long-sleep / far-deadline shape dynticks guests produce.
+func engineHorizonCascade(b *testing.B) {
+	e := sim.NewEngine(1)
+	const spread = 128
+	// The default wheel window is 256 buckets of 2^16 ns; 2^26 ns starts
+	// well past it, so every At lands in the overflow heap.
+	const horizon = sim.Time(1) << 26
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if e.Now() > sim.Forever/2 {
+			// Rewind before simulated time saturates at sim.Forever.
+			e.Reset(1)
+		}
+		base := e.Now() + 2*horizon
+		for j := 0; j < spread; j++ {
+			e.At(base+sim.Time(j)<<16, "c", func(*sim.Engine) {})
+		}
+		e.RunUntil(base + sim.Time(spread)<<16)
 	}
 }
 

@@ -1,0 +1,12 @@
+package perf
+
+import "testing"
+
+// BenchmarkKernels exposes every pinned suite kernel through `go test
+// -bench`, so the regression kernels can be profiled with the standard
+// tooling (-memprofile/-cpuprofile) without going through paratick-bench.
+func BenchmarkKernels(b *testing.B) {
+	for _, k := range Kernels() {
+		b.Run(k.Name, k.Fn)
+	}
+}

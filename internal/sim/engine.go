@@ -1,18 +1,32 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Handler is the callback type for scheduled events. It receives the engine
 // so that handlers can schedule follow-up events without capturing it.
 type Handler func(e *Engine)
 
-// node is the pooled, heap-resident representation of a scheduled event.
-// Nodes are recycled through the engine's free list; the generation counter
-// invalidates stale Event handles across reuse.
+// Node location discriminators. A node is always in exactly one container:
+// a wheel bucket (loc >= 0, the ring slot), the overflow heap (locHeap),
+// the active dispatch batch (locBatch), or detached (fired/canceled/free).
+const (
+	locDetached int32 = -1
+	locHeap     int32 = -2
+	locBatch    int32 = -3
+)
+
+// node is the pooled representation of a scheduled event. Nodes are recycled
+// through the engine's free list; the generation counter invalidates stale
+// Event handles across reuse. index is the node's position inside whichever
+// container loc names: heap index, bucket slice index, or batch index.
 type node struct {
 	when  Time
 	seq   uint64
-	index int    // heap index, -1 once fired/canceled
+	index int
+	loc   int32
 	gen   uint32 // bumped on release; a handle with an older gen is dead
 	fn    Handler
 	label string
@@ -32,7 +46,7 @@ type Event struct {
 //
 //paratick:noalloc
 func (ev Event) live() bool {
-	return ev.n != nil && ev.n.gen == ev.gen && ev.n.index >= 0
+	return ev.n != nil && ev.n.gen == ev.gen && ev.n.loc != locDetached
 }
 
 // When returns the time the event is scheduled to fire, or 0 once the
@@ -57,8 +71,8 @@ func (ev Event) Label() string {
 // canceled).
 func (ev Event) Pending() bool { return ev.live() }
 
-// less orders the event heap by (when, seq). The seq tie-break makes event
-// ordering — and therefore entire simulations — deterministic.
+// less orders events by (when, seq). The seq tie-break makes event ordering
+// — and therefore entire simulations — deterministic.
 //
 //paratick:noalloc
 func less(a, b *node) bool {
@@ -68,22 +82,73 @@ func less(a, b *node) bool {
 	return a.seq < b.seq
 }
 
+// Near-horizon wheel geometry. The wheel covers wheelBuckets consecutive
+// buckets of 1<<shift nanoseconds each, starting at the bucket containing
+// the current time. With the default shift of 16 a bucket spans ~65.5µs and
+// the wheel horizon is ~16.8ms — wide enough that tick periods, timeslices,
+// and IPI latencies all land in the wheel, so the overflow heap only sees
+// watchdog-scale deadlines.
+const (
+	wheelBuckets = 256
+	wheelMask    = wheelBuckets - 1
+	wheelWords   = wheelBuckets / 64
+
+	// DefaultBucketShift is the bucket granularity used by NewEngine:
+	// log2 of the bucket span in nanoseconds.
+	DefaultBucketShift = 16
+
+	// sortCutover is the batch size above which bucket drains switch from
+	// insertion sort to in-place heapsort.
+	sortCutover = 32
+)
+
 // Engine is the discrete-event simulation core: a clock plus an event queue.
 // It is single-threaded by design; determinism is a core requirement for the
 // reproduction experiments, so no goroutines or wall-clock time are involved.
 // (Independent engines may run concurrently — the parallel experiment runner
 // relies on each run owning a private Engine.)
 //
-// The queue is an inlined binary min-heap specialized to *node — no
-// container/heap interface dispatch, no boxing — and fired or canceled nodes
-// return to a free list, so steady-state schedule→fire→reschedule cycles
-// allocate nothing.
+// The queue is a two-tier hybrid. Events within the near horizon go into a
+// bitmap-indexed timer wheel: 256 buckets of 2^shift ns, with per-word
+// occupancy bitmaps so the next occupied bucket is a handful of word scans.
+// Far-future events overflow into an inlined binary min-heap — no
+// container/heap interface dispatch, no boxing — and cascade into the wheel
+// as the window advances with time. Dispatch drains one bucket at a time
+// into a sorted batch, so the common near-horizon event costs O(1) amortized
+// instead of an O(log n) heap pop. Fired or canceled nodes return to a free
+// list, so steady-state schedule→fire→reschedule cycles allocate nothing.
+//
+// The hybrid preserves the exact (when, seq) total dispatch order of the
+// classic pure-heap engine; engine_ref_test.go proves the equivalence
+// differentially.
 type Engine struct {
-	now     Time
-	queue   []*node
-	free    []*node
+	now   Time
+	shift uint
+
+	// Near-horizon wheel. The window covers absolute buckets
+	// [wheelBase, wheelBase+wheelBuckets); wheelEnd is the window's end as
+	// a time (saturated at Forever). wheelBase tracks now>>shift, so every
+	// schedulable time below wheelEnd maps to a unique ring slot.
+	wheelBase  int64
+	wheelEnd   Time
+	wheelCount int
+	occ        [wheelWords]uint64
+	buckets    [wheelBuckets][]*node
+
+	// Active dispatch batch: one drained bucket, sorted by (when, seq).
+	// Canceled entries are nil. batchBkt is the absolute bucket the batch
+	// was drained from (-1 when no batch is active); same-bucket schedules
+	// during a drain bubble-insert into the live batch.
+	batch    []*node
+	batchPos int
+	batchBkt int64
+
+	heap []*node // overflow min-heap; invariant: heap min >= wheelEnd
+	free []*node
+
 	seq     uint64
 	fired   uint64
+	count   int
 	rand    *Rand
 	stopReq bool // Stop() pending, not yet observed by a run
 	stopped bool // most recent run was halted by Stop
@@ -98,16 +163,91 @@ type Engine struct {
 // steady state.
 type Observer func(label string, when Time)
 
-// initialQueueCap presizes the heap (and first free-list slab) so typical
-// simulations never grow either on the hot path.
+// initialQueueCap presizes the overflow heap (and first free-list slab) so
+// typical simulations never grow either on the hot path.
 const initialQueueCap = 256
 
-// NewEngine returns an engine at time zero with an RNG seeded by seed.
+// NewEngine returns an engine at time zero with an RNG seeded by seed and
+// the default near-horizon bucket granularity.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{
-		queue: make([]*node, 0, initialQueueCap),
-		rand:  NewRand(seed),
+	return NewEngineShift(seed, DefaultBucketShift)
+}
+
+// NewEngineShift returns an engine whose wheel buckets span 1<<shift
+// nanoseconds (horizon = 256 buckets). Smaller shifts trade a shorter
+// horizon for finer batching; the default suits tick-rate workloads.
+// shift must be in [1, 40].
+func NewEngineShift(seed uint64, shift uint) *Engine {
+	if shift < 1 || shift > 40 {
+		panic(fmt.Sprintf("sim: bucket shift %d outside [1, 40]", shift))
 	}
+	return &Engine{
+		shift:    shift,
+		wheelEnd: wheelEndFor(0, shift),
+		batchBkt: -1,
+		heap:     make([]*node, 0, initialQueueCap),
+		rand:     NewRand(seed),
+	}
+}
+
+// wheelEndFor returns the time at which the window starting at absolute
+// bucket base stops covering, saturating at Forever on overflow. When
+// saturated the remaining representable buckets number fewer than
+// wheelBuckets, so slot mapping stays injective.
+//
+//paratick:noalloc
+func wheelEndFor(base int64, shift uint) Time {
+	end := (base + wheelBuckets) << shift
+	if end>>shift != base+wheelBuckets || end < 0 {
+		return Forever
+	}
+	return Time(end)
+}
+
+// Reset returns the engine to time zero with a fresh RNG stream, releasing
+// every pending event while keeping the node pool, bucket, batch, and heap
+// capacities. It lets the experiment layer's per-worker arenas reuse one
+// engine across repeated runs instead of reallocating the whole structure.
+func (e *Engine) Reset(seed uint64) {
+	if e.wheelCount > 0 {
+		for s := range e.buckets {
+			b := e.buckets[s]
+			for i, nd := range b {
+				b[i] = nil
+				e.release(nd)
+			}
+			e.buckets[s] = b[:0]
+		}
+		for w := range e.occ {
+			e.occ[w] = 0
+		}
+		e.wheelCount = 0
+	}
+	for i := e.batchPos; i < len(e.batch); i++ {
+		if nd := e.batch[i]; nd != nil {
+			e.release(nd)
+		}
+		e.batch[i] = nil
+	}
+	e.batch = e.batch[:0]
+	e.batchPos = 0
+	e.batchBkt = -1
+	for i, nd := range e.heap {
+		e.heap[i] = nil
+		e.release(nd)
+	}
+	e.heap = e.heap[:0]
+
+	e.now = 0
+	e.wheelBase = 0
+	e.wheelEnd = wheelEndFor(0, e.shift)
+	e.seq = 0
+	e.fired = 0
+	e.count = 0
+	e.stopReq = false
+	e.stopped = false
+	e.obs = nil
+	e.rand.Reseed(seed)
 }
 
 // Now returns the current simulated time.
@@ -122,7 +262,7 @@ func (e *Engine) Rand() *Rand { return e.rand }
 func (e *Engine) SetObserver(obs Observer) { e.obs = obs }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.count }
 
 // Fired returns the total number of events dispatched so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -144,8 +284,10 @@ func (e *Engine) acquire() *node {
 	//lint:ignore A001 slab refill: one allocation amortized over eventSlab schedules, absent in steady state
 	slab := make([]node, eventSlab)
 	for i := 1; i < eventSlab; i++ {
+		slab[i].loc = locDetached
 		e.free = append(e.free, &slab[i])
 	}
+	slab[0].loc = locDetached
 	return &slab[0]
 }
 
@@ -155,16 +297,20 @@ func (e *Engine) acquire() *node {
 //paratick:noalloc
 func (e *Engine) release(nd *node) {
 	nd.gen++
+	nd.loc = locDetached
+	nd.index = -1
 	nd.fn = nil
 	nd.label = ""
 	e.free = append(e.free, nd)
 }
 
-// siftUp moves queue[i] toward the root until the heap order holds.
+// --- Overflow heap (far-future tier) -----------------------------------
+
+// siftUp moves heap[i] toward the root until the heap order holds.
 //
 //paratick:noalloc
 func (e *Engine) siftUp(i int) {
-	q := e.queue
+	q := e.heap
 	nd := q[i]
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -180,11 +326,11 @@ func (e *Engine) siftUp(i int) {
 	nd.index = i
 }
 
-// siftDown moves queue[i] toward the leaves until the heap order holds.
+// siftDown moves heap[i] toward the leaves until the heap order holds.
 //
 //paratick:noalloc
 func (e *Engine) siftDown(i int) {
-	q := e.queue
+	q := e.heap
 	n := len(q)
 	nd := q[i]
 	for {
@@ -207,29 +353,31 @@ func (e *Engine) siftDown(i int) {
 	nd.index = i
 }
 
-// push appends nd and restores the heap order.
+// push appends nd to the overflow heap and restores the heap order.
 //
 //paratick:noalloc
 func (e *Engine) push(nd *node) {
-	nd.index = len(e.queue)
-	e.queue = append(e.queue, nd)
+	nd.loc = locHeap
+	nd.index = len(e.heap)
+	e.heap = append(e.heap, nd)
 	e.siftUp(nd.index)
 }
 
-// popMin removes and returns the earliest node.
+// popMin removes and returns the earliest heap node.
 //
 //paratick:noalloc
 func (e *Engine) popMin() *node {
-	q := e.queue
+	q := e.heap
 	root := q[0]
 	last := len(q) - 1
 	q[0] = q[last]
 	q[last] = nil
-	e.queue = q[:last]
+	e.heap = q[:last]
 	if last > 0 {
 		e.siftDown(0)
 	}
 	root.index = -1
+	root.loc = locDetached
 	return root
 }
 
@@ -237,7 +385,7 @@ func (e *Engine) popMin() *node {
 //
 //paratick:noalloc
 func (e *Engine) remove(nd *node) {
-	q := e.queue
+	q := e.heap
 	i := nd.index
 	last := len(q) - 1
 	if i != last {
@@ -245,17 +393,309 @@ func (e *Engine) remove(nd *node) {
 		q[i] = moved
 		moved.index = i
 		q[last] = nil
-		e.queue = q[:last]
+		e.heap = q[:last]
 		e.siftDown(i)
 		if moved.index == i {
 			e.siftUp(i)
 		}
 	} else {
 		q[last] = nil
-		e.queue = q[:last]
+		e.heap = q[:last]
 	}
 	nd.index = -1
+	nd.loc = locDetached
 }
+
+// --- Near-horizon wheel (fast tier) ------------------------------------
+
+// wheelAdd files nd into its ring bucket and marks the occupancy bit.
+// Callers guarantee nd.when < e.wheelEnd.
+//
+//paratick:noalloc
+func (e *Engine) wheelAdd(nd *node) {
+	s := int(int64(nd.when>>e.shift) & wheelMask)
+	nd.loc = int32(s)
+	nd.index = len(e.buckets[s])
+	e.buckets[s] = append(e.buckets[s], nd)
+	e.occ[s>>6] |= 1 << uint(s&63)
+	e.wheelCount++
+}
+
+// bucketRemove unfiles nd from its wheel bucket by swap-remove, clearing
+// the occupancy bit when the bucket empties.
+//
+//paratick:noalloc
+func (e *Engine) bucketRemove(nd *node) {
+	s := int(nd.loc)
+	b := e.buckets[s]
+	last := len(b) - 1
+	if nd.index != last {
+		moved := b[last]
+		b[nd.index] = moved
+		moved.index = nd.index
+	}
+	b[last] = nil
+	e.buckets[s] = b[:last]
+	if last == 0 {
+		e.occ[s>>6] &^= 1 << uint(s&63)
+	}
+	nd.index = -1
+	nd.loc = locDetached
+	e.wheelCount--
+}
+
+// nextOccupied scans the occupancy bitmap for the first occupied ring slot
+// at or after s0, wrapping around, and returns -1 when the wheel is empty.
+// Because every wheel event lives in [wheelBase, wheelBase+wheelBuckets)
+// and s0 is wheelBase's slot, ring order from s0 is absolute time order.
+//
+//paratick:noalloc
+func (e *Engine) nextOccupied(s0 int) int {
+	w0 := s0 >> 6
+	off := uint(s0 & 63)
+	if m := e.occ[w0] &^ (1<<off - 1); m != 0 {
+		return w0<<6 + bits.TrailingZeros64(m)
+	}
+	for i := 1; i <= wheelWords; i++ {
+		w := (w0 + i) & (wheelWords - 1)
+		m := e.occ[w]
+		if w == w0 {
+			m &= 1<<off - 1
+		}
+		if m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}
+
+// advanceWindow slides the wheel window forward to the bucket containing
+// now and cascades overflow-heap events that fell inside the new horizon
+// into their wheel buckets. Called on every dispatch; the common case —
+// same bucket as the previous event — is a single compare.
+//
+//paratick:noalloc
+func (e *Engine) advanceWindow() {
+	ab := int64(e.now >> e.shift)
+	if ab <= e.wheelBase {
+		return
+	}
+	e.wheelBase = ab
+	e.wheelEnd = wheelEndFor(ab, e.shift)
+	for len(e.heap) > 0 && e.heap[0].when < e.wheelEnd {
+		e.wheelAdd(e.popMin())
+	}
+}
+
+// --- Batch (drained-bucket) dispatch -----------------------------------
+
+// sortNodes orders a by (when, seq): insertion sort for the typical small
+// bucket, in-place heapsort (via siftDownMax) above sortCutover so dense
+// buckets stay O(n log n). Stability is irrelevant — seq is unique.
+//
+//paratick:noalloc
+func sortNodes(a []*node) {
+	n := len(a)
+	if n <= sortCutover {
+		for i := 1; i < n; i++ {
+			nd := a[i]
+			j := i
+			for j > 0 && less(nd, a[j-1]) {
+				a[j] = a[j-1]
+				j--
+			}
+			a[j] = nd
+		}
+		return
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownMax(a, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		siftDownMax(a, 0, i)
+	}
+}
+
+// siftDownMax restores the max-heap property for a[:n] rooted at i.
+//
+//paratick:noalloc
+func siftDownMax(a []*node, i, n int) {
+	nd := a[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		c := a[child]
+		if r := child + 1; r < n && less(c, a[r]) {
+			child, c = r, a[r]
+		}
+		if !less(nd, c) {
+			break
+		}
+		a[i] = c
+		i = child
+	}
+	a[i] = nd
+}
+
+// batchInsert bubble-inserts nd into the live batch at its (when, seq)
+// position, used when a handler schedules into the bucket currently being
+// drained. Canceled (nil) entries shift along with live ones.
+//
+//paratick:noalloc
+func (e *Engine) batchInsert(nd *node) {
+	// A fire→reschedule chain inside one bucket pops from the front while
+	// appending at the back; without compaction the batch array would grow
+	// without bound. Sliding the live region down once the dispatched
+	// prefix dominates keeps the array at ~2× the live count, amortized
+	// O(1) per insert.
+	if e.batchPos >= 64 && e.batchPos*2 >= len(e.batch) {
+		n := copy(e.batch, e.batch[e.batchPos:])
+		for i := 0; i < n; i++ {
+			if m := e.batch[i]; m != nil {
+				m.index = i
+			}
+		}
+		for i := n; i < len(e.batch); i++ {
+			e.batch[i] = nil
+		}
+		e.batch = e.batch[:n]
+		e.batchPos = 0
+	}
+	nd.loc = locBatch
+	e.batch = append(e.batch, nd)
+	i := len(e.batch) - 1
+	for i > e.batchPos {
+		p := e.batch[i-1]
+		if p != nil && !less(nd, p) {
+			break
+		}
+		e.batch[i] = p
+		if p != nil {
+			p.index = i
+		}
+		i--
+	}
+	e.batch[i] = nd
+	nd.index = i
+}
+
+// spillBatch returns the undispatched remainder of the batch to the wheel
+// or heap. It runs only on the rare out-of-order schedule: a RunUntil peek
+// drained a future bucket ahead of now, and the caller then scheduled an
+// event into an earlier bucket. Nodes keep their seq, so re-draining later
+// reproduces the exact order.
+//
+//paratick:noalloc
+func (e *Engine) spillBatch() {
+	for i := e.batchPos; i < len(e.batch); i++ {
+		nd := e.batch[i]
+		e.batch[i] = nil
+		if nd == nil {
+			continue
+		}
+		if nd.when < e.wheelEnd {
+			e.wheelAdd(nd)
+		} else {
+			e.push(nd)
+		}
+	}
+	e.batch = e.batch[:0]
+	e.batchPos = 0
+	e.batchBkt = -1
+}
+
+// refillBatch drains the next occupied bucket into the (empty) batch.
+// Callers guarantee the engine holds at least one pending event outside
+// the batch.
+//
+//paratick:noalloc
+func (e *Engine) refillBatch() {
+	if e.wheelCount == 0 {
+		// Idle gap beyond the horizon: pull the heap's earliest bucket
+		// straight into the batch. Consecutive popMin calls yield
+		// (when, seq) order, so the batch arrives sorted.
+		ab := int64(e.heap[0].when >> e.shift)
+		for len(e.heap) > 0 && int64(e.heap[0].when>>e.shift) == ab {
+			nd := e.popMin()
+			nd.loc = locBatch
+			nd.index = len(e.batch)
+			e.batch = append(e.batch, nd)
+		}
+		e.batchBkt = ab
+		return
+	}
+	s0 := int(e.wheelBase & wheelMask)
+	s := e.nextOccupied(s0)
+	if s < 0 {
+		panic("sim: wheel count positive but occupancy empty")
+	}
+	spare := e.batch[:0]
+	e.batch = e.buckets[s]
+	e.buckets[s] = spare
+	e.occ[s>>6] &^= 1 << uint(s&63)
+	e.wheelCount -= len(e.batch)
+	sortNodes(e.batch)
+	for i, nd := range e.batch {
+		nd.loc = locBatch
+		nd.index = i
+	}
+	e.batchBkt = e.wheelBase + int64((s-s0)&wheelMask)
+}
+
+// ensureBatch makes the live batch non-empty, refilling it from the wheel
+// or overflow heap as needed. It returns false when no events remain.
+//
+//paratick:noalloc
+func (e *Engine) ensureBatch() bool {
+	for {
+		for e.batchPos < len(e.batch) && e.batch[e.batchPos] == nil {
+			e.batchPos++
+		}
+		if e.batchPos < len(e.batch) {
+			return true
+		}
+		e.batch = e.batch[:0]
+		e.batchPos = 0
+		e.batchBkt = -1
+		if e.wheelCount == 0 && len(e.heap) == 0 {
+			return false
+		}
+		e.refillBatch()
+	}
+}
+
+// peekWhen returns the earliest pending event time.
+//
+//paratick:noalloc
+func (e *Engine) peekWhen() (Time, bool) {
+	if !e.ensureBatch() {
+		return 0, false
+	}
+	return e.batch[e.batchPos].when, true
+}
+
+// dispatch fires nd: advances the clock and wheel window, notifies the
+// observer, recycles the node, and runs the handler.
+//
+//paratick:noalloc
+func (e *Engine) dispatch(nd *node) {
+	e.now = nd.when
+	e.advanceWindow()
+	e.fired++
+	e.count--
+	fn := nd.fn
+	if e.obs != nil {
+		// Label is read before release clears it for the pool.
+		e.obs(nd.label, nd.when)
+	}
+	e.release(nd)
+	fn(e)
+}
+
+// --- Public scheduling API ---------------------------------------------
 
 // At schedules fn to run at absolute time when. Scheduling in the past
 // panics: it always indicates a model bug, and silently reordering time
@@ -275,7 +715,21 @@ func (e *Engine) At(when Time, label string, fn Handler) Event {
 	nd.fn = fn
 	nd.label = label
 	e.seq++
-	e.push(nd)
+	e.count++
+	ab := int64(when >> e.shift)
+	if e.batchBkt >= 0 && ab < e.batchBkt {
+		// The batch was drained ahead of now (RunUntil peeked past an idle
+		// gap) and this event lands before it: put the batch back first.
+		e.spillBatch()
+	}
+	switch {
+	case ab == e.batchBkt:
+		e.batchInsert(nd)
+	case when < e.wheelEnd:
+		e.wheelAdd(nd)
+	default:
+		e.push(nd)
+	}
 	return Event{n: nd, gen: nd.gen}
 }
 
@@ -297,8 +751,19 @@ func (e *Engine) Cancel(ev Event) bool {
 	if !ev.live() {
 		return false
 	}
-	e.remove(ev.n)
-	e.release(ev.n)
+	nd := ev.n
+	switch {
+	case nd.loc == locHeap:
+		e.remove(nd)
+	case nd.loc == locBatch:
+		e.batch[nd.index] = nil
+		nd.index = -1
+		nd.loc = locDetached
+	default:
+		e.bucketRemove(nd)
+	}
+	e.count--
+	e.release(nd)
 	return true
 }
 
@@ -307,20 +772,46 @@ func (e *Engine) Cancel(ev Event) bool {
 //
 //paratick:noalloc
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if !e.ensureBatch() {
 		return false
 	}
-	nd := e.popMin()
-	e.now = nd.when
-	e.fired++
-	fn := nd.fn
-	if e.obs != nil {
-		// Label is read before release clears it for the pool.
-		e.obs(nd.label, nd.when)
-	}
-	e.release(nd)
-	fn(e)
+	pos := e.batchPos
+	nd := e.batch[pos]
+	e.batch[pos] = nil
+	e.batchPos = pos + 1
+	e.dispatch(nd)
 	return true
+}
+
+// StepBatch dispatches every event sharing the earliest pending timestamp
+// — one simulated instant — in (when, seq) order, including events that
+// handlers schedule for that same instant mid-batch. It returns the number
+// of events dispatched (0 when the queue is empty). A Stop issued by a
+// handler halts the batch after that handler returns, leaving the rest
+// queued; like Step, StepBatch itself does not consume the stop request.
+//
+//paratick:noalloc
+func (e *Engine) StepBatch() int {
+	if !e.ensureBatch() {
+		return 0
+	}
+	t0 := e.batch[e.batchPos].when
+	n := 0
+	for e.ensureBatch() {
+		pos := e.batchPos
+		nd := e.batch[pos]
+		if nd.when != t0 {
+			break
+		}
+		e.batch[pos] = nil
+		e.batchPos = pos + 1
+		e.dispatch(nd)
+		n++
+		if e.stopReq {
+			break
+		}
+	}
+	return n
 }
 
 // consumeStop observes a pending stop request, converting it into the
@@ -343,7 +834,7 @@ func (e *Engine) Run() {
 		return
 	}
 	e.stopped = false
-	for e.Step() {
+	for e.StepBatch() > 0 {
 		if e.consumeStop() {
 			return
 		}
@@ -352,12 +843,17 @@ func (e *Engine) Run() {
 
 // RunUntil dispatches events with time ≤ deadline, then advances the clock
 // to exactly the deadline (if it is later than the last event). Like Run, it
-// honors a Stop issued before it starts.
+// honors a Stop issued before it starts. Dispatch goes through StepBatch, so
+// every event of a simulated instant drains in one pass.
 func (e *Engine) RunUntil(deadline Time) {
 	if !e.consumeStop() {
 		e.stopped = false
-		for len(e.queue) > 0 && e.queue[0].when <= deadline {
-			e.Step()
+		for {
+			when, ok := e.peekWhen()
+			if !ok || when > deadline {
+				break
+			}
+			e.StepBatch()
 			if e.consumeStop() {
 				break
 			}

@@ -15,23 +15,29 @@ type Rand struct {
 // including zero, produces a valid non-degenerate state.
 func NewRand(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes the generator in place, exactly as NewRand(seed)
+// would, without allocating. It lets pooled engines restart their stream
+// for a fresh run.
+//
+//paratick:noalloc
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
-	next := func() uint64 {
+	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
-	for i := range r.s {
-		r.s[i] = next()
+		r.s[i] = z ^ (z >> 31)
 	}
 	// xoshiro requires a nonzero state; SplitMix64 cannot produce four
 	// zeros, but guard anyway for clarity.
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
