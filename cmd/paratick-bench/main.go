@@ -10,6 +10,8 @@
 //	               [-trace-out FILE.json] [-cpuprofile FILE] [-memprofile FILE]
 //	paratick-bench -perf-suite [-perf-out FILE.json] [-perf-baseline FILE.json]
 //	               [-perf-threshold 1.25]
+//	paratick-bench -checkpoint-out FILE [-checkpoint-at 10ms]
+//	paratick-bench -checkpoint-in FILE
 //
 // -scale shrinks the workloads for quick runs (0.1 ≈ a tenth of the paper's
 // durations). -out additionally writes each table as CSV into DIR. -workers
@@ -23,6 +25,22 @@
 // writes the machine-readable report; -perf-baseline compares against a
 // committed report (BENCH_PR6.json) and fails when any kernel's ns/op grows
 // past -perf-threshold or its allocs/op grows at all.
+//
+// Checkpointing:
+//
+//   - -checkpoint-out runs the reference scenario's warmup to -checkpoint-at
+//     (simulated time) and freezes the complete simulator state into FILE.
+//     The bytes are deterministic: the same flags always produce the same
+//     file, regardless of -workers or host parallelism.
+//   - -checkpoint-in restores FILE into a rebuilt reference scenario and runs
+//     it to completion, printing the same totals a straight run reports. The
+//     run-shaping flags (-scale, -seed, -device, -sched) must match the
+//     checkpointing invocation; a structurally different scenario is refused.
+//   - -snapshot-probe T enables the mid-run differential gate inside every
+//     experiment run: at simulated instant T the state is snapshotted,
+//     restored into a fresh world, verified to re-serialize byte-identically,
+//     and the run continues on the restored copy — so the rendered output
+//     proves restore correctness end to end.
 //
 // Observability extras:
 //
@@ -53,6 +71,7 @@ import (
 	"paratick/internal/iodev"
 	"paratick/internal/metrics"
 	"paratick/internal/sched"
+	"paratick/internal/sim"
 )
 
 func main() {
@@ -81,6 +100,10 @@ func run(args []string, w io.Writer) error {
 	perfOut := fs.String("perf-out", "", "file for the perf-suite report JSON (optional)")
 	perfBaseline := fs.String("perf-baseline", "", "baseline report JSON to compare against; regressions beyond -perf-threshold fail (optional)")
 	perfThreshold := fs.Float64("perf-threshold", 1.25, "max tolerated ns/op ratio vs the perf baseline")
+	ckOut := fs.String("checkpoint-out", "", "freeze the reference scenario at -checkpoint-at into this file instead of running experiments")
+	ckIn := fs.String("checkpoint-in", "", "restore a checkpoint file into the reference scenario and run it to completion instead of running experiments")
+	ckAt := fs.Duration("checkpoint-at", 10*time.Millisecond, "simulated freeze instant for -checkpoint-out")
+	probeAt := fs.Duration("snapshot-probe", 0, "simulated instant for the mid-run snapshot round-trip gate inside every experiment (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,6 +131,10 @@ func run(args []string, w io.Writer) error {
 		opts.Device = iodev.HDD()
 	default:
 		return fmt.Errorf("unknown device %q", *device)
+	}
+	opts.SnapshotProbe = sim.Time(probeAt.Nanoseconds())
+	if *ckOut != "" || *ckIn != "" {
+		return runCheckpoint(w, opts, *ckOut, *ckIn, sim.Time(ckAt.Nanoseconds()))
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -190,6 +217,45 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "done in %v (scale %.2f, seed %d, workers %d)\n",
 		wall.Round(time.Millisecond), *scale, *seed, b.opts.WorkerCount())
+	return nil
+}
+
+// runCheckpoint drives -checkpoint-out / -checkpoint-in on the reference
+// scenario: freeze the warmed-up simulator state into a file, or restore a
+// frozen state and run it to completion. The checkpoint bytes depend only on
+// the run-shaping flags, never on -workers, so a committed checkpoint doubles
+// as a golden file for the encoding.
+func runCheckpoint(w io.Writer, opts experiment.Options, outPath, inPath string, at sim.Time) error {
+	s := experiment.ReferenceScenario(opts)
+	if outPath != "" {
+		ck, err := experiment.CheckpointScenario(s, opts.Seed, at)
+		if err != nil {
+			return err
+		}
+		data := ck.Bytes()
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "checkpoint: froze %q at %v after %d events (%d bytes) into %s\n",
+			s.Name, ck.At(), ck.Events(), len(data), outPath)
+	}
+	if inPath != "" {
+		data, err := os.ReadFile(inPath)
+		if err != nil {
+			return err
+		}
+		ck, err := experiment.LoadCheckpoint(data)
+		if err != nil {
+			return err
+		}
+		res, err := experiment.ResumeScenario(s, ck)
+		if err != nil {
+			return err
+		}
+		c := &res.Results[0].Counters
+		fmt.Fprintf(w, "resumed: %q from %v (seed %d): %d events total, %d VM exits (%d timer-related)\n",
+			s.Name, ck.At(), ck.Seed(), res.Events, c.TotalExits(), c.TimerExits())
+	}
 	return nil
 }
 

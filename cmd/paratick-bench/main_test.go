@@ -122,3 +122,86 @@ func TestRunProfiles(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckpointCLIRoundTrip drives -checkpoint-out then -checkpoint-in and
+// checks the resume continues past the freeze point deterministically.
+func TestCheckpointCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.snap")
+	var b strings.Builder
+	err := run([]string{"-scale", "0.05", "-checkpoint-at", "2ms", "-checkpoint-out", ck}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "checkpoint: froze") {
+		t.Fatalf("missing freeze summary:\n%s", b.String())
+	}
+	resume := func() string {
+		var rb strings.Builder
+		if err := run([]string{"-scale", "0.05", "-checkpoint-in", ck}, &rb); err != nil {
+			t.Fatal(err)
+		}
+		return rb.String()
+	}
+	first := resume()
+	if !strings.Contains(first, "resumed:") {
+		t.Fatalf("missing resume summary:\n%s", first)
+	}
+	if second := resume(); second != first {
+		t.Fatalf("resume is not deterministic:\n%s\nvs\n%s", first, second)
+	}
+}
+
+// TestCheckpointGoldenBytes pins the committed golden checkpoint: the
+// encoding (container header, section markers, field order and widths) is
+// versioned, so regenerating these exact flags must reproduce the committed
+// bytes. A mismatch means the format changed — bump snap.Version and
+// regenerate testdata/reference-checkpoint.snap deliberately, never silently.
+func TestCheckpointGoldenBytes(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.snap")
+	var b strings.Builder
+	err := run([]string{"-scale", "0.05", "-checkpoint-at", "10ms", "-checkpoint-out", ck}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "reference-checkpoint.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("checkpoint bytes diverged from the committed golden (%d vs %d bytes): "+
+			"if the snapshot encoding changed deliberately, bump the format version and regenerate testdata/reference-checkpoint.snap",
+			len(got), len(want))
+	}
+}
+
+// TestSnapshotProbeFlag smoke-tests -snapshot-probe: a probed run must
+// succeed and render the same tables a plain run does.
+func TestSnapshotProbeFlag(t *testing.T) {
+	var plain, probed strings.Builder
+	if err := run([]string{"-run", "table1", "-scale", "0.02", "-workers", "1"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "table1", "-scale", "0.02", "-workers", "1", "-snapshot-probe", "500us"}, &probed); err != nil {
+		t.Fatal(err)
+	}
+	stripTiming := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "[table1]") || strings.HasPrefix(line, "done in") {
+				continue // wall-clock lines differ run to run
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if stripTiming(plain.String()) != stripTiming(probed.String()) {
+		t.Fatalf("probed table1 output diverges from plain run:\nplain:\n%s\nprobed:\n%s",
+			plain.String(), probed.String())
+	}
+}

@@ -16,6 +16,9 @@ import (
 type AblationResult struct {
 	Title string
 	Rows  []AblationRow
+	// Warmup accounts the events shared by warm-starting variant arms from
+	// a forked checkpoint (zero when every variant ran from boot).
+	Warmup WarmupStats
 }
 
 // AblationRow is one variant's measurement.
@@ -51,7 +54,22 @@ func (r *AblationResult) Render() string {
 			row.BusyCycles.String(),
 			row.Runtime.String())
 	}
-	return t.String()
+	out := t.String()
+	if line := r.Warmup.String(); line != "" {
+		out += line + "\n"
+	}
+	return out
+}
+
+// warmupInstant sizes a fork point for workload-completion runs: far enough
+// in to amortize boot and cache warmup across the arms, scaled with the
+// workload, but always well short of the earliest completion.
+func warmupInstant(base sim.Time, scale float64, floor sim.Time) sim.Time {
+	w := sim.Time(float64(base) * scale)
+	if w < floor {
+		w = floor
+	}
+	return w
 }
 
 // fioSetup builds a random-read fio workload for ablation runs.
@@ -96,7 +114,8 @@ func (p *timerAppProgram) Next(ctx *guest.StepCtx) guest.Step {
 // armed — and most wakes come from I/O completions, long before that timer
 // fires. With the paper's heuristic the armed timer is simply reused across
 // idle cycles (≈0 MSR writes per I/O); disarming on idle exit pays a stop
-// plus a re-arm on every single cycle.
+// plus a re-arm on every single cycle. The two paratick variants fork from
+// one warmed checkpoint, differing only in the policy option.
 func RunIdleExitAblation(opts Options) (*AblationResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -124,103 +143,139 @@ func RunIdleExitAblation(opts Options) (*AblationResult, error) {
 		})
 		return nil
 	}
-	variants := []struct {
-		name string
-		mode core.Mode
-		opts core.Options
-	}{
-		{"dynticks (baseline)", core.DynticksIdle, core.Options{}},
-		{"paratick (keep armed, paper)", core.Paratick, core.Options{}},
-		{"paratick (disarm on idle exit)", core.Paratick, core.Options{DisarmOnIdleExit: true}},
+	// The heartbeat alone keeps the run alive ≥ 10 beats ≈ 40 ms, so a
+	// millisecond-class fork point is always mid-run.
+	warm := warmupInstant(4*sim.Millisecond, opts.Scale, sim.Millisecond)
+	type job2 struct {
+		results []metrics.Result
+		warmup  WarmupStats
 	}
-	results, err := runParallel(opts.WorkerCount(), len(variants),
-		func(i int, a *arena) (metrics.Result, error) {
-			v := variants[i]
-			spec := Spec{
-				Name:        "ablation-idle-exit/" + v.name,
-				Mode:        v.mode,
-				VCPUs:       1,
-				PolicyOpts:  v.opts,
-				SchedPolicy: opts.SchedPolicy,
-				Setup:       setup,
+	// Job 0 is the dynticks baseline (no options to vary: a straight run);
+	// job 1 warms one paratick world and forks the keep/disarm arms.
+	jobs, err := runParallel(opts.WorkerCount(), 2,
+		func(i int, a *arena) (job2, error) {
+			if i == 0 {
+				spec := Spec{
+					Name:          "ablation-idle-exit/dynticks",
+					Mode:          core.DynticksIdle,
+					VCPUs:         1,
+					SchedPolicy:   opts.SchedPolicy,
+					SnapshotProbe: opts.SnapshotProbe,
+					Setup:         setup,
+				}
+				r, err := run(spec, opts.Seed, opts.Meter, a)
+				if err != nil {
+					return job2{}, err
+				}
+				return job2{results: []metrics.Result{r}}, nil
 			}
-			return run(spec, opts.Seed, opts.Meter, a)
+			group := Spec{
+				Name:          "ablation-idle-exit/paratick",
+				Mode:          core.Paratick,
+				VCPUs:         1,
+				SchedPolicy:   opts.SchedPolicy,
+				SnapshotProbe: opts.SnapshotProbe,
+				Setup:         setup,
+			}.scenario()
+			arms := []func(*world) error{
+				nil, // keep armed: the group configuration as checkpointed
+				func(w *world) error {
+					return w.vms[0].Kernel().SetPolicyOptions(core.Options{DisarmOnIdleExit: true})
+				},
+			}
+			results, ck, err := forkScenario(group, opts.Seed, warm, arms, opts.Meter, a)
+			if err != nil {
+				return job2{}, err
+			}
+			out := job2{}
+			for _, r := range results {
+				out.results = append(out.results, r.Results[0])
+			}
+			out.warmup.record(ck, len(arms))
+			return out, nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	for i, v := range variants {
-		res.add(v.name, results[i])
-	}
+	res.add("dynticks (baseline)", jobs[0].results[0])
+	res.add("paratick (keep armed, paper)", jobs[1].results[0])
+	res.add("paratick (disarm on idle exit)", jobs[1].results[1])
+	res.Warmup.merge(jobs[1].warmup)
 	return res, nil
 }
 
 // RunFrequencyMismatchAblation evaluates the §4.1 extension: a guest
 // declaring 1000 Hz ticks on a 250 Hz host, with and without the
 // preemption-timer top-up. The guest-tick count shows whether the guest
-// actually receives its requested rate.
+// actually receives its requested rate. Both variants fork from one warmed
+// checkpoint; the top-up is a host-side entry hook swapped at the fork.
 func RunFrequencyMismatchAblation(opts Options) (*AblationResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	res := &AblationResult{Title: "Ablation: §4.1 guest 1000 Hz on host 250 Hz (busy vCPU)"}
 	work := sim.Time(float64(200*sim.Millisecond) * opts.Scale * 10)
-	setup := func(vm *kvm.VM) error {
-		vm.Kernel().Spawn("spin", 0, guest.Steps(guest.Compute(work)))
-		return nil
+	group := Spec{
+		Name:          "ablation-freq/paratick-1000hz",
+		Mode:          core.Paratick,
+		VCPUs:         1,
+		GuestHz:       1000,
+		HostHz:        250,
+		SchedPolicy:   opts.SchedPolicy,
+		SnapshotProbe: opts.SnapshotProbe,
+		Setup: func(vm *kvm.VM) error {
+			vm.Kernel().Spawn("spin", 0, guest.Steps(guest.Compute(work)))
+			return nil
+		},
+	}.scenario()
+	arms := []func(*world) error{
+		func(w *world) error {
+			w.vms[0].SetEntryHook(&core.ParatickHost{})
+			return nil
+		},
+		func(w *world) error {
+			w.vms[0].SetEntryHook(&core.ParatickHost{TopUp: true})
+			return nil
+		},
 	}
-	variants := []struct {
-		name  string
-		topUp bool
-	}{
-		{"paratick 1000Hz, no top-up", false},
-		{"paratick 1000Hz, top-up", true},
-	}
-	results, err := runParallel(opts.WorkerCount(), len(variants),
-		func(i int, a *arena) (metrics.Result, error) {
-			v := variants[i]
-			spec := Spec{
-				Name:        "ablation-freq/" + v.name,
-				Mode:        core.Paratick,
-				VCPUs:       1,
-				GuestHz:     1000,
-				HostHz:      250,
-				TopUp:       v.topUp,
-				SchedPolicy: opts.SchedPolicy,
-				Setup:       setup,
-			}
-			return run(spec, opts.Seed, opts.Meter, a)
-		})
+	// The busy spin runs for ~work; fork after an eighth of it.
+	results, ck, err := forkScenario(group, opts.Seed, work/8, arms, opts.Meter, nil)
 	if err != nil {
 		return nil, err
 	}
-	for i, v := range variants {
-		res.add(v.name, results[i])
-	}
+	res.add("paratick 1000Hz, no top-up", results[0].Results[0])
+	res.add("paratick 1000Hz, top-up", results[1].Results[0])
+	res.Warmup.record(ck, len(arms))
 	return res, nil
 }
 
 // RunHaltPollAblation shows why the paper disables halt polling (§6): it
 // trades burned host cycles for wake latency on a blocking-sync workload.
+// The windows are a host knob read at each HLT exit, so all three variants
+// fork from one checkpoint warmed with polling disabled.
 func RunHaltPollAblation(opts Options) (*AblationResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	res := &AblationResult{Title: "Ablation: KVM halt polling (fio rndr 4k, dynticks)"}
 	windows := []sim.Time{0, 50 * sim.Microsecond, 200 * sim.Microsecond}
-	results, err := runParallel(opts.WorkerCount(), len(windows),
-		func(i int, a *arena) (metrics.Result, error) {
-			hp := windows[i]
-			spec := Spec{
-				Name:        fmt.Sprintf("ablation-haltpoll/%v", hp),
-				Mode:        core.DynticksIdle,
-				VCPUs:       1,
-				HaltPoll:    hp,
-				SchedPolicy: opts.SchedPolicy,
-				Setup:       fioSetup(opts),
-			}
-			return run(spec, opts.Seed, opts.Meter, a)
-		})
+	group := Spec{
+		Name:          "ablation-haltpoll",
+		Mode:          core.DynticksIdle,
+		VCPUs:         1,
+		SchedPolicy:   opts.SchedPolicy,
+		SnapshotProbe: opts.SnapshotProbe,
+		Setup:         fioSetup(opts),
+	}.scenario()
+	arms := make([]func(*world) error, len(windows))
+	for i, hp := range windows {
+		hp := hp
+		arms[i] = func(w *world) error {
+			return w.host.SetHaltPoll(hp)
+		}
+	}
+	warm := warmupInstant(2*sim.Millisecond, opts.Scale, 100*sim.Microsecond)
+	results, ck, err := forkScenario(group, opts.Seed, warm, arms, opts.Meter, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -229,8 +284,9 @@ func RunHaltPollAblation(opts Options) (*AblationResult, error) {
 		if hp > 0 {
 			name = "window " + hp.String()
 		}
-		res.add(name, results[i])
+		res.add(name, results[i].Results[0])
 	}
+	res.Warmup.record(ck, len(arms))
 	return res, nil
 }
 
@@ -265,7 +321,9 @@ func (p *spinLockProgram) Next(ctx *guest.StepCtx) guest.Step {
 // RunPLEAblation contrasts blocking synchronization with optimistic
 // spinning, with and without pause-loop exiting — the §6 setup note
 // ("we disabled pause loop exiting (PLE) because this optimization is only
-// beneficial in overcommitted environments") made measurable.
+// beneficial in overcommitted environments") made measurable. The spin
+// window (guest) and PLE window (host) are both consulted per decision, so
+// the three variants fork from one blocking-sync warmup.
 func RunPLEAblation(opts Options) (*AblationResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -275,6 +333,20 @@ func RunPLEAblation(opts Options) (*AblationResult, error) {
 	if iters < 100 {
 		iters = 100
 	}
+	group := Spec{
+		Name:          "ple",
+		Mode:          core.DynticksIdle,
+		VCPUs:         4,
+		SchedPolicy:   opts.SchedPolicy,
+		SnapshotProbe: opts.SnapshotProbe,
+		Setup: func(vm *kvm.VM) error {
+			lock := vm.Kernel().NewLock("hot")
+			for i := 0; i < 4; i++ {
+				vm.Kernel().Spawn(fmt.Sprintf("t%d", i), i, &spinLockProgram{lock: lock, iters: iters})
+			}
+			return nil
+		},
+	}.scenario()
 	variants := []struct {
 		name string
 		spin sim.Time
@@ -284,32 +356,27 @@ func RunPLEAblation(opts Options) (*AblationResult, error) {
 		{"spin 25us, PLE off (paper host)", 25 * sim.Microsecond, 0},
 		{"spin 25us, PLE 10us window", 25 * sim.Microsecond, 10 * sim.Microsecond},
 	}
-	results, err := runParallel(opts.WorkerCount(), len(variants),
-		func(vi int, a *arena) (metrics.Result, error) {
-			v := variants[vi]
-			spec := Spec{
-				Name:         "ple/" + v.name,
-				Mode:         core.DynticksIdle,
-				VCPUs:        4,
-				PLEWindow:    v.ple,
-				AdaptiveSpin: v.spin,
-				SchedPolicy:  opts.SchedPolicy,
-				Setup: func(vm *kvm.VM) error {
-					lock := vm.Kernel().NewLock("hot")
-					for i := 0; i < 4; i++ {
-						vm.Kernel().Spawn(fmt.Sprintf("t%d", i), i, &spinLockProgram{lock: lock, iters: iters})
-					}
-					return nil
-				},
+	arms := make([]func(*world) error, len(variants))
+	for i, v := range variants {
+		v := v
+		arms[i] = func(w *world) error {
+			if err := w.vms[0].Kernel().SetAdaptiveSpin(v.spin); err != nil {
+				return err
 			}
-			return run(spec, opts.Seed, opts.Meter, a)
-		})
+			return w.host.SetPLEWindow(v.ple)
+		}
+	}
+	// ≥100 iterations × ≥60us of compute per task keeps the run in the
+	// multi-millisecond range; fork inside the first millisecond.
+	warm := warmupInstant(5*sim.Millisecond, opts.Scale, 500*sim.Microsecond)
+	results, ck, err := forkScenario(group, opts.Seed, warm, arms, opts.Meter, nil)
 	if err != nil {
 		return nil, err
 	}
 	for i, v := range variants {
-		res.add(v.name, results[i])
+		res.add(v.name, results[i].Results[0])
 	}
+	res.Warmup.record(ck, len(arms))
 	return res, nil
 }
 
@@ -318,6 +385,8 @@ func RunPLEAblation(opts Options) (*AblationResult, error) {
 // shrinking (but not erasing) paratick's relative benefit — context for the
 // paper's note that its test system lacks an SR-IOV device (§6.3). The
 // workload issues bursts of write-behind I/O so completions can coalesce.
+// One warmed group per mode; the coalescing window is a device profile
+// retuned at the fork.
 func RunCoalescingAblation(opts Options) (*AblationResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -327,26 +396,50 @@ func RunCoalescingAblation(opts Options) (*AblationResult, error) {
 	job.WriteBehind = 8 // mostly async: bursts of in-flight writes
 	windows := []sim.Time{0, 30 * sim.Microsecond}
 	modes := []core.Mode{core.DynticksIdle, core.Paratick}
-	results, err := runParallel(opts.WorkerCount(), len(windows)*len(modes),
-		func(i int, a *arena) (metrics.Result, error) {
-			coalesce, mode := windows[i/len(modes)], modes[i%len(modes)]
-			dev := opts.Device
-			dev.CoalesceWindow = coalesce
-			dev.CoalesceMax = 8
-			spec := Spec{
-				Name:        fmt.Sprintf("ablation-coalesce/%v/%v", coalesce, mode),
-				Mode:        mode,
-				VCPUs:       1,
-				SchedPolicy: opts.SchedPolicy,
+	warm := warmupInstant(sim.Millisecond, opts.Scale, 50*sim.Microsecond)
+	type modeJob struct {
+		results []metrics.Result
+		warmup  WarmupStats
+	}
+	jobs, err := runParallel(opts.WorkerCount(), len(modes),
+		func(mi int, a *arena) (modeJob, error) {
+			mode := modes[mi]
+			base := opts.Device
+			base.CoalesceWindow = windows[0]
+			base.CoalesceMax = 8
+			group := Spec{
+				Name:          fmt.Sprintf("ablation-coalesce/%v", mode),
+				Mode:          mode,
+				VCPUs:         1,
+				SchedPolicy:   opts.SchedPolicy,
+				SnapshotProbe: opts.SnapshotProbe,
 				Setup: func(vm *kvm.VM) error {
-					d, err := vm.AttachDevice("disk0", dev)
+					d, err := vm.AttachDevice("disk0", base)
 					if err != nil {
 						return err
 					}
 					return job.Spawn(vm.Kernel(), d)
 				},
+			}.scenario()
+			arms := make([]func(*world) error, len(windows))
+			for i, coalesce := range windows {
+				profile := opts.Device
+				profile.CoalesceWindow = coalesce
+				profile.CoalesceMax = 8
+				arms[i] = func(w *world) error {
+					return w.vms[0].Device("disk0").SetProfile(profile)
+				}
 			}
-			return run(spec, opts.Seed, opts.Meter, a)
+			results, ck, err := forkScenario(group, opts.Seed, warm, arms, opts.Meter, a)
+			if err != nil {
+				return modeJob{}, err
+			}
+			out := modeJob{}
+			for _, r := range results {
+				out.results = append(out.results, r.Results[0])
+			}
+			out.warmup.record(ck, len(arms))
+			return out, nil
 		})
 	if err != nil {
 		return nil, err
@@ -357,8 +450,11 @@ func RunCoalescingAblation(opts Options) (*AblationResult, error) {
 			if coalesce > 0 {
 				name = mode.String() + ", coalesce " + coalesce.String()
 			}
-			res.add(name, results[i*len(modes)+j])
+			res.add(name, jobs[j].results[i])
 		}
+	}
+	for _, j := range jobs {
+		res.Warmup.merge(j.warmup)
 	}
 	return res, nil
 }

@@ -1,0 +1,230 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+
+	"paratick/internal/core"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+	"paratick/internal/snap"
+)
+
+// Checkpoint is the deterministic state of a scenario frozen mid-run. It
+// carries everything needed to continue the run in a rebuilt world: the
+// scenario's structural fingerprint (restore refuses a mismatched shape),
+// the seed, the freeze instant, and the serialized engine + host state.
+// A checkpoint is immutable and safe to restore from concurrently; the
+// experiment runners fork one warmed-up checkpoint into independent arms.
+type Checkpoint struct {
+	fp      []byte
+	seed    uint64
+	at      sim.Time
+	events  uint64
+	payload []byte
+}
+
+// checkpointKind tags the snapshot container header.
+const checkpointKind = "scenario"
+
+// Seed returns the seed the checkpointed run was built with.
+func (c *Checkpoint) Seed() uint64 { return c.seed }
+
+// At returns the simulated instant the state was frozen at.
+func (c *Checkpoint) At() sim.Time { return c.at }
+
+// Events returns how many engine events the warmup dispatched.
+func (c *Checkpoint) Events() uint64 { return c.events }
+
+// Bytes serializes the checkpoint into the versioned container format.
+// The bytes are stable: the same logical state always encodes identically.
+func (c *Checkpoint) Bytes() []byte {
+	var enc snap.Encoder
+	snap.WriteHeader(&enc, checkpointKind)
+	enc.Section("checkpoint")
+	enc.String(string(c.fp))
+	enc.U64(c.seed)
+	enc.I64(int64(c.at))
+	enc.U64(c.events)
+	enc.String(string(c.payload))
+	return enc.Bytes()
+}
+
+// LoadCheckpoint parses a container produced by Checkpoint.Bytes. The state
+// payload is validated only when the checkpoint is resumed into a rebuilt
+// scenario — the container alone cannot know the object graph.
+func LoadCheckpoint(data []byte) (*Checkpoint, error) {
+	dec := snap.NewDecoder(data)
+	if err := snap.ReadHeader(dec, checkpointKind); err != nil {
+		return nil, err
+	}
+	dec.Section("checkpoint")
+	c := &Checkpoint{}
+	c.fp = []byte(dec.String())
+	c.seed = dec.U64()
+	c.at = sim.Time(dec.I64())
+	c.events = dec.U64()
+	c.payload = []byte(dec.String())
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if n := dec.Remaining(); n != 0 {
+		return nil, fmt.Errorf("experiment: %d trailing bytes after checkpoint", n)
+	}
+	return c, nil
+}
+
+// CheckpointScenario runs the scenario to the given instant and freezes the
+// complete simulator state.
+func CheckpointScenario(s Scenario, seed uint64, at sim.Time) (*Checkpoint, error) {
+	return checkpointScenario(s, seed, at, nil, nil)
+}
+
+// checkpointScenario is CheckpointScenario with telemetry and an arena.
+func checkpointScenario(s Scenario, seed uint64, at sim.Time, m *metrics.Meter, a *arena) (*Checkpoint, error) {
+	if at <= 0 {
+		return nil, fmt.Errorf("experiment %s: checkpoint instant must be positive, got %v", s.Name, at)
+	}
+	w, err := buildWorld(s, seed, a)
+	if err != nil {
+		return nil, err
+	}
+	defer w.release()
+	if at >= w.deadline() {
+		return nil, fmt.Errorf("experiment %s: checkpoint instant %v is not before the deadline %v", s.Name, at, w.deadline())
+	}
+	w.engine.RunUntil(at)
+	m.AddRun(w.engine.Fired())
+	if w.engine.Stopped() {
+		return nil, fmt.Errorf("experiment %s: workload finished before checkpoint instant %v — every resumed arm would measure an already-ended run", s.Name, at)
+	}
+	state, err := w.save()
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		fp:      w.fingerprint(),
+		seed:    seed,
+		at:      at,
+		events:  w.engine.Fired(),
+		payload: append([]byte(nil), state...),
+	}, nil
+}
+
+// ResumeScenario rebuilds the scenario, restores the checkpoint into it,
+// and runs it to completion. The scenario must be structurally identical to
+// the one the checkpoint was taken from (Name, Duration, and SnapshotProbe
+// may differ — they do not shape the object graph).
+func ResumeScenario(s Scenario, ck *Checkpoint) (*ScenarioResult, error) {
+	return resumeCheckpoint(s, ck, nil, nil, nil)
+}
+
+// resumeCheckpoint is ResumeScenario with a mutation hook applied between
+// restore and run: the fork point where ablation arms retune runtime knobs
+// (halt-poll window, policy options, device profile) that construction-time
+// state never captures. Arm identity therefore lives entirely in the hook —
+// every arm rebuilds from the same group scenario, which is what keeps the
+// snapshot's structural sections (VM names, shapes) shared.
+func resumeCheckpoint(s Scenario, ck *Checkpoint, mutate func(*world) error, m *metrics.Meter, a *arena) (*ScenarioResult, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("experiment %s: nil checkpoint", s.Name)
+	}
+	w, err := buildWorld(s, ck.seed, a)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(w.fingerprint(), ck.fp) {
+		return nil, fmt.Errorf("experiment %s: checkpoint was taken from a structurally different scenario (fingerprint %v, rebuilt %v)",
+			s.Name, snap.HashBytes(ck.fp), snap.HashBytes(w.fingerprint()))
+	}
+	if err := w.restore(ck.payload); err != nil {
+		return nil, err
+	}
+	w.resumed = true
+	if mutate != nil {
+		if err := mutate(w); err != nil {
+			return nil, fmt.Errorf("experiment %s: arm setup: %w", s.Name, err)
+		}
+	}
+	w, err = w.run(m)
+	if err != nil {
+		return nil, err
+	}
+	return w.finish()
+}
+
+// forkScenario warms one group scenario to the fork instant, then runs one
+// independent arm per mutation hook, each restored from the shared
+// checkpoint. Results are returned in hook order. The arms share every
+// warmup event — the savings WarmupStats reports.
+func forkScenario(s Scenario, seed uint64, at sim.Time, arms []func(*world) error, m *metrics.Meter, a *arena) ([]*ScenarioResult, *Checkpoint, error) {
+	ck, err := checkpointScenario(s, seed, at, m, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*ScenarioResult, len(arms))
+	for i, mutate := range arms {
+		r, err := resumeCheckpoint(s, ck, mutate, m, a)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i] = r
+	}
+	return out, ck, nil
+}
+
+// ReferenceScenario returns the canonical single-VM fio scenario the CLI's
+// checkpoint flags operate on: random 4 KiB reads on the configured device
+// under the dynticks baseline, sized by opts.Scale.
+func ReferenceScenario(opts Options) Scenario {
+	return Spec{
+		Name:          "reference",
+		Mode:          core.DynticksIdle,
+		VCPUs:         1,
+		SchedPolicy:   opts.SchedPolicy,
+		SnapshotProbe: opts.SnapshotProbe,
+		Setup:         fioSetup(opts),
+	}.scenario()
+}
+
+// WarmupStats accounts what warm-started forking saved: warmup events are
+// simulated once per group instead of once per arm.
+type WarmupStats struct {
+	// Groups is how many warmup checkpoints were taken.
+	Groups int
+	// Arms is how many runs were forked from those checkpoints.
+	Arms int
+	// GroupEvents is the number of warmup events actually simulated.
+	GroupEvents uint64
+	// SavedEvents is the number of warmup-event re-simulations the forks
+	// avoided: each group's warmup would otherwise have run once per arm.
+	SavedEvents uint64
+}
+
+// record accounts one group's checkpoint forked into the given arm count.
+func (s *WarmupStats) record(ck *Checkpoint, arms int) {
+	s.Groups++
+	s.Arms += arms
+	s.GroupEvents += ck.events
+	if arms > 1 {
+		s.SavedEvents += ck.events * uint64(arms-1)
+	}
+}
+
+// merge folds another accumulator into s.
+func (s *WarmupStats) merge(o WarmupStats) {
+	s.Groups += o.Groups
+	s.Arms += o.Arms
+	s.GroupEvents += o.GroupEvents
+	s.SavedEvents += o.SavedEvents
+}
+
+// String renders the savings line experiment reports append.
+func (s WarmupStats) String() string {
+	if s.Groups == 0 || s.GroupEvents == 0 {
+		return ""
+	}
+	factor := float64(s.GroupEvents+s.SavedEvents) / float64(s.GroupEvents)
+	return fmt.Sprintf("warm-started forks: %d warmup groups forked into %d arms; %d warmup events simulated once, %d re-simulations avoided (%.1fx fewer warmup events)",
+		s.Groups, s.Arms, s.GroupEvents, s.SavedEvents, factor)
+}

@@ -54,10 +54,11 @@ func wrapPlace(vcpus, base int) []hw.CPUID {
 // 4-vCPU compute VM — all under one tick mode.
 func consolidationScenario(opts Options, mode core.Mode, dur sim.Time) Scenario {
 	s := Scenario{
-		Name:        "consolidation/" + mode.String(),
-		Topology:    hw.SmallTopology(), // 16 pCPUs
-		SchedPolicy: opts.SchedPolicy,
-		Duration:    dur,
+		Name:          "consolidation/" + mode.String(),
+		Topology:      hw.SmallTopology(), // 16 pCPUs
+		SchedPolicy:   opts.SchedPolicy,
+		Duration:      dur,
+		SnapshotProbe: opts.SnapshotProbe,
 	}
 	for i := 0; i < 4; i++ {
 		s.VMs = append(s.VMs, VMSpec{

@@ -35,6 +35,9 @@ type CrossoverResult struct {
 	// tickless induces no more timer exits than periodic (sim.Forever when
 	// tickless never wins in the sweep).
 	EmpiricalCrossover sim.Time
+	// Warmup accounts the events shared by warm-starting each mode's sweep
+	// from one forked checkpoint.
+	Warmup WarmupStats
 }
 
 // crossoverIdlePeriods returns the swept idle-period lengths, bracketing
@@ -101,18 +104,30 @@ func RunCrossover(opts Options) (*CrossoverResult, error) {
 	const busy = 50 * sim.Microsecond
 	idles := crossoverIdlePeriods()
 	modes := []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick}
-	// Flatten the (idle period, mode) grid into independent parallel jobs.
-	exits, err := runParallel(opts.WorkerCount(), len(idles)*len(modes),
-		func(i int, a *arena) (uint64, error) {
-			idle, mode := idles[i/len(modes)], modes[i%len(modes)]
-			spec := Spec{
-				Name:        fmt.Sprintf("crossover/%v/%v", idle, mode),
-				Mode:        mode,
-				VCPUs:       1,
-				Duration:    dur,
-				SchedPolicy: opts.SchedPolicy,
+	// One warm-started group per mode: the scenario boots and idles once,
+	// is checkpointed at warm, and every swept latency forks from that
+	// checkpoint, retuning only the delay-line device. The warmup runs
+	// under the longest swept latency so the guest mostly blocks — the
+	// shared window then adds only a handful of ticks to each point instead
+	// of flooding the tickless counts with short-idle exits.
+	warm := dur / 8
+	warmLatency := idles[len(idles)-1]
+	type modeSweep struct {
+		exits  []uint64
+		warmup WarmupStats
+	}
+	sweeps, err := runParallel(opts.WorkerCount(), len(modes),
+		func(mi int, a *arena) (modeSweep, error) {
+			mode := modes[mi]
+			group := Spec{
+				Name:          fmt.Sprintf("crossover/%v", mode),
+				Mode:          mode,
+				VCPUs:         1,
+				Duration:      dur,
+				SchedPolicy:   opts.SchedPolicy,
+				SnapshotProbe: opts.SnapshotProbe,
 				Setup: func(vm *kvm.VM) error {
-					dev, err := vm.AttachDevice("delay", delayLineProfile(idle))
+					dev, err := vm.AttachDevice("delay", delayLineProfile(warmLatency))
 					if err != nil {
 						return err
 					}
@@ -121,22 +136,37 @@ func RunCrossover(opts Options) (*CrossoverResult, error) {
 					})
 					return nil
 				},
+			}.scenario()
+			arms := make([]func(*world) error, len(idles))
+			for i, idle := range idles {
+				profile := delayLineProfile(idle)
+				arms[i] = func(w *world) error {
+					return w.vms[0].Device("delay").SetProfile(profile)
+				}
 			}
-			r, err := run(spec, opts.Seed, opts.Meter, a)
+			results, ck, err := forkScenario(group, opts.Seed, warm, arms, opts.Meter, a)
 			if err != nil {
-				return 0, err
+				return modeSweep{}, err
 			}
-			return r.Counters.TimerExits(), nil
+			sweep := modeSweep{exits: make([]uint64, len(idles))}
+			for i, r := range results {
+				sweep.exits[i] = r.Results[0].Counters.TimerExits()
+			}
+			sweep.warmup.record(ck, len(arms))
+			return sweep, nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	for _, s := range sweeps {
+		res.Warmup.merge(s.warmup)
+	}
 	for i, idle := range idles {
 		pt := CrossoverPoint{
 			IdlePeriod:    idle,
-			PeriodicExits: exits[i*len(modes)],
-			TicklessExits: exits[i*len(modes)+1],
-			ParatickExits: exits[i*len(modes)+2],
+			PeriodicExits: sweeps[0].exits[i],
+			TicklessExits: sweeps[1].exits[i],
+			ParatickExits: sweeps[2].exits[i],
 		}
 		res.Points = append(res.Points, pt)
 		if res.EmpiricalCrossover == sim.Forever && pt.TicklessExits <= pt.PeriodicExits {
@@ -170,6 +200,10 @@ func (r *CrossoverResult) Render() string {
 		b.WriteString("empirical crossover: not reached within the sweep\n")
 	} else {
 		fmt.Fprintf(&b, "empirical crossover: tickless wins from %v\n", r.EmpiricalCrossover)
+	}
+	if line := r.Warmup.String(); line != "" {
+		b.WriteString(line)
+		b.WriteString("\n")
 	}
 	return b.String()
 }

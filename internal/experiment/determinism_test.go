@@ -16,59 +16,65 @@ func renderAll(t *testing.T, workers int) string {
 	opts.Scale = 0.05
 	opts.Workers = workers
 	opts.Meter = &metrics.Meter{}
+	return renderAllOpts(t, opts)
+}
 
+// renderAllOpts is renderAll with the options fully caller-controlled; the
+// snapshot golden test reuses it to compare probe-on against probe-off runs.
+func renderAllOpts(t *testing.T, opts Options) string {
+	t.Helper()
 	var out string
 	t1, err := RunTable1(opts)
 	if err != nil {
-		t.Fatalf("table1 (workers=%d): %v", workers, err)
+		t.Fatalf("table1 (workers=%d): %v", opts.Workers, err)
 	}
 	out += t1.Render()
 
 	fig4, err := RunFig4(opts)
 	if err != nil {
-		t.Fatalf("fig4 (workers=%d): %v", workers, err)
+		t.Fatalf("fig4 (workers=%d): %v", opts.Workers, err)
 	}
 	out += fig4.Render() + fig4.Table().CSV() + RenderTable2(fig4).CSV()
 
 	fig5, err := RunFig5Size(opts, VMSizes()[0])
 	if err != nil {
-		t.Fatalf("fig5 (workers=%d): %v", workers, err)
+		t.Fatalf("fig5 (workers=%d): %v", opts.Workers, err)
 	}
 	out += fig5.Render() + fig5.Table().CSV()
 
 	fig6, err := RunFig6(opts)
 	if err != nil {
-		t.Fatalf("fig6 (workers=%d): %v", workers, err)
+		t.Fatalf("fig6 (workers=%d): %v", opts.Workers, err)
 	}
 	out += fig6.Render() + fig6.Table().CSV() + RenderTable4(fig6).CSV()
 
 	cross, err := RunCrossover(opts)
 	if err != nil {
-		t.Fatalf("crossover (workers=%d): %v", workers, err)
+		t.Fatalf("crossover (workers=%d): %v", opts.Workers, err)
 	}
 	out += cross.Render() + cross.Table().CSV()
 
 	cons, err := RunConsolidation(opts)
 	if err != nil {
-		t.Fatalf("consolidation (workers=%d): %v", workers, err)
+		t.Fatalf("consolidation (workers=%d): %v", opts.Workers, err)
 	}
 	out += cons.Render()
 
 	oc, err := RunOvercommit(opts)
 	if err != nil {
-		t.Fatalf("overcommit (workers=%d): %v", workers, err)
+		t.Fatalf("overcommit (workers=%d): %v", opts.Workers, err)
 	}
 	out += oc.Render() + oc.Table().CSV()
 
 	abl, err := RunAllAblations(opts)
 	if err != nil {
-		t.Fatalf("ablations (workers=%d): %v", workers, err)
+		t.Fatalf("ablations (workers=%d): %v", opts.Workers, err)
 	}
 	out += abl
 
-	if opts.Meter.Runs() == 0 || opts.Meter.Events() == 0 {
+	if opts.Meter != nil && (opts.Meter.Runs() == 0 || opts.Meter.Events() == 0) {
 		t.Fatalf("meter recorded nothing (workers=%d): runs=%d events=%d",
-			workers, opts.Meter.Runs(), opts.Meter.Events())
+			opts.Workers, opts.Meter.Runs(), opts.Meter.Events())
 	}
 	return out
 }
@@ -98,7 +104,7 @@ func TestParallelRepeatsDeterminism(t *testing.T) {
 		opts.Workers = workers
 		fig, err := RunFig4(opts)
 		if err != nil {
-			t.Fatalf("fig4 repeats (workers=%d): %v", workers, err)
+			t.Fatalf("fig4 repeats (workers=%d): %v", opts.Workers, err)
 		}
 		return fig.Render() + fig.Table().CSV()
 	}

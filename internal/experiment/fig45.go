@@ -38,9 +38,10 @@ func runFig4Once(opts Options) (*ParsecFigure, error) {
 		func(i int, a *arena) (metrics.Comparison, error) {
 			p := profiles[i]
 			spec := Spec{
-				Name:        "parsec-seq/" + p.Name,
-				VCPUs:       1,
-				SchedPolicy: opts.SchedPolicy,
+				Name:          "parsec-seq/" + p.Name,
+				VCPUs:         1,
+				SchedPolicy:   opts.SchedPolicy,
+				SnapshotProbe: opts.SnapshotProbe,
 				Setup: func(vm *kvm.VM) error {
 					dev, err := vm.AttachDevice("disk0", opts.Device)
 					if err != nil {
@@ -105,10 +106,11 @@ func runFig5SizeOnce(opts Options, size VMSize) (*ParsecFigure, error) {
 		func(i int, a *arena) (metrics.Comparison, error) {
 			p := profiles[i]
 			spec := Spec{
-				Name:        "parsec-par/" + size.Name + "/" + p.Name,
-				VCPUs:       size.VCPUs,
-				Sockets:     size.Sockets,
-				SchedPolicy: opts.SchedPolicy,
+				Name:          "parsec-par/" + size.Name + "/" + p.Name,
+				VCPUs:         size.VCPUs,
+				Sockets:       size.Sockets,
+				SchedPolicy:   opts.SchedPolicy,
+				SnapshotProbe: opts.SnapshotProbe,
 				Setup: func(vm *kvm.VM) error {
 					dev, err := vm.AttachDevice("disk0", opts.Device)
 					if err != nil {

@@ -101,9 +101,10 @@ func RunFig6(opts Options) (*FioFigure, error) {
 func runFioCell(opts Options, pat workload.FioPattern, bs int, a *arena) (FioCell, error) {
 	job := workload.DefaultFioJob(pat, bs, fioTotalBytes(bs, opts.Scale))
 	spec := Spec{
-		Name:        fmt.Sprintf("fio/%s/%dk", pat, bs/1024),
-		VCPUs:       1,
-		SchedPolicy: opts.SchedPolicy,
+		Name:          fmt.Sprintf("fio/%s/%dk", pat, bs/1024),
+		VCPUs:         1,
+		SchedPolicy:   opts.SchedPolicy,
+		SnapshotProbe: opts.SnapshotProbe,
 		Setup: func(vm *kvm.VM) error {
 			dev, err := vm.AttachDevice("disk0", opts.Device)
 			if err != nil {

@@ -68,10 +68,11 @@ func overcommitScenario(opts Options, ratio int, mode core.Mode, policy sched.Ki
 		return out
 	}
 	s := Scenario{
-		Name:        fmt.Sprintf("overcommit/%d:1/%s/%s", ratio, mode, policy),
-		Topology:    hw.Topology{Sockets: 2, CPUsPerSocket: 4, CrossSocketTax: 1.35},
-		SchedPolicy: policy,
-		Duration:    dur,
+		Name:          fmt.Sprintf("overcommit/%d:1/%s/%s", ratio, mode, policy),
+		Topology:      hw.Topology{Sockets: 2, CPUsPerSocket: 4, CrossSocketTax: 1.35},
+		SchedPolicy:   policy,
+		Duration:      dur,
+		SnapshotProbe: opts.SnapshotProbe,
 	}
 	bench := workload.DefaultSyncBench()
 	bench.Threads = overcommitPCPUs

@@ -45,6 +45,11 @@ type Options struct {
 	// (zero → sched.FIFO, the legacy behaviour). Experiments that compare
 	// policies, like the overcommit sweep, ignore it and run both.
 	SchedPolicy sched.Kind
+	// SnapshotProbe, when positive, makes every run checkpoint itself at
+	// this instant, verify the snapshot round-trips byte-identically, and
+	// continue from the restored copy. Output must be byte-identical with
+	// the probe on or off — the golden gate of the checkpoint machinery.
+	SnapshotProbe sim.Time
 }
 
 // DefaultOptions returns full-scale settings with the NVMe-class device.
@@ -165,6 +170,9 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("experiment: workers must be non-negative, got %d", o.Workers)
 	}
+	if o.SnapshotProbe < 0 {
+		return fmt.Errorf("experiment: snapshot probe must be non-negative, got %v", o.SnapshotProbe)
+	}
 	return o.Device.Validate()
 }
 
@@ -192,6 +200,9 @@ type Spec struct {
 	// Duration runs for a fixed simulated time (open-ended workloads);
 	// when 0 the run ends at workload completion.
 	Duration sim.Time
+	// SnapshotProbe enables the mid-run checkpoint round-trip gate (see
+	// Scenario.SnapshotProbe).
+	SnapshotProbe sim.Time
 	// Setup spawns the workload (tasks, devices) into the fresh VM.
 	Setup func(vm *kvm.VM) error
 }
@@ -203,13 +214,14 @@ const maxSimTime = 1000 * sim.Second
 // scenario lifts the single-VM spec into a one-VM Scenario.
 func (spec Spec) scenario() Scenario {
 	return Scenario{
-		Name:        spec.Name,
-		HostHz:      spec.HostHz,
-		Timeslice:   spec.Timeslice,
-		HaltPoll:    spec.HaltPoll,
-		PLEWindow:   spec.PLEWindow,
-		SchedPolicy: spec.SchedPolicy,
-		Duration:    spec.Duration,
+		Name:          spec.Name,
+		HostHz:        spec.HostHz,
+		Timeslice:     spec.Timeslice,
+		HaltPoll:      spec.HaltPoll,
+		PLEWindow:     spec.PLEWindow,
+		SchedPolicy:   spec.SchedPolicy,
+		Duration:      spec.Duration,
+		SnapshotProbe: spec.SnapshotProbe,
 		VMs: []VMSpec{{
 			Name:         spec.Name,
 			Mode:         spec.Mode,

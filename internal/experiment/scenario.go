@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"fmt"
 
 	"paratick/internal/core"
@@ -10,6 +11,7 @@ import (
 	"paratick/internal/metrics"
 	"paratick/internal/sched"
 	"paratick/internal/sim"
+	"paratick/internal/snap"
 )
 
 // VMSpec describes one virtual machine inside a Scenario.
@@ -30,7 +32,9 @@ type VMSpec struct {
 	// Workload marks this VM's tasks as the scenario's completion condition:
 	// a Scenario with Duration 0 runs until every workload VM finishes.
 	Workload bool
-	// Setup spawns the VM's tasks and devices.
+	// Setup spawns the VM's tasks and devices. It must be deterministic and
+	// re-runnable: checkpoint restore rebuilds the scenario by calling it
+	// again, so it must not capture state mutated by a previous call.
 	Setup func(vm *kvm.VM) error
 }
 
@@ -51,7 +55,12 @@ type Scenario struct {
 	// Duration runs for a fixed simulated time; when 0 the scenario ends
 	// once every Workload-marked VM completes.
 	Duration sim.Time
-	VMs      []VMSpec
+	// SnapshotProbe, when positive, checkpoints the run at this instant,
+	// verifies the snapshot round-trips byte-identically, and continues on
+	// the restored copy — so any restore bug surfaces as divergent results.
+	// It is a differential-testing gate, not a performance feature.
+	SnapshotProbe sim.Time
+	VMs           []VMSpec
 }
 
 // ScenarioResult carries per-VM results in VMSpec order.
@@ -88,11 +97,54 @@ func RunScenario(s Scenario, seed uint64) (*ScenarioResult, error) {
 }
 
 // runScenario is RunScenario with telemetry and an optional worker arena
-// supplying the reused engine. The construction order is load-bearing for
-// reproducibility: each VM is created and set up in VMSpec order (kernel and
-// device creation fork the engine's RNG), then all VMs start in the same
-// order, exactly as the pre-scenario runners did.
+// supplying the reused engine.
 func runScenario(s Scenario, seed uint64, m *metrics.Meter, a *arena) (*ScenarioResult, error) {
+	w, err := buildWorld(s, seed, a)
+	if err != nil {
+		return nil, err
+	}
+	w, err = w.run(m)
+	if err != nil {
+		return nil, err
+	}
+	return w.finish()
+}
+
+// world is one fully constructed scenario instance: the engine, host, and
+// VM fleet, plus the bookkeeping runScenario needs. Splitting construction
+// (buildWorld) from execution (run/finish) is what makes checkpointing
+// possible: restore rebuilds an identical world from the spec and then
+// overwrites its mutable state from the snapshot.
+type world struct {
+	scenario Scenario
+	seed     uint64
+	cfg      kvm.Config
+	// placements records each VM's resolved pCPU placement; it feeds the
+	// scenario fingerprint, which must cover the placement actually used,
+	// not the spec fields it was derived from.
+	placements [][]hw.CPUID
+	engine     *sim.Engine
+	host       *kvm.Host
+	vms        []*kvm.VM
+	pool       *guest.WheelPool
+	workloads  int
+	// remaining counts unfinished workload VMs; the OnWorkloadDone hooks
+	// decrement it and stop the engine at zero (Duration-0 scenarios).
+	remaining int
+	// resumed marks a world restored from a checkpoint whose arms may have
+	// had runtime knobs retuned; the snapshot probe then verifies without
+	// adopting the rebuilt copy (a rebuild cannot know the retuned knobs).
+	resumed bool
+}
+
+// buildWorld constructs the scenario and starts every VM, leaving the
+// engine one Run call away from executing. The construction order is
+// load-bearing for reproducibility: each VM is created and set up in VMSpec
+// order (kernel and device creation fork the engine's RNG), then all VMs
+// start in the same order, exactly as the pre-scenario runners did.
+// Checkpoint restore relies on the same property: rebuilding from an equal
+// (Scenario, seed) yields an object graph of identical shape.
+func buildWorld(s Scenario, seed uint64, a *arena) (*world, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,8 +166,14 @@ func runScenario(s Scenario, seed uint64, m *metrics.Meter, a *arena) (*Scenario
 	if err != nil {
 		return nil, err
 	}
-	vms := make([]*kvm.VM, 0, len(s.VMs))
-	workloads := 0
+	w := &world{
+		scenario: s,
+		seed:     seed,
+		cfg:      cfg,
+		engine:   engine,
+		host:     host,
+		pool:     a.wheelPool(),
+	}
 	for _, vs := range s.VMs {
 		placement := vs.Placement
 		if placement == nil {
@@ -132,7 +190,7 @@ func runScenario(s Scenario, seed uint64, m *metrics.Meter, a *arena) (*Scenario
 		gcfg.Mode = vs.Mode
 		gcfg.PolicyOpts = vs.PolicyOpts
 		gcfg.AdaptiveSpin = vs.AdaptiveSpin
-		gcfg.Wheels = a.wheelPool()
+		gcfg.Wheels = w.pool
 		if vs.GuestHz > 0 {
 			gcfg.TickHz = vs.GuestHz
 		}
@@ -149,52 +207,207 @@ func runScenario(s Scenario, seed uint64, m *metrics.Meter, a *arena) (*Scenario
 			}
 		}
 		if vs.Workload {
-			workloads++
+			w.workloads++
 		}
-		vms = append(vms, vm)
+		w.placements = append(w.placements, placement)
+		w.vms = append(w.vms, vm)
 	}
-	deadline := s.Duration
-	if deadline == 0 {
-		deadline = maxSimTime
-		remaining := workloads
-		for i, vs := range s.VMs {
-			if !vs.Workload {
-				continue
-			}
-			vms[i].OnWorkloadDone = func(sim.Time) {
-				remaining--
-				if remaining == 0 {
-					engine.Stop()
-				}
+	w.remaining = w.workloads
+	for i, vs := range s.VMs {
+		if !vs.Workload {
+			continue
+		}
+		w.vms[i].OnWorkloadDone = func(sim.Time) {
+			w.remaining--
+			if w.remaining == 0 && w.scenario.Duration == 0 {
+				w.engine.Stop()
 			}
 		}
 	}
-	for _, vm := range vms {
+	for _, vm := range w.vms {
 		vm.Start()
 	}
-	engine.RunUntil(deadline)
-	m.AddRun(engine.Fired())
-	if s.Duration == 0 {
-		for i, vs := range s.VMs {
+	return w, nil
+}
+
+// deadline is the instant the run ends at.
+func (w *world) deadline() sim.Time {
+	if w.scenario.Duration > 0 {
+		return w.scenario.Duration
+	}
+	return maxSimTime
+}
+
+// fingerprint encodes the world's structural identity: everything that
+// shapes the object graph a snapshot must be restored into. Name, Duration,
+// SnapshotProbe, and Setup closures are deliberately excluded — they do not
+// change the graph's shape, and a checkpoint may legitimately be resumed
+// under a different label, horizon, or probe.
+func (w *world) fingerprint() []byte {
+	var enc snap.Encoder
+	enc.Section("scenario-shape")
+	enc.I64(int64(w.cfg.Topology.Sockets))
+	enc.I64(int64(w.cfg.Topology.CPUsPerSocket))
+	enc.F64(w.cfg.Topology.CrossSocketTax)
+	enc.I64(int64(w.cfg.HostHz))
+	enc.I64(int64(w.cfg.Timeslice))
+	enc.I64(int64(w.cfg.HaltPoll))
+	enc.I64(int64(w.cfg.PLEWindow))
+	enc.U8(uint8(w.cfg.SchedPolicy))
+	enc.U32(uint32(len(w.scenario.VMs)))
+	for i, vs := range w.scenario.VMs {
+		enc.String(vs.Name)
+		enc.U8(uint8(vs.Mode))
+		enc.I64(int64(vs.GuestHz))
+		enc.Bool(vs.PolicyOpts.DisarmOnIdleExit)
+		enc.I64(int64(vs.PolicyOpts.IdleEnterCost))
+		enc.I64(int64(vs.PolicyOpts.IdleExitCost))
+		enc.I64(int64(vs.AdaptiveSpin))
+		enc.Bool(vs.TopUp)
+		enc.Bool(vs.Workload)
+		enc.U32(uint32(len(w.placements[i])))
+		for _, c := range w.placements[i] {
+			enc.I64(int64(c))
+		}
+	}
+	return append([]byte(nil), enc.Bytes()...)
+}
+
+// save serializes the world's complete mutable state: engine scalars first
+// (restore needs the clock before events re-arm), then the full host.
+func (w *world) save() ([]byte, error) {
+	var enc snap.Encoder
+	w.engine.Save(&enc)
+	if err := w.host.Save(&enc); err != nil {
+		return nil, err
+	}
+	return enc.Bytes(), nil
+}
+
+// restore overwrites the world's mutable state with a snapshot produced by
+// save on a world of identical shape. The engine is reset (dropping every
+// event construction scheduled), its scalars loaded, and then every
+// component re-arms its pending events at their original coordinates.
+func (w *world) restore(data []byte) error {
+	w.engine.Reset(0)
+	dec := snap.NewDecoder(data)
+	if err := w.engine.Load(dec); err != nil {
+		return err
+	}
+	if err := w.host.Load(dec); err != nil {
+		return err
+	}
+	if n := dec.Remaining(); n != 0 {
+		return fmt.Errorf("experiment %s: %d bytes left over after snapshot load", w.scenario.Name, n)
+	}
+	w.remaining = 0
+	for i, vs := range w.scenario.VMs {
+		if !vs.Workload {
+			continue
+		}
+		if done, _ := w.vms[i].WorkloadDone(); !done {
+			w.remaining++
+		}
+	}
+	return nil
+}
+
+// run executes the world to its deadline, crossing the snapshot probe if
+// one is set, and returns the world holding the final state — which is the
+// restored copy when the probe adopted one.
+func (w *world) run(m *metrics.Meter) (*world, error) {
+	deadline := w.deadline()
+	start := w.engine.Fired()
+	if !w.engine.Stopped() {
+		if probe := w.scenario.SnapshotProbe; probe > 0 && probe < deadline && w.engine.Now() < probe {
+			w.engine.RunUntil(probe)
+			// A Stop fired before the probe (workload completed) must survive
+			// the split: re-arm it so the final RunUntil consumes it exactly
+			// as an uninterrupted run would.
+			stopped := w.engine.Stopped()
+			next, err := w.verifyRoundTrip()
+			if err != nil {
+				return nil, err
+			}
+			w = next
+			if stopped {
+				w.engine.Stop()
+			}
+		}
+		w.engine.RunUntil(deadline)
+	}
+	m.AddRun(w.engine.Fired() - start)
+	return w, nil
+}
+
+// verifyRoundTrip is the probe's differential gate: save the world, rebuild
+// an identical one from the spec, restore the snapshot into it, and check
+// the copy re-saves to the exact original bytes. For a straight run the
+// restored copy is returned and the run continues on it, so a mis-restored
+// closure or pointer diverges the final results; a resumed world keeps
+// running itself (its runtime knobs were retuned after the fork, which a
+// rebuild from the spec cannot reproduce) and only the bytes are checked.
+func (w *world) verifyRoundTrip() (*world, error) {
+	data, err := w.save()
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := buildWorld(w.scenario, w.seed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: snapshot probe rebuild: %w", w.scenario.Name, err)
+	}
+	if err := fresh.restore(data); err != nil {
+		return nil, fmt.Errorf("experiment %s: snapshot probe restore: %w", w.scenario.Name, err)
+	}
+	again, err := fresh.save()
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(data, again) {
+		return nil, fmt.Errorf("experiment %s: snapshot round-trip diverged at %v: %d bytes (digest %v) re-saved as %d bytes (digest %v)",
+			w.scenario.Name, w.engine.Now(), len(data), snap.HashBytes(data), len(again), snap.HashBytes(again))
+	}
+	if w.resumed {
+		return w, nil
+	}
+	// The original world is abandoned in favor of the restored copy; hand its
+	// wheels back to the worker's pool (the copy allocated its own).
+	w.release()
+	return fresh, nil
+}
+
+// finish validates completion, assembles per-VM results, and returns the
+// worker's wheels to the arena pool.
+func (w *world) finish() (*ScenarioResult, error) {
+	if w.scenario.Duration == 0 {
+		for i, vs := range w.scenario.VMs {
 			if !vs.Workload {
 				continue
 			}
-			if done, _ := vms[i].WorkloadDone(); !done {
+			if done, _ := w.vms[i].WorkloadDone(); !done {
 				return nil, fmt.Errorf("experiment %s: workload did not finish within %v (live tasks %d)",
-					s.Name, deadline, vms[i].Kernel().LiveTasks())
+					w.scenario.Name, w.deadline(), w.vms[i].Kernel().LiveTasks())
 			}
 		}
 	}
-	out := &ScenarioResult{Events: engine.Fired()}
-	for i, vm := range vms {
-		res := vm.Result(s.VMs[i].Name)
+	out := &ScenarioResult{Events: w.engine.Fired()}
+	for i, vm := range w.vms {
+		res := vm.Result(w.scenario.VMs[i].Name)
 		res.Events = out.Events
 		out.Results = append(out.Results, res)
 	}
-	if pool := a.wheelPool(); pool != nil {
-		for _, vm := range vms {
-			pool.ReleaseAll(vm.Kernel())
-		}
-	}
+	w.release()
 	return out, nil
+}
+
+// release returns the kernels' timer wheels to the arena pool. Worlds
+// abandoned without finishing (checkpoint warmups, probe-replaced copies)
+// may call it directly; a nil pool makes it a no-op.
+func (w *world) release() {
+	if w.pool == nil {
+		return
+	}
+	for _, vm := range w.vms {
+		w.pool.ReleaseAll(vm.Kernel())
+	}
 }

@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"paratick/internal/core"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+)
+
+// TestSnapshotProbeGolden is the tentpole differential gate: enabling the
+// mid-run snapshot probe — which saves every straight run at 500 µs,
+// restores the state into a freshly built world, and continues on the
+// restored copy — must not change a single byte of any runner's rendered
+// output, at any worker count. A field the snapshot misses, a closure wired
+// to the wrong object, or a pending event re-armed at the wrong coordinate
+// all diverge the continued run and fail the byte comparison.
+func TestSnapshotProbeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite golden check is slow")
+	}
+	straight := renderAll(t, 1)
+	for _, workers := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Scale = 0.05
+		opts.Workers = workers
+		opts.Meter = &metrics.Meter{}
+		opts.SnapshotProbe = 500 * sim.Microsecond
+		probed := renderAllOpts(t, opts)
+		if probed != straight {
+			t.Fatalf("probe-on output diverges from straight-through at workers=%d:\n%s",
+				workers, firstDiff(straight, probed))
+		}
+	}
+}
+
+// TestCheckpointResumeMatchesStraightRun pins the public checkpoint API:
+// warm up, freeze, rebuild, restore, and run to completion must produce a
+// result deeply equal to running straight through — including the restored
+// event counter, so a resumed run reports the same total events.
+func TestCheckpointResumeMatchesStraightRun(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = 0.02
+	s := ReferenceScenario(opts)
+	straight, err := RunScenario(s, opts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := CheckpointScenario(s, opts.Seed, 500*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeScenario(s, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(straight, resumed) {
+		t.Fatalf("resumed result differs from straight run:\nstraight: %+v\nresumed:  %+v", straight, resumed)
+	}
+}
+
+// TestCheckpointContainerRoundTrip pins the on-disk container: serialize,
+// parse, re-serialize must be byte-identical, and a truncated or mislabeled
+// container must be rejected rather than half-parsed.
+func TestCheckpointContainerRoundTrip(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = 0.02
+	s := ReferenceScenario(opts)
+	ck, err := CheckpointScenario(s, opts.Seed, 500*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := ck.Bytes()
+	parsed, err := LoadCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Seed() != ck.Seed() || parsed.At() != ck.At() || parsed.Events() != ck.Events() {
+		t.Fatalf("container fields drifted: %d/%v/%d vs %d/%v/%d",
+			parsed.Seed(), parsed.At(), parsed.Events(), ck.Seed(), ck.At(), ck.Events())
+	}
+	if !bytes.Equal(parsed.Bytes(), data) {
+		t.Fatal("container re-serialization is not byte-identical")
+	}
+	if _, err := LoadCheckpoint(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated container accepted")
+	}
+	if _, err := LoadCheckpoint(nil); err == nil {
+		t.Fatal("empty container accepted")
+	}
+	res, err := ResumeScenario(s, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events <= parsed.Events() {
+		t.Fatalf("resumed run fired no events past the checkpoint: %d <= %d", res.Events, parsed.Events())
+	}
+}
+
+// TestResumeRejectsMismatchedScenario checks the fingerprint guard: a
+// checkpoint must not restore into a structurally different world.
+func TestResumeRejectsMismatchedScenario(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = 0.02
+	s := ReferenceScenario(opts)
+	ck, err := CheckpointScenario(s, opts.Seed, 500*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := s
+	other.VMs = append([]VMSpec(nil), s.VMs...)
+	other.VMs[0].Mode = core.Paratick
+	if _, err := ResumeScenario(other, ck); err == nil {
+		t.Fatal("checkpoint restored into a structurally different scenario")
+	}
+}
+
+// TestWarmForkSavings asserts the acceptance floor: warm-started forking
+// must at least halve the simulated warmup events on the sweeps that fork
+// (the crossover's 8 device-latency arms share one warmup per mode, so the
+// factor there is the arm count).
+func TestWarmForkSavings(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = 0.05
+	cross, err := RunCrossover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSavings := func(name string, w WarmupStats) {
+		t.Helper()
+		if w.Groups == 0 || w.GroupEvents == 0 {
+			t.Fatalf("%s: no warm forks recorded: %+v", name, w)
+		}
+		factor := float64(w.GroupEvents+w.SavedEvents) / float64(w.GroupEvents)
+		if factor < 2 {
+			t.Fatalf("%s: warmup-event savings %.2fx < 2x: %+v", name, factor, w)
+		}
+	}
+	checkSavings("crossover", cross.Warmup)
+
+	abl, err := RunHaltPollAblation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSavings("haltpoll ablation", abl.Warmup)
+}
+
+// FuzzSnapshotRoundTrip drives save→rebuild→restore→re-save at arbitrary
+// mid-run instants and modes: the re-saved bytes and the engine state digest
+// must both match the original exactly, whatever the freeze point cuts
+// through (mid-I/O, mid-tick, pre-boot, post-completion).
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(300), uint8(0))
+	f.Add(uint64(7), uint16(2500), uint8(1))
+	f.Add(uint64(42), uint16(900), uint8(2))
+	f.Add(uint64(1234567), uint16(4999), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, atMicros uint16, modeSel uint8) {
+		modes := []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick}
+		opts := DefaultOptions()
+		opts.Scale = 0.02
+		spec := Spec{
+			Name:  "fuzz",
+			Mode:  modes[int(modeSel)%len(modes)],
+			VCPUs: 2,
+			Setup: fioSetup(opts),
+		}
+		s := spec.scenario()
+		at := sim.Time(int64(atMicros)%5000+1) * sim.Microsecond
+		w1, err := buildWorld(s, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w1.engine.RunUntil(at)
+		data, err := w1.save()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := buildWorld(s, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.restore(data); err != nil {
+			t.Fatal(err)
+		}
+		if g, w := w2.engine.DigestState(), w1.engine.DigestState(); g != w {
+			t.Fatalf("engine digest mismatch after restore at %v: %v vs %v", at, g, w)
+		}
+		again, err := w2.save()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("snapshot round-trip diverged at %v: %d vs %d bytes", at, len(data), len(again))
+		}
+	})
+}

@@ -85,10 +85,11 @@ func runTable1Workload(opts Options, mode core.Mode, nVMs int, sync bool, dur si
 		placement[i] = hw.CPUID(i)
 	}
 	s := Scenario{
-		Name:        fmt.Sprintf("table1/%s", mode),
-		Topology:    hw.SmallTopology(), // the §3.3 16-pCPU system
-		SchedPolicy: opts.SchedPolicy,
-		Duration:    dur,
+		Name:          fmt.Sprintf("table1/%s", mode),
+		Topology:      hw.SmallTopology(), // the §3.3 16-pCPU system
+		SchedPolicy:   opts.SchedPolicy,
+		Duration:      dur,
+		SnapshotProbe: opts.SnapshotProbe,
 	}
 	for n := 0; n < nVMs; n++ {
 		vs := VMSpec{Name: fmt.Sprintf("vm%d", n), Mode: mode, Placement: placement}

@@ -81,6 +81,15 @@ type Kernel struct {
 	tasks   []*Task
 	devices []*iodev.Device
 
+	// locks, barriers and conds register every synchronization object in
+	// creation order. The registries give each object a stable small id so
+	// checkpoints can reference them (waiter lists, spin-retry closures)
+	// without serializing pointers; deterministic scenario construction
+	// guarantees a rebuilt kernel assigns the same ids.
+	locks    []*Lock
+	barriers []*Barrier
+	conds    []*Cond
+
 	liveTasks int
 	started   bool
 	// OnAllDone fires when the last live task finishes — the workload's
@@ -149,6 +158,30 @@ func NewKernel(engine *sim.Engine, cost hw.CostModel, cfg Config, counters *metr
 // Config returns the kernel configuration.
 func (k *Kernel) Config() Config { return k.cfg }
 
+// SetAdaptiveSpin adjusts the optimistic-spin window at runtime. The value
+// is consulted afresh on every contended acquisition, so the change applies
+// from the next lock attempt on — the experiment layer varies it across
+// forked snapshot arms.
+func (k *Kernel) SetAdaptiveSpin(d sim.Time) error {
+	if d < 0 {
+		return fmt.Errorf("guest: AdaptiveSpin must be non-negative, got %v", d)
+	}
+	k.cfg.AdaptiveSpin = d
+	return nil
+}
+
+// SetPolicyOptions retunes every vCPU's tick policy at runtime, preserving
+// the policies' accumulated state (unlike rebuilding them).
+func (k *Kernel) SetPolicyOptions(o core.Options) error {
+	for _, v := range k.vcpus {
+		if err := core.SetOptions(v.policy, o); err != nil {
+			return err
+		}
+	}
+	k.cfg.PolicyOpts = o
+	return nil
+}
+
 // Counters returns the metrics sink shared with the hypervisor.
 func (k *Kernel) Counters() *metrics.Counters { return k.counters }
 
@@ -191,7 +224,9 @@ func (k *Kernel) Devices() []*iodev.Device { return k.devices }
 
 // NewLock creates a guest-level blocking mutex.
 func (k *Kernel) NewLock(name string) *Lock {
-	return &Lock{kernel: k, name: name, blockReason: "lock:" + name}
+	l := &Lock{kernel: k, id: len(k.locks), name: name, blockReason: "lock:" + name}
+	k.locks = append(k.locks, l)
+	return l
 }
 
 // NewBarrier creates a guest-level barrier for parties tasks.
@@ -199,7 +234,9 @@ func (k *Kernel) NewBarrier(name string, parties int) *Barrier {
 	if parties <= 0 {
 		panic(fmt.Sprintf("guest: barrier %q needs positive parties, got %d", name, parties))
 	}
-	return &Barrier{kernel: k, name: name, blockReason: "barrier:" + name, parties: parties}
+	b := &Barrier{kernel: k, id: len(k.barriers), name: name, blockReason: "barrier:" + name, parties: parties}
+	k.barriers = append(k.barriers, b)
+	return b
 }
 
 // Spawn creates a task running prog, pinned to the given vCPU. Tasks are

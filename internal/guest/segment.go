@@ -65,6 +65,13 @@ type Segment struct {
 	// OnDone runs inside the guest when the segment fully completes
 	// (a preempted SegRun completes only after its remainder runs).
 	OnDone func()
+
+	// ownerTask and ownerLock record which objects an OnDone closure is
+	// bound over, so checkpoints can encode the closure symbolically
+	// (task-run completion, or a lock-spin retry probe) and rebuild it on
+	// restore. nil for segments whose OnDone is nil.
+	ownerTask *Task
+	ownerLock *Lock
 }
 
 // String renders a segment for diagnostics.

@@ -1,0 +1,318 @@
+package guest
+
+import (
+	"testing"
+
+	"paratick/internal/core"
+	"paratick/internal/hw"
+	"paratick/internal/metrics"
+	"paratick/internal/sim"
+	"paratick/internal/snap"
+)
+
+// exerciseWheel drives a wheel through every structural path: all six
+// levels, the overflow list, cancels, partial advances, and late adds.
+func exerciseWheel(w *TimerWheel, fired *int) []*SoftTimer {
+	noop := func(sim.Time) { *fired++ }
+	j := w.Jiffy()
+	var timers []*SoftTimer
+	for _, dj := range []int64{1, 3, 63, 64, 512, 4096, 40_000, 300_000, 2_000_000, 3_000_000, 5_000_000} {
+		t := &SoftTimer{Deadline: sim.Time(dj) * j, Fire: noop}
+		w.Add(t)
+		timers = append(timers, t)
+	}
+	// Cancel a few from different levels and the overflow list.
+	w.Cancel(timers[2])
+	w.Cancel(timers[5])
+	w.Cancel(timers[10])
+	// Advance partway: fires the early timers, cascades some buckets.
+	w.AdvanceTo(700 * j)
+	// Late add into an already-processed region.
+	late := &SoftTimer{Deadline: 2 * j, Fire: noop}
+	w.Add(late)
+	timers = append(timers, late)
+	w.NextExpiry() // populate the next-expiry cache
+	return timers
+}
+
+// TestWheelResetDigestMatchesFresh is the reset-correctness audit for
+// TimerWheel.Reset: a heavily used wheel, once Reset, must be digest-
+// identical to a freshly constructed wheel — no clock, counter, bitmap, or
+// bucket residue.
+func TestWheelResetDigestMatchesFresh(t *testing.T) {
+	jiffy := sim.PeriodFromHz(250)
+	for _, resetJiffy := range []sim.Time{jiffy, sim.Millisecond} {
+		used := NewTimerWheel(jiffy)
+		var fired int
+		exerciseWheel(used, &fired)
+		if fired == 0 {
+			t.Fatal("exercise fired nothing; the audit would be vacuous")
+		}
+		used.Reset(resetJiffy)
+
+		fresh := NewTimerWheel(resetJiffy)
+		if got, want := used.DigestState(), fresh.DigestState(); got != want {
+			t.Fatalf("reset(%v) wheel digest %v != fresh digest %v", resetJiffy, got, want)
+		}
+
+		// Behavioural follow-up: identical adds after reset behave like a
+		// fresh wheel.
+		var a, b int
+		ta := &SoftTimer{Deadline: 5 * resetJiffy, Fire: func(sim.Time) { a++ }}
+		tb := &SoftTimer{Deadline: 5 * resetJiffy, Fire: func(sim.Time) { b++ }}
+		used.Add(ta)
+		fresh.Add(tb)
+		if used.DigestState() != fresh.DigestState() {
+			t.Fatalf("reset(%v) wheel diverged from fresh after one add", resetJiffy)
+		}
+		used.AdvanceTo(10 * resetJiffy)
+		fresh.AdvanceTo(10 * resetJiffy)
+		if a != 1 || b != 1 {
+			t.Fatalf("post-reset fire counts: used=%d fresh=%d, want 1,1", a, b)
+		}
+	}
+}
+
+// TestWheelPoolRecycleDigest pins the same property through the pool path
+// the experiment layer actually uses: an acquired recycled wheel must be
+// indistinguishable from a new one.
+func TestWheelPoolRecycleDigest(t *testing.T) {
+	jiffy := sim.PeriodFromHz(250)
+	pool := &WheelPool{}
+	w := pool.acquire(jiffy)
+	var fired int
+	exerciseWheel(w, &fired)
+	pool.free = append(pool.free, w)
+
+	recycled := pool.acquire(sim.Millisecond)
+	if recycled != w {
+		t.Fatal("pool did not recycle the released wheel")
+	}
+	if got, want := recycled.DigestState(), NewTimerWheel(sim.Millisecond).DigestState(); got != want {
+		t.Fatalf("recycled wheel digest %v != fresh digest %v", got, want)
+	}
+}
+
+// TestSegmentPoolZeroed is the reset audit for the PR 6 segment pool:
+// every segment sitting in the free pool must be the zero value, retaining
+// no closure, request, device, or owner references from its previous life.
+func TestSegmentPoolZeroed(t *testing.T) {
+	e, k := newTestKernel(t, core.DynticksIdle, 1)
+	k.cfg.AdaptiveSpin = 2 * sim.Microsecond // exercise the lock-spin owner fields
+	v := k.vcpus[0]
+	l := k.NewLock("pool-audit")
+	k.Spawn("holder", 0, Steps(Acquire(l), Compute(50*sim.Microsecond), Release(l), Done()))
+	k.Spawn("contender", 0, Steps(Compute(sim.Microsecond), Acquire(l), Release(l), Done()))
+	v.Boot()
+	m := newMiniExec(e, v)
+	m.runUntilTasksDone(t)
+	// Drain the issued segment back into the pool too.
+	v.Next()
+
+	if len(k.segFree) == 0 {
+		t.Fatal("segment pool empty after a run; audit is vacuous")
+	}
+	for i, s := range k.segFree {
+		if s == nil {
+			continue
+		}
+		// Segment holds a func field, so it is not comparable; check every
+		// field explicitly.
+		dirty := s.Kind != SegRun || s.Label != "" || s.Duration != 0 ||
+			s.Kernel || s.Spin || s.Deadline != 0 || s.Req != nil ||
+			s.Dev != nil || s.Target != 0 || s.HKind != 0 || s.HArg != 0 ||
+			s.OnDone != nil || s.ownerTask != nil || s.ownerLock != nil
+		if dirty {
+			t.Fatalf("pooled segment %d retains state: %+v", i, *s)
+		}
+	}
+}
+
+// buildSnapshotScenario constructs the fixture used by the kernel
+// round-trip tests: two tasks on one vCPU contending a lock (with adaptive
+// spin), sleeping, and syncing on a barrier. Construction is deterministic,
+// so calling it twice yields structurally identical kernels.
+func buildSnapshotScenario(t *testing.T) (*sim.Engine, *Kernel, *miniExec) {
+	t.Helper()
+	e := sim.NewEngine(99)
+	cfg := DefaultConfig()
+	cfg.Mode = core.DynticksIdle
+	cfg.AdaptiveSpin = 3 * sim.Microsecond
+	k, err := NewKernel(e, hw.DefaultCostModel(), cfg, &metrics.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.AddVCPU()
+	v := k.vcpus[0]
+	l := k.NewLock("l0")
+	b := k.NewBarrier("b0", 2)
+	k.Spawn("t0", 0, Steps(
+		Acquire(l), Compute(80*sim.Microsecond), Release(l),
+		Sleep(5*sim.Millisecond), JoinBarrier(b), Done()))
+	k.Spawn("t1", 0, Steps(
+		Compute(10*sim.Microsecond), Acquire(l), Release(l),
+		Sleep(2*sim.Millisecond), JoinBarrier(b), Done()))
+	v.Boot()
+	return e, k, newMiniExec(e, v)
+}
+
+// saveWorld serializes engine + kernel + the mini-exec's deadline timer —
+// the full state of the single-vCPU fixture.
+func saveWorld(t *testing.T, e *sim.Engine, k *Kernel, m *miniExec) []byte {
+	t.Helper()
+	var enc snap.Encoder
+	e.Save(&enc)
+	m.timer.Save(&enc)
+	if err := k.Save(&enc); err != nil {
+		t.Fatalf("kernel save: %v", err)
+	}
+	return enc.Bytes()
+}
+
+func loadWorld(t *testing.T, bytes []byte, e *sim.Engine, k *Kernel, m *miniExec) {
+	t.Helper()
+	dec := snap.NewDecoder(bytes)
+	if err := e.Load(dec); err != nil {
+		t.Fatalf("engine load: %v", err)
+	}
+	if err := m.timer.Load(dec); err != nil {
+		t.Fatalf("timer load: %v", err)
+	}
+	if err := k.Load(dec); err != nil {
+		t.Fatalf("kernel load: %v", err)
+	}
+	if dec.Remaining() != 0 {
+		t.Fatalf("%d bytes left over after load", dec.Remaining())
+	}
+}
+
+// TestKernelSaveLoadByteIdentity snapshots the fixture at every segment
+// boundary of its whole run and checks the restore-then-resave bytes match
+// the original snapshot exactly. This sweeps the encoder across queued
+// run/MSR/HLT segments, in-flight spin probes, blocked sleepers with
+// pending wheel timers, barrier waits, and the end-of-run state.
+func TestKernelSaveLoadByteIdentity(t *testing.T) {
+	e, k, m := buildSnapshotScenario(t)
+	for step := 0; step < 400 && k.LiveTasks() > 0; step++ {
+		s := m.runOne()
+		if s.Kind == SegHLT {
+			if !m.timer.Armed() {
+				t.Fatal("halted forever")
+			}
+			e.RunUntil(m.timer.Deadline())
+		}
+		bytes := saveWorld(t, e, k, m)
+
+		e2 := sim.NewEngine(99)
+		cfg := k.cfg
+		k2, err := NewKernel(e2, hw.DefaultCostModel(), cfg, &metrics.Counters{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2.AddVCPU()
+		l2 := k2.NewLock("l0")
+		b2 := k2.NewBarrier("b0", 2)
+		k2.Spawn("t0", 0, Steps(
+			Acquire(l2), Compute(80*sim.Microsecond), Release(l2),
+			Sleep(5*sim.Millisecond), JoinBarrier(b2), Done()))
+		k2.Spawn("t1", 0, Steps(
+			Compute(10*sim.Microsecond), Acquire(l2), Release(l2),
+			Sleep(2*sim.Millisecond), JoinBarrier(b2), Done()))
+		m2 := newMiniExec(e2, k2.vcpus[0])
+		loadWorld(t, bytes, e2, k2, m2)
+
+		again := saveWorld(t, e2, k2, m2)
+		if string(again) != string(bytes) {
+			t.Fatalf("step %d: restore-then-resave bytes differ from original snapshot", step)
+		}
+	}
+	if k.LiveTasks() != 0 {
+		t.Fatal("fixture never completed")
+	}
+}
+
+// TestKernelRestoreContinuesIdentically restores mid-run and runs both
+// worlds to completion: dispatch behaviour, task runtimes, and the final
+// engine digests must coincide.
+func TestKernelRestoreContinuesIdentically(t *testing.T) {
+	e, k, m := buildSnapshotScenario(t)
+	// Run deep enough that a sleeper is pending and the lock was contended.
+	for i := 0; i < 25; i++ {
+		if s := m.runOne(); s.Kind == SegHLT {
+			if !m.timer.Armed() {
+				t.Fatal("halted forever")
+			}
+			e.RunUntil(m.timer.Deadline())
+		}
+	}
+	bytes := saveWorld(t, e, k, m)
+	prefix := len(m.msrLog) // dst only replays the post-snapshot tail
+
+	e2, k2, m2 := buildSnapshotScenario(t)
+	loadWorld(t, bytes, e2, k2, m2)
+
+	finish := func(e *sim.Engine, k *Kernel, m *miniExec) {
+		for i := 0; i < 4000 && k.LiveTasks() > 0; i++ {
+			if s := m.runOne(); s.Kind == SegHLT {
+				if !m.timer.Armed() {
+					t.Fatal("halted forever")
+				}
+				e.RunUntil(m.timer.Deadline())
+			}
+		}
+		if k.LiveTasks() != 0 {
+			t.Fatal("run never completed")
+		}
+	}
+	finish(e, k, m)
+	finish(e2, k2, m2)
+
+	if d1, d2 := e.DigestState(), e2.DigestState(); d1 != d2 {
+		t.Fatalf("final engine digests differ: %v vs %v", d1, d2)
+	}
+	for i := range k.tasks {
+		if k.tasks[i].Runtime() != k2.tasks[i].Runtime() {
+			t.Fatalf("task %d runtime %v != %v", i, k.tasks[i].Runtime(), k2.tasks[i].Runtime())
+		}
+	}
+	tail := m.msrLog[prefix:]
+	if len(tail) != len(m2.msrLog) {
+		t.Fatalf("MSR write counts diverged: %d vs %d", len(tail), len(m2.msrLog))
+	}
+	for i := range m2.msrLog {
+		if tail[i] != m2.msrLog[i] {
+			t.Fatalf("MSR write %d: %v vs %v", i, tail[i], m2.msrLog[i])
+		}
+	}
+}
+
+// TestSaveRejectsClosurePrograms pins the contract that checkpointable
+// scenarios must use struct programs.
+func TestSaveRejectsClosurePrograms(t *testing.T) {
+	_, k := newTestKernel(t, core.DynticksIdle, 1)
+	k.Spawn("closure", 0, ProgramFunc(func(*StepCtx) Step { return Done() }))
+	var enc snap.Encoder
+	if err := k.Save(&enc); err == nil {
+		t.Fatal("Save accepted a ProgramFunc task")
+	}
+}
+
+// TestStepsProgramState round-trips the replay cursor.
+func TestStepsProgramState(t *testing.T) {
+	p := Steps(Compute(1), Compute(2), Done()).(*stepsProgram)
+	p.Next(nil)
+	var enc snap.Encoder
+	p.SaveState(&enc)
+
+	q := Steps(Compute(1), Compute(2), Done()).(*stepsProgram)
+	if err := q.LoadState(snap.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if q.i != 1 {
+		t.Fatalf("cursor = %d, want 1", q.i)
+	}
+	bad := snap.NewDecoder((&snap.Encoder{}).Bytes())
+	if err := q.LoadState(bad); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+}

@@ -9,7 +9,10 @@ package guest
 // Lock is a guest-level blocking mutex with direct handoff.
 type Lock struct {
 	kernel *Kernel
-	name   string
+	// id is the lock's ordinal in the kernel's creation-order registry,
+	// the stable identity used by checkpoints.
+	id   int
+	name string
 	// blockReason is the precomputed BlockReason string for waiters;
 	// building "lock:"+name per contended acquisition allocated on a hot
 	// path.
@@ -86,6 +89,7 @@ func (l *Lock) release(t *Task) *Task {
 // the phase synchronization of data-parallel PARSEC workloads.
 type Barrier struct {
 	kernel  *Kernel
+	id      int // creation-order registry ordinal (checkpoint identity)
 	name    string
 	parties int
 	// blockReason is the precomputed BlockReason string for waiters.
@@ -154,6 +158,7 @@ func (b *Barrier) detach() (toWake []*Task) {
 // workloads (dedup, ferret) whose blocking behaviour §3.2 analyzes.
 type Cond struct {
 	kernel      *Kernel
+	id          int // creation-order registry ordinal (checkpoint identity)
 	name        string
 	blockReason string
 	lock        *Lock
@@ -168,7 +173,9 @@ func (k *Kernel) NewCond(name string, l *Lock) *Cond {
 	if l == nil {
 		panic("guest: NewCond with nil lock")
 	}
-	return &Cond{kernel: k, name: name, blockReason: "cond:" + name, lock: l}
+	c := &Cond{kernel: k, id: len(k.conds), name: name, blockReason: "cond:" + name, lock: l}
+	k.conds = append(k.conds, c)
+	return c
 }
 
 // Name returns the condvar's diagnostic name.

@@ -5,6 +5,7 @@ import (
 
 	"paratick/internal/iodev"
 	"paratick/internal/sim"
+	"paratick/internal/snap"
 )
 
 // StepKind enumerates the actions a workload program can request.
@@ -124,24 +125,71 @@ type Program interface {
 	Next(ctx *StepCtx) Step
 }
 
-// ProgramFunc adapts a function to the Program interface.
+// ProgramFunc adapts a function to the Program interface. A ProgramFunc
+// cannot be checkpointed: closures hide their captured state. Programs used
+// in snapshotted scenarios must be structs implementing ProgramState
+// (embed Stateless when Next reads no mutable fields).
 type ProgramFunc func(ctx *StepCtx) Step
 
 // Next implements Program.
 func (f ProgramFunc) Next(ctx *StepCtx) Step { return f(ctx) }
 
+// ProgramState is implemented by programs whose behaviour depends on
+// mutable fields. Checkpointing a kernel requires every spawned program to
+// implement it; SaveState writes the fields Next reads, LoadState restores
+// them into a freshly built program of the same shape.
+type ProgramState interface {
+	SaveState(enc *snap.Encoder)
+	LoadState(dec *snap.Decoder) error
+}
+
+// Stateless marks a Program as carrying no mutable state (its Next is a
+// pure function of the StepCtx). Embed it to satisfy ProgramState.
+type Stateless struct{}
+
+// SaveState implements ProgramState; nothing to save.
+func (Stateless) SaveState(*snap.Encoder) {}
+
+// LoadState implements ProgramState; nothing to restore.
+func (Stateless) LoadState(*snap.Decoder) error { return nil }
+
+// stepsProgram replays a fixed step sequence, then Done. Its only mutable
+// state is the replay cursor.
+type stepsProgram struct {
+	steps []Step
+	i     int
+}
+
+// Next implements Program.
+func (p *stepsProgram) Next(*StepCtx) Step {
+	if p.i >= len(p.steps) {
+		return Done()
+	}
+	s := p.steps[p.i]
+	p.i++
+	return s
+}
+
+// SaveState implements ProgramState.
+func (p *stepsProgram) SaveState(enc *snap.Encoder) { enc.U32(uint32(p.i)) }
+
+// LoadState implements ProgramState.
+func (p *stepsProgram) LoadState(dec *snap.Decoder) error {
+	i := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if i < 0 || i > len(p.steps) {
+		return fmt.Errorf("guest: steps-program cursor %d outside %d steps", i, len(p.steps))
+	}
+	p.i = i
+	return nil
+}
+
 // Steps returns a Program that replays a fixed step sequence, then Done.
 // Useful in tests and simple examples.
 func Steps(steps ...Step) Program {
-	i := 0
-	return ProgramFunc(func(*StepCtx) Step {
-		if i >= len(steps) {
-			return Done()
-		}
-		s := steps[i]
-		i++
-		return s
-	})
+	return &stepsProgram{steps: steps}
 }
 
 // TaskState is a task's scheduler state.

@@ -468,6 +468,7 @@ func (v *VCPU) pushTaskRun(t *Task) {
 	s.Duration = t.remaining
 	s.Label = t.Name
 	s.OnDone = t.runDoneFn
+	s.ownerTask = t
 	v.queueSeg(s)
 }
 
@@ -516,15 +517,9 @@ func (v *VCPU) applyStep(t *Task, step Step) {
 			s.Kernel = true
 			s.Spin = true
 			s.Label = "lock-spin"
-			s.OnDone = func() {
-				if lock.tryAcquireFast(t) {
-					v.stepComplete(t)
-					return
-				}
-				lock.enqueueWaiter(t)
-				v.addKernelSeg(k.cost.GuestSyscall, "futex-wait")
-				v.block(t, lock.blockReason)
-			}
+			s.OnDone = v.lockSpinRetry(lock, t)
+			s.ownerTask = t
+			s.ownerLock = lock
 			v.queueSeg(s)
 			return
 		}
@@ -629,6 +624,22 @@ func (v *VCPU) applyStep(t *Task, step Step) {
 
 	default:
 		panic(fmt.Sprintf("guest: unknown step kind %v", step.Kind))
+	}
+}
+
+// lockSpinRetry builds the post-spin probe that ends an optimistic-spin
+// segment: take the lock if it freed up meanwhile, otherwise block as a
+// waiter. Factored out of applyStep so a restored checkpoint can rebuild
+// an in-flight spin segment's OnDone bit for bit.
+func (v *VCPU) lockSpinRetry(lock *Lock, t *Task) func() {
+	return func() {
+		if lock.tryAcquireFast(t) {
+			v.stepComplete(t)
+			return
+		}
+		lock.enqueueWaiter(t)
+		v.addKernelSeg(v.kernel.cost.GuestSyscall, "futex-wait")
+		v.block(t, lock.blockReason)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"paratick/internal/sim"
+	"paratick/internal/snap"
 )
 
 // DeadlineTimer models a one-shot hardware timer armed by writing an
@@ -90,6 +91,42 @@ func (t *DeadlineTimer) ArmCount() uint64 { return t.armCount }
 // Expirations returns how many times the timer has fired.
 func (t *DeadlineTimer) Expirations() uint64 { return t.expireCt }
 
+// Save serializes the timer's state, including the pending expiry's
+// (when, seq) coordinates so Load can re-arm it in the exact original
+// dispatch order.
+func (t *DeadlineTimer) Save(enc *snap.Encoder) {
+	enc.Section("dtimer:" + t.name)
+	enc.U64(t.armCount)
+	enc.U64(t.expireCt)
+	armed := t.ev.Pending()
+	enc.Bool(armed)
+	if armed {
+		seq, _ := t.ev.Seq()
+		enc.I64(int64(t.deadline))
+		enc.U64(seq)
+	}
+}
+
+// Load restores state saved by Save. The engine must already carry the
+// restored clock and sequence counter (sim.Engine.Load); any stale event
+// handle from before the engine was reset is dead and simply dropped.
+func (t *DeadlineTimer) Load(dec *snap.Decoder) error {
+	dec.Section("dtimer:" + t.name)
+	t.armCount = dec.U64()
+	t.expireCt = dec.U64()
+	t.ev = sim.Event{}
+	if dec.Bool() {
+		deadline := sim.Time(dec.I64())
+		seq := dec.U64()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		t.deadline = deadline
+		t.ev = t.engine.ScheduleRestored(deadline, seq, t.label, t.handler)
+	}
+	return dec.Err()
+}
+
 // PeriodicTimer models a free-running periodic interrupt source — the host
 // LAPIC programmed in periodic mode for the host scheduler tick. The phase
 // offset staggers ticks across physical CPUs the way real LAPIC calibration
@@ -153,3 +190,46 @@ func (t *PeriodicTimer) Period() sim.Time { return t.period }
 
 // Ticks returns the number of ticks fired so far.
 func (t *PeriodicTimer) Ticks() uint64 { return t.ticks }
+
+// Save serializes the timer's state and the pending tick's (when, seq)
+// coordinates.
+func (t *PeriodicTimer) Save(enc *snap.Encoder) {
+	enc.Section("ptimer:" + t.name)
+	enc.I64(int64(t.period))
+	enc.U64(t.ticks)
+	running := t.ev.Pending()
+	enc.Bool(running)
+	if running {
+		seq, _ := t.ev.Seq()
+		enc.I64(int64(t.ev.When()))
+		enc.U64(seq)
+	}
+}
+
+// Load restores state saved by Save, re-arming the next tick at its
+// original coordinates. The snapshot's period must match this timer's —
+// the period is construction-time configuration, not restorable state.
+func (t *PeriodicTimer) Load(dec *snap.Decoder) error {
+	dec.Section("ptimer:" + t.name)
+	period := sim.Time(dec.I64())
+	ticks := dec.U64()
+	running := dec.Bool()
+	var when sim.Time
+	var seq uint64
+	if running {
+		when = sim.Time(dec.I64())
+		seq = dec.U64()
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if period != t.period {
+		return fmt.Errorf("hw: snapshot period %v for timer %q does not match configured %v", period, t.name, t.period)
+	}
+	t.ticks = ticks
+	t.ev = sim.Event{}
+	if running {
+		t.ev = t.engine.ScheduleRestored(when, seq, t.label, t.handler)
+	}
+	return nil
+}

@@ -112,6 +112,7 @@ type Request struct {
 	Submitted  sim.Time
 	Completed  sim.Time
 	done       bool
+	ev         sim.Event // pending completion while in service
 }
 
 // Done reports whether the request has completed.
@@ -137,6 +138,7 @@ type Device struct {
 	OnInterrupt func(vcpu int)
 
 	inflight  int
+	running   []*Request // in service, submission order; each carries its completion event
 	waiting   []*Request
 	completed []*Request
 
@@ -214,13 +216,27 @@ func (d *Device) start(req *Request) {
 	d.inflight++
 	lat := d.profile.Latency(req.Write, req.Sequential, req.Bytes)
 	lat = d.rng.Jitter(lat, d.profile.Jitter)
-	d.engine.After(lat, d.ioLabel, func(e *sim.Engine) {
+	req.ev = d.engine.After(lat, d.ioLabel, func(e *sim.Engine) {
 		d.finish(req)
 	})
+	d.running = append(d.running, req)
 }
 
 func (d *Device) finish(req *Request) {
 	d.inflight--
+	req.ev = sim.Event{}
+	for i, r := range d.running {
+		if r == req {
+			// Ordered removal keeps the running list in submission order,
+			// which is what the snapshot encoder relies on for canonical
+			// bytes. The list is bounded by QueueDepth.
+			n := len(d.running)
+			copy(d.running[i:], d.running[i+1:])
+			d.running[n-1] = nil
+			d.running = d.running[:n-1]
+			break
+		}
+	}
 	req.Completed = d.engine.Now()
 	req.done = true
 	d.ops++

@@ -148,6 +148,27 @@ func (h *Host) VMs() []*VM { return h.vms }
 // Now returns current simulated time.
 func (h *Host) Now() sim.Time { return h.engine.Now() }
 
+// SetHaltPoll adjusts the halt-polling window at runtime. Each HLT exit
+// reads the current value, so the change applies from the next halt on —
+// the experiment layer varies it across forked snapshot arms.
+func (h *Host) SetHaltPoll(d sim.Time) error {
+	if d < 0 {
+		return fmt.Errorf("kvm: HaltPoll must be non-negative, got %v", d)
+	}
+	h.cfg.HaltPoll = d
+	return nil
+}
+
+// SetPLEWindow adjusts the pause-loop-exiting window at runtime; each spin
+// consults the current value.
+func (h *Host) SetPLEWindow(d sim.Time) error {
+	if d < 0 {
+		return fmt.Errorf("kvm: PLEWindow must be non-negative, got %v", d)
+	}
+	h.cfg.PLEWindow = d
+	return nil
+}
+
 // SetTracer attaches a trace buffer recording exits and injections.
 func (h *Host) SetTracer(t *trace.Buffer) { h.tracer = t }
 

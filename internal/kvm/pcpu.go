@@ -33,6 +33,9 @@ type PCPU struct {
 	pollStart       sim.Time
 	pollEvent       sim.Event
 	dispatchPending bool
+	// wakeEvent is the pending wake-to-dispatch delay event scheduled by
+	// wake(); held so a snapshot can re-arm it at its original coordinates.
+	wakeEvent sim.Event
 
 	// irqExpire carries interruptGuest's expire-slice decision to irqDone.
 	irqExpire bool
@@ -61,6 +64,7 @@ func (p *PCPU) bindHandlers() {
 	p.hltDoneFn = func(*sim.Engine) { p.hltDone() }
 	p.pollDoneFn = func(*sim.Engine) { p.pollDone() }
 	p.wakeupFn = func(*sim.Engine) {
+		p.wakeEvent = sim.Event{}
 		p.dispatchPending = false
 		p.maybeDispatch()
 	}
@@ -361,7 +365,7 @@ func (p *PCPU) wake(v *VCPU) {
 	p.enqueue(v)
 	if p.current == nil && !p.dispatchPending {
 		p.dispatchPending = true
-		p.host.engine.After(p.cost().HostSchedDelay, "pcpu-wakeup", p.wakeupFn)
+		p.wakeEvent = p.host.engine.After(p.cost().HostSchedDelay, "pcpu-wakeup", p.wakeupFn)
 	}
 }
 

@@ -115,6 +115,16 @@ func (vm *VM) AttachDevice(name string, profile iodev.Profile) (*iodev.Device, e
 	return dev, nil
 }
 
+// Device returns the attached device with the given name, or nil.
+func (vm *VM) Device(name string) *iodev.Device {
+	for _, d := range vm.kernel.Devices() {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}
+
 // Start boots every vCPU and makes it runnable. Call after spawning the
 // initial tasks.
 func (vm *VM) Start() {

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // AnalyzerD003 flags `range` over a map when the loop body is sensitive to
@@ -95,6 +96,8 @@ func orderSensitive(pkg *Package, rs *ast.RangeStmt) string {
 				// A method (not package-qualified) call with a sink name.
 				if orderedSinkMethods[sel.Sel.Name] {
 					reason = sel.Sel.Name + " method call"
+				} else if isSnapEncoderSink(pkg, sel) {
+					reason = "snap.Encoder." + sel.Sel.Name + " call"
 				}
 			}
 		case *ast.AssignStmt:
@@ -105,6 +108,31 @@ func orderSensitive(pkg *Package, rs *ast.RangeStmt) string {
 		return true
 	})
 	return reason
+}
+
+// isSnapEncoderSink reports whether sel is a method call on a snapshot
+// Encoder (internal/snap). Every Encoder method appends to the serialized
+// byte stream, so calling any of them from a map-range body makes the
+// snapshot bytes depend on iteration order — two snapshots of identical
+// state would then fail to compare byte-equal. The sink-name table above
+// cannot catch these: the encoder's methods are named after the scalar they
+// write (U64, I64, F64, String, …), so the receiver type is the signal.
+func isSnapEncoderSink(pkg *Package, sel *ast.SelectorExpr) bool {
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Encoder" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "/snap")
 }
 
 // isFloatAccumulation reports whether the assignment compounds (+=, -=, *=,

@@ -49,8 +49,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 			{"pos.go", 8, 9, "D002"}, // rand.Intn
 		}},
 		{"d003", AnalyzerD003, []diagAt{
-			{"pos.go", 7, 2, "D003"},  // range feeding fmt.Println
-			{"pos.go", 16, 2, "D003"}, // range accumulating floats
+			{"pos.go", 11, 2, "D003"}, // range feeding fmt.Println
+			{"pos.go", 20, 2, "D003"}, // range accumulating floats
+			{"pos.go", 30, 2, "D003"}, // range feeding a snapshot encoder
 		}},
 		{"d004", AnalyzerD004, []diagAt{
 			{"pos.go", 5, 2, "D004"}, // go statement

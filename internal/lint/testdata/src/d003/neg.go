@@ -3,6 +3,8 @@ package d003
 import (
 	"fmt"
 	"sort"
+
+	"paratick/internal/snap"
 )
 
 // Sorted collects keys and sorts them before use: the sanctioned pattern.
@@ -30,5 +32,20 @@ func Justified(m map[string]int) {
 	//lint:ordered demo fixture: output is consumed order-insensitively
 	for k := range m {
 		fmt.Println(k)
+	}
+}
+
+// SortedSave collects and sorts the keys before encoding — the sanctioned
+// pattern for serializing a map: the bytes are deterministic, no finding
+// (the second loop ranges over the sorted slice, not the map).
+func SortedSave(enc *snap.Encoder, m map[string]uint64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		enc.String(k)
+		enc.U64(m[k])
 	}
 }

@@ -1,6 +1,10 @@
 package d003
 
-import "fmt"
+import (
+	"fmt"
+
+	"paratick/internal/snap"
+)
 
 // Render prints a map in iteration order: one finding.
 func Render(m map[string]int) {
@@ -17,4 +21,13 @@ func Total(m map[string]float64) float64 {
 		sum += v
 	}
 	return sum
+}
+
+// SaveCounts feeds a map range straight into a snapshot encoder: the
+// serialized bytes would depend on iteration order, so two snapshots of
+// identical state could fail to compare byte-equal. One finding.
+func SaveCounts(enc *snap.Encoder, m map[string]uint64) {
+	for _, v := range m {
+		enc.U64(v)
+	}
 }

@@ -78,14 +78,20 @@ func (h *Histogram) Max() sim.Time { return h.MaxSeen }
 // edge of the bucket containing that rank, clamped to the observed maximum.
 // Log-scale buckets bound the relative error by 2×, which is plenty for the
 // order-of-magnitude latency questions the reports answer.
+//
+// Out-of-domain arguments are defined, not garbage: an empty histogram
+// yields 0 for every q; q ≤ 0 yields the smallest observed bucket's edge;
+// q ≥ 1 yields the maximum; and a NaN q is treated as 0. (NaN previously
+// slipped past both range clamps and hit a float→uint64 conversion whose
+// result Go leaves implementation-defined — rendered percentiles could
+// differ across platforms.)
 func (h *Histogram) Quantile(q float64) sim.Time {
 	if h.N == 0 {
 		return 0
 	}
-	if q < 0 {
+	if !(q > 0) { // catches q <= 0 and NaN
 		q = 0
-	}
-	if q > 1 {
+	} else if q > 1 {
 		q = 1
 	}
 	rank := uint64(q * float64(h.N))

@@ -20,6 +20,7 @@ import (
 
 	"paratick/internal/hw"
 	"paratick/internal/sim"
+	"paratick/internal/snap"
 )
 
 // Kind selects a scheduling policy. The zero value is FIFO, the legacy
@@ -120,6 +121,12 @@ type Scheduler interface {
 	// handling done on its behalf). Policies that do not account runtime
 	// ignore it.
 	Ran(e Entity, d sim.Time)
+	// Save serializes the scheduler's queue state for a checkpoint;
+	// entities are encoded by Node.Key.
+	Save(enc *snap.Encoder)
+	// Load restores state saved by Save into a freshly built scheduler of
+	// the same kind and topology; lookup resolves entity keys.
+	Load(dec *snap.Decoder, lookup func(key uint64) Entity) error
 }
 
 // New builds a scheduler of the given kind for a host with the given

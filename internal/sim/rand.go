@@ -139,3 +139,20 @@ func (r *Rand) Bool(p float64) bool {
 func (r *Rand) Fork(tag uint64) *Rand {
 	return NewRand(r.Uint64() ^ (tag * 0x9e3779b97f4a7c15))
 }
+
+// State returns the generator's full internal state, for checkpointing.
+// Restoring it with SetState resumes the stream at exactly this point.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured by State.
+//
+//paratick:noalloc
+func (r *Rand) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		// An all-zero xoshiro state is degenerate (the stream is stuck at
+		// zero); State can never produce one, so reject it the same way
+		// Reseed guards.
+		s[0] = 1
+	}
+	r.s = s
+}

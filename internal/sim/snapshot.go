@@ -1,0 +1,164 @@
+package sim
+
+// Checkpoint/restore support. The engine's pending events hold Go closures
+// and therefore cannot be serialized; instead the snapshot layer saves the
+// engine's *scalar* state here (clock, sequence counter, RNG stream, stop
+// flags) and each component that owns events re-arms them after restore
+// with ScheduleRestored, preserving the original (when, seq) dispatch
+// order. Pools (the node free list, bucket/heap/batch capacities) and
+// generation stamps are capacity, not state: they are deliberately outside
+// the snapshot and outside DigestState.
+
+import (
+	"fmt"
+	"sort"
+
+	"paratick/internal/snap"
+)
+
+// Save serializes the engine's scalar state. Pending events are not
+// included — their owners re-arm them on restore (see ScheduleRestored).
+func (e *Engine) Save(enc *snap.Encoder) {
+	enc.Section("engine")
+	enc.U64(uint64(e.shift))
+	enc.I64(int64(e.now))
+	enc.U64(e.seq)
+	enc.U64(e.fired)
+	enc.Bool(e.stopReq)
+	enc.Bool(e.stopped)
+	s := e.rand.State()
+	for _, w := range s {
+		enc.U64(w)
+	}
+}
+
+// Load restores scalar state saved by Save into an engine that holds no
+// pending events (freshly constructed or Reset). The wheel window is
+// re-derived from the restored clock; callers then re-arm every pending
+// event via ScheduleRestored.
+func (e *Engine) Load(dec *snap.Decoder) error {
+	dec.Section("engine")
+	shift := uint(dec.U64())
+	now := Time(dec.I64())
+	seq := dec.U64()
+	fired := dec.U64()
+	stopReq := dec.Bool()
+	stopped := dec.Bool()
+	var s [4]uint64
+	for i := range s {
+		s[i] = dec.U64()
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if shift != e.shift {
+		return fmt.Errorf("sim: snapshot bucket shift %d does not match engine shift %d", shift, e.shift)
+	}
+	if e.count != 0 {
+		return fmt.Errorf("sim: Load into an engine with %d pending events (Reset it first)", e.count)
+	}
+	e.now = now
+	e.wheelBase = int64(now >> e.shift)
+	e.wheelEnd = wheelEndFor(e.wheelBase, e.shift)
+	e.seq = seq
+	e.fired = fired
+	e.stopReq = stopReq
+	e.stopped = stopped
+	e.rand.SetState(s)
+	return nil
+}
+
+// ScheduleRestored re-arms an event carried over from a snapshot at its
+// original (when, seq) coordinates, so the restored engine dispatches in
+// exactly the pre-snapshot order. Unlike At it does not consume a new
+// sequence number; seq must predate the restored counter, and when must
+// not be in the past — a snapshot can only contain future events.
+//
+//paratick:noalloc
+func (e *Engine) ScheduleRestored(when Time, seq uint64, label string, fn Handler) Event {
+	if fn == nil {
+		panic("sim: nil event handler")
+	}
+	if when < e.now {
+		panic(fmt.Sprintf("sim: restoring %q at %v before now %v", label, when, e.now))
+	}
+	if seq >= e.seq {
+		panic(fmt.Sprintf("sim: restored event %q seq %d not below engine seq %d", label, seq, e.seq))
+	}
+	nd := e.acquire()
+	nd.when = when
+	nd.seq = seq
+	nd.fn = fn
+	nd.label = label
+	e.count++
+	ab := int64(when >> e.shift)
+	if e.batchBkt >= 0 && ab < e.batchBkt {
+		e.spillBatch()
+	}
+	switch {
+	case ab == e.batchBkt:
+		e.batchInsert(nd)
+	case when < e.wheelEnd:
+		e.wheelAdd(nd)
+	default:
+		e.push(nd)
+	}
+	return Event{n: nd, gen: nd.gen}
+}
+
+// Seq returns the event's dispatch sequence number, the tie-break half of
+// its (when, seq) coordinates. ok is false once the handle is dead.
+func (ev Event) Seq() (seq uint64, ok bool) {
+	if ev.live() {
+		return ev.n.seq, true
+	}
+	return 0, false
+}
+
+// ForEachPending visits every queued event in unspecified order. It exists
+// for state digests and diagnostics; fn must not schedule or cancel.
+func (e *Engine) ForEachPending(fn func(when Time, seq uint64, label string)) {
+	for s := range e.buckets {
+		for _, nd := range e.buckets[s] {
+			fn(nd.when, nd.seq, nd.label)
+		}
+	}
+	for i := e.batchPos; i < len(e.batch); i++ {
+		if nd := e.batch[i]; nd != nil {
+			fn(nd.when, nd.seq, nd.label)
+		}
+	}
+	for _, nd := range e.heap {
+		fn(nd.when, nd.seq, nd.label)
+	}
+}
+
+// DigestState returns a canonical hash of the engine's observable state:
+// scalars, RNG stream, and every pending event's (when, seq, label) in
+// dispatch order. Two engines with equal digests behave identically from
+// here on (given handlers are re-bound equivalently). Pool contents,
+// retained capacities, and node generation stamps are excluded by design —
+// they affect performance, never behaviour. Digesting allocates; it is a
+// test and fuzzing facility, not a hot-path one.
+func (e *Engine) DigestState() snap.Digest {
+	var enc snap.Encoder
+	e.Save(&enc)
+	enc.U64(uint64(e.count))
+	enc.Bool(e.obs != nil)
+	type pending struct {
+		when  Time
+		seq   uint64
+		label string
+	}
+	evs := make([]pending, 0, e.count)
+	e.ForEachPending(func(when Time, seq uint64, label string) {
+		evs = append(evs, pending{when, seq, label})
+	})
+	sort.Slice(evs, func(i, j int) bool { return evs[i].seq < evs[j].seq })
+	for _, p := range evs {
+		enc.I64(int64(p.when))
+		enc.U64(p.seq)
+		enc.String(p.label)
+	}
+	return snap.HashBytes(enc.Bytes())
+}

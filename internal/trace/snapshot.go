@@ -1,0 +1,101 @@
+package trace
+
+// Checkpoint encoding of the trace buffer. The ring is saved in
+// chronological order (so the internal next/full cursor state is
+// normalized away) and the aggregate count map is encoded under sorted
+// keys — equal trace states always produce equal bytes.
+
+import (
+	"fmt"
+	"sort"
+
+	"paratick/internal/sim"
+	"paratick/internal/snap"
+)
+
+// Save serializes the buffer. A nil buffer saves an explicit absent
+// marker, so presence round-trips.
+func (b *Buffer) Save(enc *snap.Encoder) {
+	enc.Section("trace")
+	if b == nil {
+		enc.Bool(false)
+		return
+	}
+	enc.Bool(true)
+	enc.U64(uint64(b.cap))
+	enc.U64(b.total)
+	enc.I64(int64(b.first))
+	enc.I64(int64(b.last))
+	evs := b.Events()
+	enc.U32(uint32(len(evs)))
+	for _, e := range evs {
+		enc.I64(int64(e.When))
+		enc.I64(int64(e.Dur))
+		enc.I64(int64(e.Kind))
+		enc.I64(int64(e.PCPU))
+		enc.String(e.VM)
+		enc.I64(int64(e.VCPU))
+		enc.String(e.Detail)
+	}
+	keys := make([]string, 0, len(b.counts))
+	for k := range b.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc.U32(uint32(len(keys)))
+	for _, k := range keys {
+		enc.String(k)
+		enc.U64(b.counts[k])
+	}
+}
+
+// Load restores state saved by Save into a buffer of the same capacity.
+// It returns (present, error): present is false when the snapshot recorded
+// a nil tracer.
+func (b *Buffer) Load(dec *snap.Decoder) (bool, error) {
+	dec.Section("trace")
+	if !dec.Bool() {
+		return false, dec.Err()
+	}
+	if b == nil {
+		return true, fmt.Errorf("trace: snapshot carries a trace buffer but none is attached")
+	}
+	if c := int(dec.U64()); dec.Err() == nil && c != b.cap {
+		return true, fmt.Errorf("trace: snapshot buffer capacity %d does not match configured %d", c, b.cap)
+	}
+	b.total = dec.U64()
+	b.first = sim.Time(dec.I64())
+	b.last = sim.Time(dec.I64())
+	n := int(dec.U32())
+	b.events = b.events[:0]
+	b.next = 0
+	b.full = false
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		e := Event{
+			When: sim.Time(dec.I64()),
+			Dur:  sim.Time(dec.I64()),
+			Kind: Kind(dec.I64()),
+			PCPU: int(dec.I64()),
+			VM:   dec.String(),
+			VCPU: int(dec.I64()),
+		}
+		e.Detail = dec.String()
+		b.events = append(b.events, e)
+	}
+	// The ring was saved in chronological order; a saved ring at capacity
+	// resumes as full with the write cursor back at the start, which keeps
+	// Events() ordering identical.
+	if len(b.events) >= b.cap {
+		b.full = true
+		b.next = 0
+	}
+	nk := int(dec.U32())
+	for k := range b.counts {
+		delete(b.counts, k)
+	}
+	for i := 0; i < nk && dec.Err() == nil; i++ {
+		k := dec.String()
+		b.counts[k] = dec.U64()
+	}
+	return true, dec.Err()
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"testing"
+
+	"paratick/internal/sim"
+	"paratick/internal/snap"
+)
+
+func record(b *Buffer, n int) {
+	for i := 0; i < n; i++ {
+		b.Record(Event{
+			When: sim.Time(i) * sim.Microsecond, Kind: Kind(i % 4),
+			PCPU: i % 3, VM: "vm0", VCPU: i % 2, Detail: "d",
+		})
+	}
+}
+
+func TestBufferSaveLoad(t *testing.T) {
+	for _, n := range []int{0, 3, 8, 13} { // below, at, and beyond capacity 8
+		src := NewBuffer(8)
+		record(src, n)
+		var enc snap.Encoder
+		src.Save(&enc)
+
+		dst := NewBuffer(8)
+		present, err := dst.Load(snap.NewDecoder(enc.Bytes()))
+		if err != nil || !present {
+			t.Fatalf("n=%d: Load = %v, %v", n, present, err)
+		}
+		if dst.Total() != src.Total() {
+			t.Fatalf("n=%d: total %d != %d", n, dst.Total(), src.Total())
+		}
+		se, de := src.Events(), dst.Events()
+		if len(se) != len(de) {
+			t.Fatalf("n=%d: events %d != %d", n, len(de), len(se))
+		}
+		for i := range se {
+			if se[i] != de[i] {
+				t.Fatalf("n=%d: event %d differs", n, i)
+			}
+		}
+		if src.Summary() != dst.Summary() {
+			t.Fatalf("n=%d: summaries differ", n)
+		}
+
+		// Recording after restore must behave like the original buffer.
+		record(src, 5)
+		record(dst, 5)
+		if src.Summary() != dst.Summary() || src.Dump() != dst.Dump() {
+			t.Fatalf("n=%d: post-restore recording diverged", n)
+		}
+	}
+}
+
+func TestNilBufferSaveLoad(t *testing.T) {
+	var nilBuf *Buffer
+	var enc snap.Encoder
+	nilBuf.Save(&enc)
+	present, err := NewBuffer(4).Load(snap.NewDecoder(enc.Bytes()))
+	if err != nil || present {
+		t.Fatalf("nil buffer round trip: present=%v err=%v", present, err)
+	}
+}
+
+func TestLoadRejectsCapacityMismatch(t *testing.T) {
+	src := NewBuffer(8)
+	record(src, 2)
+	var enc snap.Encoder
+	src.Save(&enc)
+	if _, err := NewBuffer(16).Load(snap.NewDecoder(enc.Bytes())); err == nil {
+		t.Fatal("capacity mismatch not rejected")
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+// Checkpoint support for the workload programs. Each program serializes
+// only the fields its Next reads and mutates; construction-time parameters
+// (job descriptions, devices, lock/barrier pointers) are re-established by
+// rebuilding the scenario and are deliberately absent from the encoding.
+
+import (
+	"fmt"
+
+	"paratick/internal/guest"
+	"paratick/internal/sim"
+	"paratick/internal/snap"
+)
+
+var (
+	_ guest.ProgramState = (*fioProgram)(nil)
+	_ guest.ProgramState = (*syncProgram)(nil)
+	_ guest.ProgramState = (*seqProgram)(nil)
+	_ guest.ProgramState = (*parProgram)(nil)
+)
+
+// SaveState implements guest.ProgramState.
+func (f *fioProgram) SaveState(enc *snap.Encoder) {
+	enc.I64(int64(f.opsLeft))
+	enc.Bool(f.thinking)
+	enc.I64(int64(f.opIndex))
+}
+
+// LoadState implements guest.ProgramState.
+func (f *fioProgram) LoadState(dec *snap.Decoder) error {
+	f.opsLeft = int(dec.I64())
+	f.thinking = dec.Bool()
+	f.opIndex = int(dec.I64())
+	return dec.Err()
+}
+
+// SaveState implements guest.ProgramState.
+func (p *syncProgram) SaveState(enc *snap.Encoder) {
+	enc.I64(int64(p.phase))
+	enc.Bool(p.done)
+	enc.Bool(p.left)
+}
+
+// LoadState implements guest.ProgramState.
+func (p *syncProgram) LoadState(dec *snap.Decoder) error {
+	p.phase = int(dec.I64())
+	p.done = dec.Bool()
+	p.left = dec.Bool()
+	return dec.Err()
+}
+
+// SaveState implements guest.ProgramState.
+func (s *seqProgram) SaveState(enc *snap.Encoder) {
+	enc.I64(int64(s.remaining))
+	enc.Bool(s.ioPending)
+	enc.Bool(s.ioSeq)
+}
+
+// LoadState implements guest.ProgramState.
+func (s *seqProgram) LoadState(dec *snap.Decoder) error {
+	s.remaining = sim.Time(dec.I64())
+	s.ioPending = dec.Bool()
+	s.ioSeq = dec.Bool()
+	return dec.Err()
+}
+
+// SaveState implements guest.ProgramState. The current-iteration lock is
+// encoded as its index into the thread's stripe slice (-1 when none is
+// held or pending), never as a pointer.
+func (t *parProgram) SaveState(enc *snap.Encoder) {
+	idx := int64(-1)
+	for i, l := range t.locks {
+		if l == t.lock {
+			idx = int64(i)
+			break
+		}
+	}
+	enc.I64(idx)
+	enc.I64(int64(t.remaining))
+	enc.I64(int64(t.iter))
+	enc.I64(int64(t.phase))
+	enc.Bool(t.left)
+}
+
+// LoadState implements guest.ProgramState.
+func (t *parProgram) LoadState(dec *snap.Decoder) error {
+	idx := dec.I64()
+	t.remaining = sim.Time(dec.I64())
+	t.iter = int(dec.I64())
+	t.phase = int(dec.I64())
+	t.left = dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	t.lock = nil
+	if idx >= 0 {
+		if int(idx) >= len(t.locks) {
+			return fmt.Errorf("workload: %s: snapshot lock stripe %d out of %d", t.p.Name, idx, len(t.locks))
+		}
+		t.lock = t.locks[idx]
+	}
+	return nil
+}
