@@ -4,9 +4,10 @@
 // Usage:
 //
 //	paratick-bench [-run all|table1|fig4|fig5|fig6|crossover|consolidation|
-//	                overcommit|ablation] [-scale 1.0] [-sched fifo|fair]
+//	                overcommit|ablation|shardfleet] [-scale 1.0] [-sched fifo|fair]
 //	               [-seed 1] [-device nvme|sata-ssd|hdd] [-out DIR]
-//	               [-workers N] [-bench-json FILE] [-manifest FILE]
+//	               [-workers N] [-shards N] [-quantum D]
+//	               [-bench-json FILE] [-manifest FILE]
 //	               [-trace-out FILE.json] [-cpuprofile FILE] [-memprofile FILE]
 //	paratick-bench -perf-suite [-perf-out FILE.json] [-perf-baseline FILE.json]
 //	               [-perf-threshold 1.25]
@@ -19,11 +20,26 @@
 // output is byte-identical regardless of worker count. -bench-json writes
 // one timing record per experiment (wall clock, events fired, events/sec).
 //
+// Intra-run sharding:
+//
+//   - -quantum D switches scenarios into lane mode: one event shard per
+//     socket, coordinated by a conservative time-quantum barrier of width D.
+//     Lane mode is a semantic switch — it changes the modeled schedule (and
+//     requires every VM to fit inside one socket) — so its output differs
+//     from the serial default, but depends only on (seed, scale, quantum).
+//   - -shards N runs the lanes on up to N goroutines. Sharding is execution
+//     only: any -shards value produces byte-identical output, which the CI
+//     sharded-determinism gate enforces by diffing -shards 1 against
+//     -shards 4.
+//   - -run shardfleet runs the canonical lane-mode workload: a fleet of
+//     socket-contained VMs coupled by a cross-socket IPI ring (it defaults
+//     -quantum to 1ms when unset).
+//
 // -perf-suite runs the pinned micro-benchmark kernels of internal/perf
 // (timer wheel, event engine, one end-to-end experiment) via
 // testing.Benchmark and prints ns/op, allocs/op, and events/sec. -perf-out
 // writes the machine-readable report; -perf-baseline compares against a
-// committed report (BENCH_PR6.json) and fails when any kernel's ns/op grows
+// committed report (BENCH_PR8.json) and fails when any kernel's ns/op grows
 // past -perf-threshold or its allocs/op grows at all.
 //
 // Checkpointing:
@@ -83,12 +99,14 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("paratick-bench", flag.ContinueOnError)
-	runSel := fs.String("run", "all", "experiment to run: all, table1, fig4, fig5, fig6, crossover, consolidation, overcommit, ablation")
+	runSel := fs.String("run", "all", "experiment to run: all, table1, fig4, fig5, fig6, crossover, consolidation, overcommit, ablation, shardfleet")
 	scale := fs.Float64("scale", 1.0, "workload duration scale (1.0 = paper-sized)")
 	seed := fs.Uint64("seed", 1, "deterministic seed")
 	device := fs.String("device", "nvme", "block device profile: nvme, sata-ssd, hdd")
 	repeats := fs.Int("repeats", 1, "average each experiment over this many seeds (paper: 3-15)")
 	workers := fs.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
+	shards := fs.Int("shards", 0, "intra-run event shards per scenario; >1 requires -quantum (output is byte-identical for any value)")
+	quantum := fs.Duration("quantum", 0, "lane-mode barrier quantum (0 = serial legacy engine)")
 	schedPolicy := fs.String("sched", "fifo", "host vCPU scheduler for the experiments: fifo, fair (the overcommit sweep always compares both)")
 	out := fs.String("out", "", "directory for CSV output (optional)")
 	benchJSON := fs.String("bench-json", "", "file for per-experiment timing records as JSON (optional)")
@@ -133,6 +151,10 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown device %q", *device)
 	}
 	opts.SnapshotProbe = sim.Time(probeAt.Nanoseconds())
+	// Shards>1 without a quantum is rejected by each experiment's own
+	// Validate — except shardfleet, which first defaults the quantum.
+	opts.Shards = *shards
+	opts.Quantum = sim.Time(quantum.Nanoseconds())
 	if *ckOut != "" || *ckIn != "" {
 		return runCheckpoint(w, opts, *ckOut, *ckIn, sim.Time(ckAt.Nanoseconds()))
 	}
@@ -169,6 +191,7 @@ func run(args []string, w io.Writer) error {
 		{"consolidation", runConsolidation},
 		{"overcommit", runOvercommit},
 		{"ablation", runAblation},
+		{"shardfleet", runShardFleet},
 	}
 	known := all
 	for _, s := range steps {
@@ -294,6 +317,8 @@ type manifest struct {
 	Seed         uint64        `json:"seed"`
 	Scale        float64       `json:"scale"`
 	Workers      int           `json:"workers"`
+	Shards       int           `json:"shards"`
+	QuantumNs    int64         `json:"quantum_ns"`
 	Repeats      int           `json:"repeats"`
 	Device       string        `json:"device"`
 	GitVersion   string        `json:"git_version,omitempty"`
@@ -310,6 +335,8 @@ func writeManifest(path string, opts experiment.Options, device string, wall tim
 		Seed:        opts.Seed,
 		Scale:       opts.Scale,
 		Workers:     opts.WorkerCount(),
+		Shards:      opts.Shards,
+		QuantumNs:   int64(opts.Quantum),
 		Repeats:     opts.Repeats,
 		Device:      device,
 		GitVersion:  gitDescribe(),
@@ -496,5 +523,19 @@ func runAblation(opts experiment.Options, out string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w, s)
+	return nil
+}
+
+// shardFleetVMs is the fleet size -run shardfleet simulates: four
+// socket-contained VMs per socket of the paper topology.
+const shardFleetVMs = 16
+
+func runShardFleet(opts experiment.Options, out string, w io.Writer) error {
+	fmt.Fprintln(w, "== Shard fleet: lane-mode determinism workload ==")
+	res, err := experiment.RunShardFleet(opts, shardFleetVMs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, res.Render())
 	return nil
 }

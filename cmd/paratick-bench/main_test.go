@@ -180,6 +180,79 @@ func TestCheckpointGoldenBytes(t *testing.T) {
 	}
 }
 
+// stripWallClock drops the wall-clock-dependent lines ([name] timing and the
+// trailing "done in ..." summary) so outputs of two runs can be compared.
+func stripWallClock(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "[") || strings.HasPrefix(line, "done in") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestShardFleetCLIByteIdentical is the CLI half of the tentpole contract:
+// -run shardfleet output is byte-identical for -shards 1 and -shards 4
+// (modulo wall-clock lines). The CI sharded-determinism gate diffs the same
+// pair on the full-size fleet.
+func TestShardFleetCLIByteIdentical(t *testing.T) {
+	runFleet := func(shards string) string {
+		var b strings.Builder
+		err := run([]string{"-run", "shardfleet", "-scale", "0.005", "-shards", shards, "-quantum", "1ms"}, &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := runFleet("1")
+	if !strings.Contains(serial, "Shard fleet") {
+		t.Fatalf("missing fleet report:\n%s", serial)
+	}
+	if sharded := runFleet("4"); stripWallClock(sharded) != stripWallClock(serial) {
+		t.Fatalf("-shards 4 output diverges from -shards 1:\n%s\nvs\n%s", sharded, serial)
+	}
+}
+
+// TestShardFleetCLIDefaultsQuantum checks -run shardfleet works without an
+// explicit -quantum (the fleet supplies its 1ms default) and that -shards
+// without -quantum is rejected for every other experiment.
+func TestShardFleetCLIDefaultsQuantum(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-run", "shardfleet", "-scale", "0.005"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "quantum 1ms") {
+		t.Fatalf("fleet did not default the quantum:\n%s", b.String())
+	}
+	if err := run([]string{"-run", "table1", "-shards", "4"}, &b); err == nil {
+		t.Error("-shards without -quantum accepted")
+	}
+}
+
+// TestManifestRecordsSharding pins the manifest's shard fields.
+func TestManifestRecordsSharding(t *testing.T) {
+	mf := filepath.Join(t.TempDir(), "manifest.json")
+	var b strings.Builder
+	err := run([]string{"-run", "shardfleet", "-scale", "0.005", "-shards", "2", "-quantum", "500us",
+		"-manifest", mf}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Shards != 2 || m.QuantumNs != 500_000 {
+		t.Fatalf("manifest shard fields wrong: shards=%d quantum_ns=%d", m.Shards, m.QuantumNs)
+	}
+}
+
 // TestSnapshotProbeFlag smoke-tests -snapshot-probe: a probed run must
 // succeed and render the same tables a plain run does.
 func TestSnapshotProbeFlag(t *testing.T) {

@@ -161,6 +161,8 @@ func RunIdleExitAblation(opts Options) (*AblationResult, error) {
 					VCPUs:         1,
 					SchedPolicy:   opts.SchedPolicy,
 					SnapshotProbe: opts.SnapshotProbe,
+					Quantum:       opts.Quantum,
+					Shards:        opts.Shards,
 					Setup:         setup,
 				}
 				r, err := run(spec, opts.Seed, opts.Meter, a)
@@ -175,6 +177,8 @@ func RunIdleExitAblation(opts Options) (*AblationResult, error) {
 				VCPUs:         1,
 				SchedPolicy:   opts.SchedPolicy,
 				SnapshotProbe: opts.SnapshotProbe,
+				Quantum:       opts.Quantum,
+				Shards:        opts.Shards,
 				Setup:         setup,
 			}.scenario()
 			arms := []func(*world) error{
@@ -223,6 +227,8 @@ func RunFrequencyMismatchAblation(opts Options) (*AblationResult, error) {
 		HostHz:        250,
 		SchedPolicy:   opts.SchedPolicy,
 		SnapshotProbe: opts.SnapshotProbe,
+		Quantum:       opts.Quantum,
+		Shards:        opts.Shards,
 		Setup: func(vm *kvm.VM) error {
 			vm.Kernel().Spawn("spin", 0, guest.Steps(guest.Compute(work)))
 			return nil
@@ -265,6 +271,8 @@ func RunHaltPollAblation(opts Options) (*AblationResult, error) {
 		VCPUs:         1,
 		SchedPolicy:   opts.SchedPolicy,
 		SnapshotProbe: opts.SnapshotProbe,
+		Quantum:       opts.Quantum,
+		Shards:        opts.Shards,
 		Setup:         fioSetup(opts),
 	}.scenario()
 	arms := make([]func(*world) error, len(windows))
@@ -339,6 +347,8 @@ func RunPLEAblation(opts Options) (*AblationResult, error) {
 		VCPUs:         4,
 		SchedPolicy:   opts.SchedPolicy,
 		SnapshotProbe: opts.SnapshotProbe,
+		Quantum:       opts.Quantum,
+		Shards:        opts.Shards,
 		Setup: func(vm *kvm.VM) error {
 			lock := vm.Kernel().NewLock("hot")
 			for i := 0; i < 4; i++ {
@@ -413,6 +423,8 @@ func RunCoalescingAblation(opts Options) (*AblationResult, error) {
 				VCPUs:         1,
 				SchedPolicy:   opts.SchedPolicy,
 				SnapshotProbe: opts.SnapshotProbe,
+				Quantum:       opts.Quantum,
+				Shards:        opts.Shards,
 				Setup: func(vm *kvm.VM) error {
 					d, err := vm.AttachDevice("disk0", base)
 					if err != nil {

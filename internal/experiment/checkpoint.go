@@ -90,12 +90,16 @@ func checkpointScenario(s Scenario, seed uint64, at sim.Time, m *metrics.Meter, 
 		return nil, err
 	}
 	defer w.release()
+	// In lane mode the freeze instant rounds up to the quantum grid: state
+	// is only saveable at a barrier (mailboxes provably empty), and pausing
+	// on the grid adds no barrier an uninterrupted run would not have.
+	at = w.alignUp(at)
 	if at >= w.deadline() {
 		return nil, fmt.Errorf("experiment %s: checkpoint instant %v is not before the deadline %v", s.Name, at, w.deadline())
 	}
-	w.engine.RunUntil(at)
-	m.AddRun(w.engine.Fired())
-	if w.engine.Stopped() {
+	w.se.RunUntil(at)
+	m.AddRun(w.se.Fired())
+	if w.se.Stopped() {
 		return nil, fmt.Errorf("experiment %s: workload finished before checkpoint instant %v — every resumed arm would measure an already-ended run", s.Name, at)
 	}
 	state, err := w.save()
@@ -106,7 +110,7 @@ func checkpointScenario(s Scenario, seed uint64, at sim.Time, m *metrics.Meter, 
 		fp:      w.fingerprint(),
 		seed:    seed,
 		at:      at,
-		events:  w.engine.Fired(),
+		events:  w.se.Fired(),
 		payload: append([]byte(nil), state...),
 	}, nil
 }
@@ -183,6 +187,8 @@ func ReferenceScenario(opts Options) Scenario {
 		VCPUs:         1,
 		SchedPolicy:   opts.SchedPolicy,
 		SnapshotProbe: opts.SnapshotProbe,
+		Quantum:       opts.Quantum,
+		Shards:        opts.Shards,
 		Setup:         fioSetup(opts),
 	}.scenario()
 }

@@ -59,6 +59,8 @@ func consolidationScenario(opts Options, mode core.Mode, dur sim.Time) Scenario 
 		SchedPolicy:   opts.SchedPolicy,
 		Duration:      dur,
 		SnapshotProbe: opts.SnapshotProbe,
+		Quantum:       opts.Quantum,
+		Shards:        opts.Shards,
 	}
 	for i := 0; i < 4; i++ {
 		s.VMs = append(s.VMs, VMSpec{

@@ -126,6 +126,8 @@ func RunCrossover(opts Options) (*CrossoverResult, error) {
 				Duration:      dur,
 				SchedPolicy:   opts.SchedPolicy,
 				SnapshotProbe: opts.SnapshotProbe,
+				Quantum:       opts.Quantum,
+				Shards:        opts.Shards,
 				Setup: func(vm *kvm.VM) error {
 					dev, err := vm.AttachDevice("delay", delayLineProfile(warmLatency))
 					if err != nil {

@@ -42,6 +42,8 @@ func runFig4Once(opts Options) (*ParsecFigure, error) {
 				VCPUs:         1,
 				SchedPolicy:   opts.SchedPolicy,
 				SnapshotProbe: opts.SnapshotProbe,
+				Quantum:       opts.Quantum,
+				Shards:        opts.Shards,
 				Setup: func(vm *kvm.VM) error {
 					dev, err := vm.AttachDevice("disk0", opts.Device)
 					if err != nil {
@@ -111,6 +113,8 @@ func runFig5SizeOnce(opts Options, size VMSize) (*ParsecFigure, error) {
 				Sockets:       size.Sockets,
 				SchedPolicy:   opts.SchedPolicy,
 				SnapshotProbe: opts.SnapshotProbe,
+				Quantum:       opts.Quantum,
+				Shards:        opts.Shards,
 				Setup: func(vm *kvm.VM) error {
 					dev, err := vm.AttachDevice("disk0", opts.Device)
 					if err != nil {

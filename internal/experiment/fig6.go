@@ -105,6 +105,8 @@ func runFioCell(opts Options, pat workload.FioPattern, bs int, a *arena) (FioCel
 		VCPUs:         1,
 		SchedPolicy:   opts.SchedPolicy,
 		SnapshotProbe: opts.SnapshotProbe,
+		Quantum:       opts.Quantum,
+		Shards:        opts.Shards,
 		Setup: func(vm *kvm.VM) error {
 			dev, err := vm.AttachDevice("disk0", opts.Device)
 			if err != nil {

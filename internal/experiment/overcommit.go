@@ -73,6 +73,8 @@ func overcommitScenario(opts Options, ratio int, mode core.Mode, policy sched.Ki
 		SchedPolicy:   policy,
 		Duration:      dur,
 		SnapshotProbe: opts.SnapshotProbe,
+		Quantum:       opts.Quantum,
+		Shards:        opts.Shards,
 	}
 	bench := workload.DefaultSyncBench()
 	bench.Threads = overcommitPCPUs

@@ -50,6 +50,18 @@ type Options struct {
 	// continue from the restored copy. Output must be byte-identical with
 	// the probe on or off — the golden gate of the checkpoint machinery.
 	SnapshotProbe sim.Time
+	// Quantum, when positive, runs every scenario in lane mode: the host
+	// splits into one event lane per socket, advanced in conservative time
+	// quanta of this length (see sim.ShardedEngine). Lane mode is a semantic
+	// switch — it changes per-lane RNG streams and event interleavings, so
+	// its outputs differ from the legacy serial engine — and requires every
+	// VM to be contained on one socket. 0 keeps the legacy engine,
+	// byte-identical to all previous releases.
+	Quantum sim.Time
+	// Shards is how many goroutines execute the lanes within each quantum
+	// (0 or 1 = serial). Purely an execution knob: output is byte-identical
+	// for every shard count. Shards > 1 requires a positive Quantum.
+	Shards int
 }
 
 // DefaultOptions returns full-scale settings with the NVMe-class device.
@@ -83,7 +95,26 @@ func (o Options) WorkerCount() int {
 // byte-identical for any worker count.
 type arena struct {
 	engine *sim.Engine
+	// wrapped caches WrapEngine(engine) so legacy-mode runs reuse one
+	// coordinator shell per worker instead of allocating one per run.
+	wrapped *sim.ShardedEngine
+	// sharded caches the lane-mode coordinator, reused while consecutive
+	// runs ask for the same (lanes, shards, quantum) shape.
+	sharded *sim.ShardedEngine
+	// hosts pools Host construction (PCPUs, their pre-bound handler
+	// closures, host-tick timers, scheduler queues) across runs on the
+	// same coordinator and machine shape.
+	hosts  kvm.HostArena
 	wheels guest.WheelPool
+}
+
+// hostArena exposes the arena's host pool (nil arena → nil pool, meaning
+// freshly built hosts).
+func (a *arena) hostArena() *kvm.HostArena {
+	if a == nil {
+		return nil
+	}
+	return &a.hosts
 }
 
 // wheelPool exposes the arena's wheel pool (nil arena → nil pool, meaning
@@ -108,6 +139,37 @@ func (a *arena) engineFor(seed uint64) *sim.Engine {
 		a.engine.Reset(seed)
 	}
 	return a.engine
+}
+
+// shardedFor returns a coordinator for the requested shape, reset to seed.
+// Quantum 0 wraps the arena's legacy engine (the byte-identical serial
+// path); lane mode reuses the cached coordinator while the shape matches.
+func (a *arena) shardedFor(seed uint64, lanes, shards int, quantum sim.Time) (*sim.ShardedEngine, error) {
+	if quantum == 0 {
+		e := a.engineFor(seed)
+		if a == nil {
+			return sim.WrapEngine(e), nil
+		}
+		if a.wrapped == nil || a.wrapped.Root() != e {
+			a.wrapped = sim.WrapEngine(e)
+		}
+		return a.wrapped, nil
+	}
+	if a != nil && a.sharded != nil &&
+		a.sharded.Lanes() == lanes && a.sharded.Shards() == shards && a.sharded.Quantum() == quantum {
+		a.sharded.Reset(seed)
+		// The previous run's hooks capture its world; drop them so a stale
+		// barrier hook can never fire into an abandoned object graph. The
+		// new world's host and completion check reinstall theirs.
+		a.sharded.SetDeliver(nil)
+		a.sharded.SetBarrierHook(nil)
+		return a.sharded, nil
+	}
+	se, err := sim.NewSharded(seed, lanes, shards, quantum)
+	if err == nil && a != nil {
+		a.sharded = se
+	}
+	return se, err
 }
 
 // runParallel executes n independent jobs across at most workers goroutines
@@ -173,6 +235,15 @@ func (o Options) Validate() error {
 	if o.SnapshotProbe < 0 {
 		return fmt.Errorf("experiment: snapshot probe must be non-negative, got %v", o.SnapshotProbe)
 	}
+	if o.Quantum < 0 {
+		return fmt.Errorf("experiment: quantum must be non-negative, got %v", o.Quantum)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("experiment: shards must be non-negative, got %d", o.Shards)
+	}
+	if o.Shards > 1 && o.Quantum == 0 {
+		return fmt.Errorf("experiment: %d shards require a positive quantum", o.Shards)
+	}
 	return o.Device.Validate()
 }
 
@@ -203,6 +274,10 @@ type Spec struct {
 	// SnapshotProbe enables the mid-run checkpoint round-trip gate (see
 	// Scenario.SnapshotProbe).
 	SnapshotProbe sim.Time
+	// Quantum/Shards select lane mode and its execution width (see
+	// Scenario.Quantum and Scenario.Shards).
+	Quantum sim.Time
+	Shards  int
 	// Setup spawns the workload (tasks, devices) into the fresh VM.
 	Setup func(vm *kvm.VM) error
 }
@@ -222,6 +297,8 @@ func (spec Spec) scenario() Scenario {
 		SchedPolicy:   spec.SchedPolicy,
 		Duration:      spec.Duration,
 		SnapshotProbe: spec.SnapshotProbe,
+		Quantum:       spec.Quantum,
+		Shards:        spec.Shards,
 		VMs: []VMSpec{{
 			Name:         spec.Name,
 			Mode:         spec.Mode,

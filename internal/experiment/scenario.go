@@ -59,8 +59,37 @@ type Scenario struct {
 	// verifies the snapshot round-trips byte-identically, and continues on
 	// the restored copy — so any restore bug surfaces as divergent results.
 	// It is a differential-testing gate, not a performance feature.
+	// In lane mode the probe instant is rounded up to the quantum grid, so
+	// the probe never introduces a barrier an unprobed run would not have.
 	SnapshotProbe sim.Time
-	VMs           []VMSpec
+	// Quantum, when positive, runs the scenario in lane mode: one event
+	// lane per socket under the conservative quantum barrier. It is part of
+	// the scenario's semantic identity (interleavings and RNG streams
+	// change); every VM must then be contained on a single socket.
+	Quantum sim.Time
+	// Shards is how many goroutines execute the lanes (clamped to the lane
+	// count; 0 or 1 = serial). Execution-only: results are byte-identical
+	// for every value, and it is excluded from the structural fingerprint.
+	Shards int
+	// CrossIPI declares periodic cross-VM doorbell streams (the vhost-style
+	// kick pattern), the only interaction that crosses lanes. Lane mode
+	// only; order is part of the scenario's identity.
+	CrossIPI []CrossIPISpec
+	VMs      []VMSpec
+}
+
+// CrossIPISpec declares one periodic cross-VM interrupt stream: every
+// Period, an IPI posted from the Src VM's lane is delivered to DstVCPU of
+// the Dst VM after Latency. Latency must cover the conservative quantum
+// horizon (≥ Quantum).
+type CrossIPISpec struct {
+	// Src and Dst index Scenario.VMs.
+	Src, Dst int
+	DstVCPU  int
+	Period   sim.Time
+	Latency  sim.Time
+	// Phase is the first firing instant (0 → Period).
+	Phase sim.Time
 }
 
 // ScenarioResult carries per-VM results in VMSpec order.
@@ -86,6 +115,26 @@ func (s Scenario) Validate() error {
 	for _, v := range s.VMs {
 		if v.VCPUs <= 0 && len(v.Placement) == 0 {
 			return fmt.Errorf("experiment %s: VM %q needs vCPUs or a placement", s.Name, v.Name)
+		}
+	}
+	if s.Quantum < 0 {
+		return fmt.Errorf("experiment %s: quantum must be non-negative, got %v", s.Name, s.Quantum)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("experiment %s: shards must be non-negative, got %d", s.Name, s.Shards)
+	}
+	if s.Quantum == 0 {
+		if s.Shards > 1 {
+			return fmt.Errorf("experiment %s: %d shards require a positive quantum", s.Name, s.Shards)
+		}
+		if len(s.CrossIPI) > 0 {
+			return fmt.Errorf("experiment %s: cross-VM IPI streams require lane mode (a positive quantum)", s.Name)
+		}
+	}
+	for i, ci := range s.CrossIPI {
+		if ci.Src < 0 || ci.Src >= len(s.VMs) || ci.Dst < 0 || ci.Dst >= len(s.VMs) {
+			return fmt.Errorf("experiment %s: cross-IPI stream %d links VMs %d→%d, have %d VMs",
+				s.Name, i, ci.Src, ci.Dst, len(s.VMs))
 		}
 	}
 	return nil
@@ -123,13 +172,18 @@ type world struct {
 	// scenario fingerprint, which must cover the placement actually used,
 	// not the spec fields it was derived from.
 	placements [][]hw.CPUID
-	engine     *sim.Engine
-	host       *kvm.Host
-	vms        []*kvm.VM
-	pool       *guest.WheelPool
-	workloads  int
-	// remaining counts unfinished workload VMs; the OnWorkloadDone hooks
-	// decrement it and stop the engine at zero (Duration-0 scenarios).
+	// se coordinates the run's engines: a legacy single-engine wrapper when
+	// Quantum is 0 (byte-identical to the pre-shard code path), or one lane
+	// per socket under the quantum barrier.
+	se        *sim.ShardedEngine
+	host      *kvm.Host
+	vms       []*kvm.VM
+	pool      *guest.WheelPool
+	workloads int
+	// remaining counts unfinished workload VMs; the legacy OnWorkloadDone
+	// hooks decrement it and stop the engine at zero (Duration-0
+	// scenarios). Lane mode checks completion at barriers instead — a
+	// shared counter mutated from several shards would race.
 	remaining int
 	// resumed marks a world restored from a checkpoint whose arms may have
 	// had runtime knobs retuned; the snapshot probe then verifies without
@@ -148,7 +202,6 @@ func buildWorld(s Scenario, seed uint64, a *arena) (*world, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	engine := a.engineFor(seed)
 	cfg := kvm.DefaultConfig()
 	if s.Topology.Sockets > 0 {
 		cfg.Topology = s.Topology
@@ -162,7 +215,23 @@ func buildWorld(s Scenario, seed uint64, a *arena) (*world, error) {
 	cfg.HaltPoll = s.HaltPoll
 	cfg.PLEWindow = s.PLEWindow
 	cfg.SchedPolicy = s.SchedPolicy
-	host, err := kvm.NewHost(engine, cfg)
+	lanes, shards := 1, 1
+	if s.Quantum > 0 {
+		// One lane per socket; shards clamp to the lane count, so a
+		// single-socket topology degenerates to serial lane mode.
+		lanes = cfg.Topology.Sockets
+		if s.Shards > 1 {
+			shards = s.Shards
+			if shards > lanes {
+				shards = lanes
+			}
+		}
+	}
+	se, err := a.shardedFor(seed, lanes, shards, s.Quantum)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", s.Name, err)
+	}
+	host, err := a.hostArena().NewHostOn(se, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +239,7 @@ func buildWorld(s Scenario, seed uint64, a *arena) (*world, error) {
 		scenario: s,
 		seed:     seed,
 		cfg:      cfg,
-		engine:   engine,
+		se:       se,
 		host:     host,
 		pool:     a.wheelPool(),
 	}
@@ -212,15 +281,35 @@ func buildWorld(s Scenario, seed uint64, a *arena) (*world, error) {
 		w.placements = append(w.placements, placement)
 		w.vms = append(w.vms, vm)
 	}
-	w.remaining = w.workloads
-	for i, vs := range s.VMs {
-		if !vs.Workload {
-			continue
+	for i, ci := range s.CrossIPI {
+		if err := host.AddIPIStream(w.vms[ci.Src], w.vms[ci.Dst], ci.DstVCPU, ci.Period, ci.Latency, ci.Phase); err != nil {
+			return nil, fmt.Errorf("experiment %s: cross-IPI stream %d: %w", s.Name, i, err)
 		}
-		w.vms[i].OnWorkloadDone = func(sim.Time) {
-			w.remaining--
-			if w.remaining == 0 && w.scenario.Duration == 0 {
-				w.engine.Stop()
+	}
+	w.remaining = w.workloads
+	if s.Quantum > 0 {
+		// Lane mode: completion is decided at quantum barriers, where the
+		// coordinator can read every lane's state race-free. A per-VM
+		// OnWorkloadDone hook would mutate shared state from several shard
+		// goroutines, and a mid-quantum stop would depend on the shard
+		// interleaving.
+		if s.Duration == 0 {
+			se.SetBarrierHook(func(sim.Time) {
+				if w.workloadsDone() {
+					se.Stop()
+				}
+			})
+		}
+	} else {
+		for i, vs := range s.VMs {
+			if !vs.Workload {
+				continue
+			}
+			w.vms[i].OnWorkloadDone = func(sim.Time) {
+				w.remaining--
+				if w.remaining == 0 && w.scenario.Duration == 0 {
+					w.se.Stop()
+				}
 			}
 		}
 	}
@@ -228,6 +317,32 @@ func buildWorld(s Scenario, seed uint64, a *arena) (*world, error) {
 		vm.Start()
 	}
 	return w, nil
+}
+
+// workloadsDone reports whether every workload VM has finished.
+func (w *world) workloadsDone() bool {
+	for i, vs := range w.scenario.VMs {
+		if !vs.Workload {
+			continue
+		}
+		if done, _ := w.vms[i].WorkloadDone(); !done {
+			return false
+		}
+	}
+	return true
+}
+
+// alignUp rounds t up to the next quantum-grid instant in lane mode (the
+// identity in legacy mode, or when t is already on the grid). Probe and
+// checkpoint instants are aligned so that pausing there adds no barrier an
+// uninterrupted run would not also have — the byte-identity contract
+// between probed/checkpointed runs and straight runs depends on it.
+func (w *world) alignUp(t sim.Time) sim.Time {
+	q := w.se.Quantum()
+	if q <= 0 || t%q == 0 {
+		return t
+	}
+	return (t/q + 1) * q
 }
 
 // deadline is the instant the run ends at.
@@ -270,6 +385,26 @@ func (w *world) fingerprint() []byte {
 			enc.I64(int64(c))
 		}
 	}
+	// Lane-mode identity: quantum and the cross-IPI stream shapes change
+	// the object graph and the schedule, so they are part of the
+	// fingerprint — but only when lane mode is on, which keeps every legacy
+	// fingerprint (including those inside committed reference checkpoints)
+	// byte-for-byte unchanged. The shard count is deliberately excluded:
+	// it is an execution knob with no observable effect, and a checkpoint
+	// taken at shards=4 must resume at shards=1 (and vice versa).
+	if w.scenario.Quantum != 0 {
+		enc.Section("scenario-lanes")
+		enc.I64(int64(w.scenario.Quantum))
+		enc.U32(uint32(len(w.scenario.CrossIPI)))
+		for _, ci := range w.scenario.CrossIPI {
+			enc.I64(int64(ci.Src))
+			enc.I64(int64(ci.Dst))
+			enc.I64(int64(ci.DstVCPU))
+			enc.I64(int64(ci.Period))
+			enc.I64(int64(ci.Latency))
+			enc.I64(int64(ci.Phase))
+		}
+	}
 	return append([]byte(nil), enc.Bytes()...)
 }
 
@@ -277,7 +412,7 @@ func (w *world) fingerprint() []byte {
 // (restore needs the clock before events re-arm), then the full host.
 func (w *world) save() ([]byte, error) {
 	var enc snap.Encoder
-	w.engine.Save(&enc)
+	w.se.Save(&enc)
 	if err := w.host.Save(&enc); err != nil {
 		return nil, err
 	}
@@ -289,9 +424,9 @@ func (w *world) save() ([]byte, error) {
 // event construction scheduled), its scalars loaded, and then every
 // component re-arms its pending events at their original coordinates.
 func (w *world) restore(data []byte) error {
-	w.engine.Reset(0)
+	w.se.Reset(0)
 	dec := snap.NewDecoder(data)
-	if err := w.engine.Load(dec); err != nil {
+	if err := w.se.Load(dec); err != nil {
 		return err
 	}
 	if err := w.host.Load(dec); err != nil {
@@ -317,26 +452,26 @@ func (w *world) restore(data []byte) error {
 // restored copy when the probe adopted one.
 func (w *world) run(m *metrics.Meter) (*world, error) {
 	deadline := w.deadline()
-	start := w.engine.Fired()
-	if !w.engine.Stopped() {
-		if probe := w.scenario.SnapshotProbe; probe > 0 && probe < deadline && w.engine.Now() < probe {
-			w.engine.RunUntil(probe)
+	start := w.se.Fired()
+	if !w.se.Stopped() {
+		if probe := w.alignUp(w.scenario.SnapshotProbe); probe > 0 && probe < deadline && w.se.Now() < probe {
+			w.se.RunUntil(probe)
 			// A Stop fired before the probe (workload completed) must survive
 			// the split: re-arm it so the final RunUntil consumes it exactly
 			// as an uninterrupted run would.
-			stopped := w.engine.Stopped()
+			stopped := w.se.Stopped()
 			next, err := w.verifyRoundTrip()
 			if err != nil {
 				return nil, err
 			}
 			w = next
 			if stopped {
-				w.engine.Stop()
+				w.se.Stop()
 			}
 		}
-		w.engine.RunUntil(deadline)
+		w.se.RunUntil(deadline)
 	}
-	m.AddRun(w.engine.Fired() - start)
+	m.AddRun(w.se.Fired() - start)
 	return w, nil
 }
 
@@ -365,7 +500,7 @@ func (w *world) verifyRoundTrip() (*world, error) {
 	}
 	if !bytes.Equal(data, again) {
 		return nil, fmt.Errorf("experiment %s: snapshot round-trip diverged at %v: %d bytes (digest %v) re-saved as %d bytes (digest %v)",
-			w.scenario.Name, w.engine.Now(), len(data), snap.HashBytes(data), len(again), snap.HashBytes(again))
+			w.scenario.Name, w.se.Now(), len(data), snap.HashBytes(data), len(again), snap.HashBytes(again))
 	}
 	if w.resumed {
 		return w, nil
@@ -390,7 +525,7 @@ func (w *world) finish() (*ScenarioResult, error) {
 			}
 		}
 	}
-	out := &ScenarioResult{Events: w.engine.Fired()}
+	out := &ScenarioResult{Events: w.se.Fired()}
 	for i, vm := range w.vms {
 		res := vm.Result(w.scenario.VMs[i].Name)
 		res.Events = out.Events

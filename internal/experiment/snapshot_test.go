@@ -172,7 +172,7 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w1.engine.RunUntil(at)
+		w1.se.RunUntil(at)
 		data, err := w1.save()
 		if err != nil {
 			t.Fatal(err)
@@ -184,7 +184,7 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		if err := w2.restore(data); err != nil {
 			t.Fatal(err)
 		}
-		if g, w := w2.engine.DigestState(), w1.engine.DigestState(); g != w {
+		if g, w := w2.se.Root().DigestState(), w1.se.Root().DigestState(); g != w {
 			t.Fatalf("engine digest mismatch after restore at %v: %v vs %v", at, g, w)
 		}
 		again, err := w2.save()

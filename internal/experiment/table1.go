@@ -90,6 +90,8 @@ func runTable1Workload(opts Options, mode core.Mode, nVMs int, sync bool, dur si
 		SchedPolicy:   opts.SchedPolicy,
 		Duration:      dur,
 		SnapshotProbe: opts.SnapshotProbe,
+		Quantum:       opts.Quantum,
+		Shards:        opts.Shards,
 	}
 	for n := 0; n < nVMs; n++ {
 		vs := VMSpec{Name: fmt.Sprintf("vm%d", n), Mode: mode, Placement: placement}

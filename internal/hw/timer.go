@@ -182,6 +182,15 @@ func (t *PeriodicTimer) Stop() {
 	t.ev = sim.Event{}
 }
 
+// Reset returns the timer to its just-constructed state: stopped, zero
+// ticks, no event handle. For pooled reuse after the owning engine was
+// itself Reset — the stale handle is dropped, not canceled, because the
+// engine generation that issued it is gone.
+func (t *PeriodicTimer) Reset() {
+	t.ev = sim.Event{}
+	t.ticks = 0
+}
+
 // Running reports whether the timer is ticking.
 func (t *PeriodicTimer) Running() bool { return t.ev.Pending() }
 

@@ -1,0 +1,115 @@
+package kvm
+
+import (
+	"paratick/internal/hw"
+	"paratick/internal/sched"
+	"paratick/internal/sim"
+)
+
+// HostArena pools Host construction across the runs of one experiment
+// worker. Building a host is the second-largest allocation source in an
+// end-to-end run after VM construction: one PCPU per physical CPU, six
+// pre-bound handler closures each, a periodic host-tick timer per pCPU,
+// and the scheduler's per-CPU queues. All of that state is reusable — the
+// closures capture only the PCPU itself, which survives — so consecutive
+// runs on the same coordinator and machine shape reset the cached host in
+// place instead of rebuilding it.
+//
+// Reuse never changes behaviour: a reset host is indistinguishable from a
+// fresh one (the contract TestHostArenaReuseMatchesFresh pins), so run
+// output stays byte-identical whether or not a pool is in play. A nil
+// *HostArena is valid and always builds fresh hosts.
+type HostArena struct {
+	host *Host
+}
+
+// NewHostOn returns a host for the coordinator, reusing the pooled one
+// when it was built on the same coordinator with the same machine shape
+// (topology and host-tick rate — the fields that size the object graph).
+// Everything else in cfg (cost model, timeslice, halt-poll, PLE window,
+// scheduler policy) is applied on reuse.
+func (a *HostArena) NewHostOn(se *sim.ShardedEngine, cfg Config) (*Host, error) {
+	if a == nil {
+		return NewHostOn(se, cfg)
+	}
+	if h := a.host; h != nil && h.se == se &&
+		h.cfg.Topology == cfg.Topology && h.cfg.HostHz == cfg.HostHz {
+		if err := h.reset(cfg); err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	h, err := NewHostOn(se, cfg)
+	if err == nil {
+		a.host = h
+	}
+	return h, err
+}
+
+// reset returns the host to its just-constructed state for cfg. The
+// caller guarantees the engines underneath were already Reset, so stale
+// event handles are dropped, not canceled.
+func (h *Host) reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	h.cfg = cfg
+	h.cost = cfg.Cost
+	for i := range h.vms {
+		h.vms[i] = nil
+	}
+	h.vms = h.vms[:0]
+	h.nextIOVector = hw.IODeviceBase
+	h.nextSchedKey = 0
+	h.tracer = nil
+	h.laneTracers = nil
+	if h.sched.Name() == cfg.SchedPolicy.String() {
+		h.sched.Reset(cfg.Timeslice)
+	} else {
+		s, err := sched.New(cfg.SchedPolicy, cfg.Topology, cfg.Timeslice)
+		if err != nil {
+			return err
+		}
+		h.sched = s
+	}
+	// Restart the staggered host ticks in pCPU order — the same engine-At
+	// order construction uses, so the tick events get identical (when, seq)
+	// coordinates on the freshly reset lane engines.
+	n := len(h.pcpus)
+	period := cfg.HostTickPeriod()
+	for i, p := range h.pcpus {
+		p.reset()
+		p.tick.Start(period * sim.Time(i+1) / sim.Time(n+1))
+	}
+	if h.se.Quantum() > 0 {
+		for l := range h.inflight {
+			for i := range h.inflight[l] {
+				h.inflight[l][i] = nil
+			}
+			h.inflight[l] = h.inflight[l][:0]
+		}
+		for i := range h.streams {
+			h.streams[i] = nil
+		}
+		h.streams = h.streams[:0]
+		h.se.SetDeliver(h.deliverRemoteIRQ)
+	}
+	return nil
+}
+
+// reset clears the pCPU's in-flight execution state for pooled reuse. The
+// pre-bound handlers and the tick timer object are kept — that is the
+// point of the pool — but the tick must be restarted by the caller.
+func (p *PCPU) reset() {
+	p.current = nil
+	p.seg = nil
+	p.segEvent = sim.Event{}
+	p.segStart = 0
+	p.polling = false
+	p.pollStart = 0
+	p.pollEvent = sim.Event{}
+	p.dispatchPending = false
+	p.wakeEvent = sim.Event{}
+	p.irqExpire = false
+	p.tick.Reset()
+}

@@ -1,0 +1,143 @@
+package kvm
+
+import (
+	"testing"
+
+	"paratick/internal/core"
+	"paratick/internal/guest"
+	"paratick/internal/hw"
+	"paratick/internal/sched"
+	"paratick/internal/sim"
+	"paratick/internal/snap"
+)
+
+// runWorkload builds a host on se via the given arena, boots two VMs with a
+// small CPU-burn workload, runs to completion, and returns the digest of
+// the final engine state plus the per-VM exit totals — everything a reused
+// host could plausibly corrupt.
+func arenaRun(t *testing.T, a *HostArena, se *sim.ShardedEngine, cfg Config) (snap.Digest, []uint64) {
+	t.Helper()
+	host, err := a.NewHostOn(se, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exits []uint64
+	for i := 0; i < 2; i++ {
+		gcfg := guest.DefaultConfig()
+		if i == 1 {
+			gcfg.Mode = core.Paratick
+		}
+		vm, err := host.NewVM("vm", gcfg, []hw.CPUID{hw.CPUID(2 * i), hw.CPUID(2*i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm.Kernel().Spawn("burn", 0, guest.Steps(guest.Compute(3*sim.Millisecond)))
+		vm.Start()
+	}
+	se.RunUntil(20 * sim.Millisecond)
+	for _, vm := range host.VMs() {
+		if done, _ := vm.WorkloadDone(); !done {
+			t.Fatal("workload did not finish")
+		}
+		exits = append(exits, vm.Counters().TotalExits())
+	}
+	return se.Root().DigestState(), exits
+}
+
+// TestHostArenaReuseMatchesFresh pins the pool's contract: a run on a
+// reused host is indistinguishable from a run on a freshly built one —
+// same engine digest, same counters — including when the reuse switches
+// scheduler policy and cost knobs between runs.
+func TestHostArenaReuseMatchesFresh(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = hw.SmallTopology()
+	fair := cfg
+	fair.SchedPolicy = sched.Fair
+	fair.Timeslice = 3 * sim.Millisecond
+	fair.HaltPoll = 50 * sim.Microsecond
+
+	fresh := func(c Config) (snap.Digest, []uint64) {
+		e := sim.NewEngine(7)
+		return arenaRun(t, nil, sim.WrapEngine(e), c)
+	}
+	wantFifo0, exitsFifo0 := fresh(cfg)
+	wantFair, exitsFair := fresh(fair)
+
+	a := &HostArena{}
+	e := sim.NewEngine(7)
+	se := sim.WrapEngine(e)
+	for round, tc := range []struct {
+		cfg    Config
+		digest snap.Digest
+		exits  []uint64
+	}{
+		{cfg: cfg, digest: wantFifo0, exits: exitsFifo0},
+		{cfg: fair, digest: wantFair, exits: exitsFair}, // policy + knob switch on reuse
+		{cfg: cfg, digest: wantFifo0, exits: exitsFifo0},
+	} {
+		e.Reset(7)
+		dig, exits := arenaRun(t, a, se, tc.cfg)
+		if dig != tc.digest {
+			t.Fatalf("round %d: reused-host digest %x, fresh run %x", round, dig, tc.digest)
+		}
+		for i := range exits {
+			if exits[i] != tc.exits[i] {
+				t.Fatalf("round %d: vm %d exits %d on reuse, %d fresh", round, i, exits[i], tc.exits[i])
+			}
+		}
+	}
+	if a.host == nil {
+		t.Fatal("arena never cached a host")
+	}
+}
+
+// TestHostArenaRebuildsOnShapeChange checks the pool only reuses when the
+// coordinator and machine shape match.
+func TestHostArenaRebuildsOnShapeChange(t *testing.T) {
+	a := &HostArena{}
+	se := sim.WrapEngine(sim.NewEngine(1))
+	cfg := DefaultConfig()
+	cfg.Topology = hw.SmallTopology()
+	h1, err := a.NewHostOn(se, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same everything → reuse.
+	se.Root().Reset(1)
+	h2, err := a.NewHostOn(se, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h1 {
+		t.Fatal("matching shape did not reuse the pooled host")
+	}
+	// Different topology → rebuild.
+	big := cfg
+	big.Topology = hw.PaperTopology()
+	se.Root().Reset(1)
+	h3, err := a.NewHostOn(se, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("topology change reused the pooled host")
+	}
+	// Different coordinator → rebuild.
+	other := sim.WrapEngine(sim.NewEngine(1))
+	h4, err := a.NewHostOn(other, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4 == h3 {
+		t.Fatal("coordinator change reused the pooled host")
+	}
+	// Nil arena always builds fresh.
+	var nilA *HostArena
+	h5, err := nilA.NewHostOn(other, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h5 == h4 {
+		t.Fatal("nil arena reused a host")
+	}
+}

@@ -82,12 +82,12 @@ func (c Config) HostTickPeriod() sim.Time { return sim.PeriodFromHz(c.HostHz) }
 
 // Host is the hypervisor instance.
 type Host struct {
-	engine *sim.Engine
-	cfg    Config
-	cost   hw.CostModel
-	pcpus  []*PCPU
-	vms    []*VM
-	sched  sched.Scheduler
+	se    *sim.ShardedEngine
+	cfg   Config
+	cost  hw.CostModel
+	pcpus []*PCPU
+	vms   []*VM
+	sched sched.Scheduler
 
 	nextIOVector hw.Vector
 	// nextSchedKey hands out host-wide vCPU ordinals (sched.Node.Key), the
@@ -95,19 +95,49 @@ type Host struct {
 	nextSchedKey uint64
 
 	// tracer, when set, records exits/injections (perf-style; see
-	// internal/trace). nil disables tracing.
-	tracer *trace.Buffer
+	// internal/trace). nil disables tracing. With multiple lanes each lane
+	// records into its own buffer (laneTracers) so shard goroutines never
+	// share one ring; Tracer() merges them canonically.
+	tracer      *trace.Buffer
+	laneTracers []*trace.Buffer
+
+	// inflight tracks remote-IPI deliveries per destination lane: messages
+	// drained from the barrier mailboxes whose interrupt has not fired yet.
+	// A checkpoint serializes them so restore can re-arm the delivery.
+	inflight [][]*remoteIRQ
+	// streams are the periodic cross-VM IPI generators, in creation order.
+	streams []*ipiStream
 }
 
-// NewHost creates a host on the engine.
+// NewHost creates a host on a single engine — the legacy serial mode,
+// byte-identical to the pre-shard code path.
 func NewHost(engine *sim.Engine, cfg Config) (*Host, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("kvm: NewHost requires an engine")
 	}
+	return NewHostOn(sim.WrapEngine(engine), cfg)
+}
+
+// NewHostOn creates a host on a sharded coordinator. In lane mode (a
+// positive quantum) the coordinator must hold one lane per socket: every
+// pCPU, VM, and device lives on its socket's lane engine, which is what
+// lets shards execute sockets concurrently without sharing state.
+func NewHostOn(se *sim.ShardedEngine, cfg Config) (*Host, error) {
+	if se == nil {
+		return nil, fmt.Errorf("kvm: NewHostOn requires an engine coordinator")
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	h := &Host{engine: engine, cfg: cfg, cost: cfg.Cost, nextIOVector: hw.IODeviceBase}
+	if se.Lanes() != 1 && se.Lanes() != cfg.Topology.Sockets {
+		return nil, fmt.Errorf("kvm: coordinator has %d lanes, topology has %d sockets (want one lane per socket, or one lane total)",
+			se.Lanes(), cfg.Topology.Sockets)
+	}
+	h := &Host{se: se, cfg: cfg, cost: cfg.Cost, nextIOVector: hw.IODeviceBase}
+	if se.Quantum() > 0 {
+		h.inflight = make([][]*remoteIRQ, se.Lanes())
+		se.SetDeliver(h.deliverRemoteIRQ)
+	}
 	s, err := sched.New(cfg.SchedPolicy, cfg.Topology, cfg.Timeslice)
 	if err != nil {
 		return nil, err
@@ -116,22 +146,36 @@ func NewHost(engine *sim.Engine, cfg Config) (*Host, error) {
 	n := cfg.Topology.NumCPUs()
 	period := cfg.HostTickPeriod()
 	for i := 0; i < n; i++ {
-		p := &PCPU{host: h, id: hw.CPUID(i)}
+		lane := h.laneOf(cfg.Topology.SocketOf(hw.CPUID(i)))
+		p := &PCPU{host: h, id: hw.CPUID(i), lane: lane, engine: se.Engine(lane)}
 		p.bindHandlers()
 		// Stagger host ticks across pCPUs deterministically, like LAPIC
 		// calibration skew on real machines. The offset starts away from 0
 		// so host ticks do not land exactly on guest tick deadlines (which
 		// are armed at whole tick periods from boot).
 		phase := period * sim.Time(i+1) / sim.Time(n+1)
-		p.tick = hw.NewPeriodicTimer(engine, "host-tick", period, p.onHostTick)
+		p.tick = hw.NewPeriodicTimer(p.engine, "host-tick", period, p.onHostTick)
 		p.tick.Start(phase)
 		h.pcpus = append(h.pcpus, p)
 	}
 	return h, nil
 }
 
-// Engine returns the simulation engine.
-func (h *Host) Engine() *sim.Engine { return h.engine }
+// laneOf maps a socket to its lane: identity with one lane per socket, 0
+// when a single lane carries the whole machine.
+func (h *Host) laneOf(socket int) int {
+	if h.se.Lanes() == 1 {
+		return 0
+	}
+	return socket
+}
+
+// Engine returns lane 0's simulation engine — the engine, in the serial
+// single-lane mode. Multi-lane callers should use Sharded().
+func (h *Host) Engine() *sim.Engine { return h.se.Root() }
+
+// Sharded returns the engine coordinator the host runs on.
+func (h *Host) Sharded() *sim.ShardedEngine { return h.se }
 
 // Config returns the host configuration.
 func (h *Host) Config() Config { return h.cfg }
@@ -145,8 +189,9 @@ func (h *Host) Scheduler() sched.Scheduler { return h.sched }
 // VMs returns the created VMs.
 func (h *Host) VMs() []*VM { return h.vms }
 
-// Now returns current simulated time.
-func (h *Host) Now() sim.Time { return h.engine.Now() }
+// Now returns current simulated time (lane 0's clock; all lanes agree at
+// quantum barriers, which is the only context cross-lane code runs in).
+func (h *Host) Now() sim.Time { return h.se.Now() }
 
 // SetHaltPoll adjusts the halt-polling window at runtime. Each HLT exit
 // reads the current value, so the change applies from the next halt on —
@@ -169,8 +214,38 @@ func (h *Host) SetPLEWindow(d sim.Time) error {
 	return nil
 }
 
-// SetTracer attaches a trace buffer recording exits and injections.
-func (h *Host) SetTracer(t *trace.Buffer) { h.tracer = t }
+// SetTracer attaches a trace buffer recording exits and injections. With
+// multiple lanes the buffer only sets the capacity: recording goes into
+// one private buffer per lane (so shard goroutines never share a ring)
+// and Tracer() returns their canonical merge.
+func (h *Host) SetTracer(t *trace.Buffer) {
+	h.tracer = t
+	h.laneTracers = nil
+	if t == nil || h.se.Lanes() == 1 {
+		return
+	}
+	h.laneTracers = make([]*trace.Buffer, h.se.Lanes())
+	for l := range h.laneTracers {
+		h.laneTracers[l] = trace.NewBuffer(t.Cap())
+	}
+}
 
-// Tracer returns the attached trace buffer (nil when tracing is off).
-func (h *Host) Tracer() *trace.Buffer { return h.tracer }
+// Tracer returns the attached trace buffer (nil when tracing is off). With
+// multiple lanes it merges the per-lane buffers in the canonical
+// (timestamp, lane, record order) order — a pure function of the lane
+// schedules, independent of the shard count.
+func (h *Host) Tracer() *trace.Buffer {
+	if h.laneTracers != nil {
+		return trace.Merge(h.laneTracers, h.tracer.Cap())
+	}
+	return h.tracer
+}
+
+// tracerFor returns the buffer lane's components record into (nil when
+// tracing is off).
+func (h *Host) tracerFor(lane int) *trace.Buffer {
+	if h.laneTracers != nil {
+		return h.laneTracers[lane]
+	}
+	return h.tracer
+}

@@ -18,7 +18,13 @@ type guestSegment = guest.Segment
 type PCPU struct {
 	host *Host
 	id   hw.CPUID
-	tick *hw.PeriodicTimer
+	// engine is the pCPU's lane engine (its socket's shard); every event
+	// this pCPU schedules and every random draw it makes goes through its
+	// lane, which is what keeps shard execution race-free and the outcome
+	// independent of the shard count.
+	engine *sim.Engine
+	lane   int
+	tick   *hw.PeriodicTimer
 
 	current *VCPU
 
@@ -90,16 +96,17 @@ func (p *PCPU) traceEvent(kind trace.Kind, v *VCPU, detail string) {
 // traceSpan records a durationful event — an exit whose handling occupies
 // the pCPU for dur — so the Chrome export renders it as a timeline slice.
 func (p *PCPU) traceSpan(kind trace.Kind, v *VCPU, detail string, dur sim.Time) {
-	if p.host.tracer == nil {
+	t := p.host.tracerFor(p.lane)
+	if t == nil {
 		return
 	}
-	p.host.tracer.Record(trace.Event{
+	t.Record(trace.Event{
 		When: p.now(), Kind: kind, PCPU: int(p.id),
 		VM: v.vm.name, VCPU: v.id, Detail: detail, Dur: dur,
 	})
 }
 
-func (p *PCPU) now() sim.Time { return p.host.engine.Now() }
+func (p *PCPU) now() sim.Time { return p.engine.Now() }
 
 func (p *PCPU) enqueue(v *VCPU) {
 	v.state = VCPURunnable
@@ -174,7 +181,7 @@ func (p *PCPU) exec(entry bool) {
 		if seg.Spin {
 			p.chargePLE(v, seg)
 		}
-		p.segEvent = p.host.engine.After(seg.Duration, "pcpu-run", p.runDoneFn)
+		p.segEvent = p.engine.After(seg.Duration, "pcpu-run", p.runDoneFn)
 
 	case guest.SegMSRWrite:
 		p.atomic(metrics.ExitMSRWrite, c.ExitMSRWrite+c.HostTimerArm)
@@ -266,7 +273,7 @@ func (p *PCPU) atomic(reason metrics.ExitReason, hostCost sim.Time) {
 	cnt.HostOverhead += hostCost
 	cnt.ExitCost[reason].Observe(hostCost)
 	p.traceSpan(trace.KindExit, v, reason.String(), hostCost)
-	p.segEvent = p.host.engine.After(hostCost, "pcpu-exit", p.exitDoneFn)
+	p.segEvent = p.engine.After(hostCost, "pcpu-exit", p.exitDoneFn)
 }
 
 // exitDone completes an atomic (non-run, non-HLT) exit: the host-side
@@ -305,7 +312,7 @@ func (p *PCPU) halt(v *VCPU) {
 	cnt.HostOverhead += c.ExitHLT
 	cnt.ExitCost[metrics.ExitHLT].Observe(c.ExitHLT)
 	p.traceSpan(trace.KindExit, v, metrics.ExitHLT.String(), c.ExitHLT)
-	p.segEvent = p.host.engine.After(c.ExitHLT, "pcpu-hlt", p.hltDoneFn)
+	p.segEvent = p.engine.After(c.ExitHLT, "pcpu-hlt", p.hltDoneFn)
 }
 
 // hltDone completes the HLT exit: the vCPU either stays on the CPU (an
@@ -324,7 +331,7 @@ func (p *PCPU) hltDone() {
 		v.state = VCPUHalted
 		p.polling = true
 		p.pollStart = p.now()
-		p.pollEvent = p.host.engine.After(hp, "pcpu-poll", p.pollDoneFn)
+		p.pollEvent = p.engine.After(hp, "pcpu-poll", p.pollDoneFn)
 		return
 	}
 	p.deschedule(v)
@@ -355,7 +362,7 @@ func (p *PCPU) wake(v *VCPU) {
 	p.traceEvent(trace.KindSched, v, "wake")
 	if p.polling && p.current == v {
 		p.polling = false
-		p.host.engine.Cancel(p.pollEvent)
+		p.engine.Cancel(p.pollEvent)
 		p.pollEvent = sim.Event{}
 		v.vm.counters.HostOverhead += p.now() - p.pollStart
 		v.state = VCPURunning
@@ -365,7 +372,7 @@ func (p *PCPU) wake(v *VCPU) {
 	p.enqueue(v)
 	if p.current == nil && !p.dispatchPending {
 		p.dispatchPending = true
-		p.wakeEvent = p.host.engine.After(p.cost().HostSchedDelay, "pcpu-wakeup", p.wakeupFn)
+		p.wakeEvent = p.engine.After(p.cost().HostSchedDelay, "pcpu-wakeup", p.wakeupFn)
 	}
 }
 
@@ -418,7 +425,7 @@ func (p *PCPU) onHostTick(now sim.Time) {
 	// The host tick handler's work varies (load balancing, accounting);
 	// jittering it also prevents same-period timers from phase-locking
 	// onto the handling window deterministically.
-	tickWork := p.host.engine.Rand().Jitter(p.cost().HostTickWork, 0.2)
+	tickWork := p.engine.Rand().Jitter(p.cost().HostTickWork, 0.2)
 	if p.seg != nil && p.seg.Kind == guest.SegRun {
 		// The tick interrupts guest execution: an external-interrupt exit
 		// plus the host tick handler. This is the exit paratick reuses for
@@ -438,7 +445,7 @@ func (p *PCPU) onHostTick(now sim.Time) {
 func (p *PCPU) interruptGuest(v *VCPU, reason metrics.ExitReason, hostCost sim.Time, expireSlice bool) {
 	seg := p.seg
 	elapsed := p.now() - p.segStart
-	p.host.engine.Cancel(p.segEvent)
+	p.engine.Cancel(p.segEvent)
 	p.segEvent = sim.Event{}
 	p.seg = nil
 	p.chargeRun(v, seg, elapsed)
@@ -453,7 +460,7 @@ func (p *PCPU) interruptGuest(v *VCPU, reason metrics.ExitReason, hostCost sim.T
 	cnt.ExitCost[reason].Observe(hostCost)
 	p.traceSpan(trace.KindExit, v, reason.String(), hostCost)
 	p.irqExpire = expireSlice
-	p.segEvent = p.host.engine.After(hostCost, "pcpu-irq-exit", p.irqDoneFn)
+	p.segEvent = p.engine.After(hostCost, "pcpu-irq-exit", p.irqDoneFn)
 }
 
 // irqDone completes an interrupt-induced exit: the vCPU resumes, or — when

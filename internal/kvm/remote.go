@@ -1,0 +1,138 @@
+package kvm
+
+import (
+	"fmt"
+
+	"paratick/internal/hw"
+	"paratick/internal/sim"
+)
+
+// Cross-lane interrupts. With the host sharded one lane per socket, a VM
+// is contained on one socket and everything it does stays on its lane —
+// except doorbell-style IPIs between VMs (the vhost/virtio kick pattern:
+// one VM's backend thread notifying another VM's queue). Those travel as
+// sim.Messages through the quantum-barrier mailboxes: posted on the
+// source lane, drained by the coordinator at the barrier in fixed order,
+// then armed as a normal event on the destination lane's engine.
+//
+// The payload is pure data (VM index, vCPU index, vector), never a
+// closure, so a checkpoint taken while a delivery is in flight can
+// serialize it and restore re-arms it — see saveRemote/loadRemote.
+
+// remoteIRQ is one in-flight cross-lane interrupt delivery: drained from
+// the mailbox, waiting on the destination lane's engine to fire.
+type remoteIRQ struct {
+	vm, vcpu int
+	vec      hw.Vector
+	ev       sim.Event
+}
+
+// PostRemoteIRQ sends an interrupt to another VM's vCPU across lanes,
+// taking effect at fireAt. It must be called from the source VM's lane
+// (its execution context) and fireAt must respect the conservative
+// horizon (now + quantum); sim.ShardedEngine.Post enforces both bounds it
+// can see and panics on violations.
+func (h *Host) PostRemoteIRQ(src, dst *VM, vcpu int, vec hw.Vector, fireAt sim.Time) {
+	if vcpu < 0 || vcpu >= len(dst.vcpus) {
+		panic(fmt.Sprintf("kvm: remote IRQ for invalid vCPU %d of VM %q", vcpu, dst.name))
+	}
+	h.se.Post(sim.Message{
+		Src: src.lane, Dst: dst.lane, FireAt: fireAt,
+		A: int64(dst.index), B: int64(vcpu), C: int64(vec),
+	})
+}
+
+// deliverRemoteIRQ is the barrier-drain hook: it runs on the coordinator
+// with every lane parked, arms the interrupt on the destination lane's
+// engine, and tracks it as in flight until it fires.
+func (h *Host) deliverRemoteIRQ(m sim.Message) {
+	r := &remoteIRQ{vm: int(m.A), vcpu: int(m.B), vec: hw.Vector(m.C)}
+	h.armRemoteIRQ(r, m.FireAt)
+}
+
+// armRemoteIRQ schedules an in-flight delivery's interrupt and registers
+// it on the destination lane's in-flight list.
+func (h *Host) armRemoteIRQ(r *remoteIRQ, fireAt sim.Time) {
+	vm := h.vms[r.vm]
+	r.ev = vm.engine.At(fireAt, "remote-irq", h.remoteFireFn(vm, r))
+	h.inflight[vm.lane] = append(h.inflight[vm.lane], r)
+}
+
+// armRemoteIRQRestored is the checkpoint-restore arm path: same handler,
+// re-scheduled at the snapshot's original (when, seq) coordinates.
+func (h *Host) armRemoteIRQRestored(r *remoteIRQ, when sim.Time, seq uint64) {
+	vm := h.vms[r.vm]
+	r.ev = vm.engine.ScheduleRestored(when, seq, "remote-irq", h.remoteFireFn(vm, r))
+	h.inflight[vm.lane] = append(h.inflight[vm.lane], r)
+}
+
+// remoteFireFn builds the delivery handler: unregister, then pend the
+// interrupt on the destination vCPU.
+func (h *Host) remoteFireFn(vm *VM, r *remoteIRQ) sim.Handler {
+	return func(*sim.Engine) {
+		h.dropInflight(vm.lane, r)
+		vm.vcpus[r.vcpu].pendIRQ(r.vec)
+	}
+}
+
+// dropInflight removes a fired delivery, preserving the (deterministic)
+// arrival order of the remainder. In-flight counts are tiny — at most
+// latency/period entries per stream — so a linear scan is fine.
+func (h *Host) dropInflight(lane int, r *remoteIRQ) {
+	list := h.inflight[lane]
+	for i, e := range list {
+		if e == r {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			h.inflight[lane] = list[:len(list)-1]
+			return
+		}
+	}
+	panic("kvm: fired remote IRQ missing from the in-flight list")
+}
+
+// ipiStream is one periodic cross-VM doorbell generator: every period it
+// posts a remote IRQ from src's lane to dst's vCPU, modeling a vhost-style
+// notification stream between VMs on different sockets.
+type ipiStream struct {
+	host     *Host
+	src, dst *VM
+	vcpu     int
+	period   sim.Time
+	latency  sim.Time
+	sent     uint64
+	ev       sim.Event
+	fn       sim.Handler
+}
+
+// AddIPIStream installs a periodic cross-VM interrupt stream, first
+// firing at phase. Streams require lane mode: the delivery latency must
+// cover the conservative quantum horizon. Call during construction, in a
+// deterministic order — stream order is part of the scenario's identity.
+func (h *Host) AddIPIStream(src, dst *VM, vcpu int, period, latency, phase sim.Time) error {
+	if h.se.Quantum() <= 0 {
+		return fmt.Errorf("kvm: IPI streams require lane mode (a positive quantum)")
+	}
+	if period <= 0 {
+		return fmt.Errorf("kvm: IPI stream period must be positive, got %v", period)
+	}
+	if latency < h.se.Quantum() {
+		return fmt.Errorf("kvm: IPI stream latency %v is below the conservative quantum horizon %v", latency, h.se.Quantum())
+	}
+	if vcpu < 0 || vcpu >= len(dst.vcpus) {
+		return fmt.Errorf("kvm: IPI stream targets invalid vCPU %d of VM %q", vcpu, dst.name)
+	}
+	if phase <= 0 {
+		phase = period
+	}
+	s := &ipiStream{host: h, src: src, dst: dst, vcpu: vcpu, period: period, latency: latency}
+	s.fn = func(e *sim.Engine) {
+		s.sent++
+		now := e.Now()
+		h.PostRemoteIRQ(s.src, s.dst, s.vcpu, hw.RescheduleVector, now+s.latency)
+		s.ev = e.At(now+s.period, "ipi-stream", s.fn)
+	}
+	s.ev = src.engine.At(phase, "ipi-stream", s.fn)
+	h.streams = append(h.streams, s)
+	return nil
+}

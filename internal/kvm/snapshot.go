@@ -82,6 +82,9 @@ func (h *Host) Save(enc *snap.Encoder) error {
 		}
 	}
 	h.tracer.Save(enc)
+	if h.se.Quantum() > 0 {
+		h.saveSharded(enc)
+	}
 	return nil
 }
 
@@ -133,6 +136,93 @@ func (h *Host) Load(dec *snap.Decoder) error {
 	_, err := h.tracer.Load(dec)
 	if err != nil {
 		return err
+	}
+	if h.se.Quantum() > 0 {
+		if err := h.loadSharded(dec); err != nil {
+			return err
+		}
+	}
+	return dec.Err()
+}
+
+// saveSharded encodes the lane-mode extras: per-lane trace rings, in-flight
+// remote-IRQ deliveries, and IPI stream positions. The section only exists
+// for lane-mode hosts (a positive quantum), so legacy checkpoint bytes are
+// byte-for-byte unchanged.
+func (h *Host) saveSharded(enc *snap.Encoder) {
+	enc.Section("kvm-sharded")
+	enc.Bool(h.laneTracers != nil)
+	for _, t := range h.laneTracers {
+		t.Save(enc)
+	}
+	enc.U32(uint32(len(h.inflight)))
+	for _, list := range h.inflight {
+		enc.U32(uint32(len(list)))
+		for _, r := range list {
+			enc.I64(int64(r.vm))
+			enc.I64(int64(r.vcpu))
+			enc.I64(int64(r.vec))
+			seq, _ := r.ev.Seq()
+			enc.I64(int64(r.ev.When()))
+			enc.U64(seq)
+		}
+	}
+	enc.U32(uint32(len(h.streams)))
+	for _, s := range h.streams {
+		enc.U64(s.sent)
+		saveEventCoords(enc, s.ev)
+	}
+}
+
+// loadSharded restores the lane-mode extras into a host rebuilt from the
+// same scenario spec, re-arming every in-flight remote delivery and stream
+// event at its original (when, seq) coordinates.
+func (h *Host) loadSharded(dec *snap.Decoder) error {
+	dec.Section("kvm-sharded")
+	if dec.Bool() {
+		if h.laneTracers == nil {
+			return fmt.Errorf("kvm: snapshot has per-lane tracers but the rebuilt host records none")
+		}
+		for _, t := range h.laneTracers {
+			if _, err := t.Load(dec); err != nil {
+				return err
+			}
+		}
+	} else if dec.Err() == nil && h.laneTracers != nil {
+		return fmt.Errorf("kvm: rebuilt host has per-lane tracers but the snapshot records none")
+	}
+	if nl := int(dec.U32()); dec.Err() == nil && nl != len(h.inflight) {
+		return fmt.Errorf("kvm: snapshot has %d remote-IRQ lanes, host has %d", nl, len(h.inflight))
+	}
+	for lane := range h.inflight {
+		h.inflight[lane] = h.inflight[lane][:0]
+		n := int(dec.U32())
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			r := &remoteIRQ{vm: int(dec.I64()), vcpu: int(dec.I64()), vec: hw.Vector(dec.I64())}
+			when := sim.Time(dec.I64())
+			seq := dec.U64()
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			if r.vm < 0 || r.vm >= len(h.vms) {
+				return fmt.Errorf("kvm: snapshot remote IRQ targets unknown VM %d", r.vm)
+			}
+			if vm := h.vms[r.vm]; r.vcpu < 0 || r.vcpu >= len(vm.vcpus) {
+				return fmt.Errorf("kvm: snapshot remote IRQ targets invalid vCPU %d of VM %q", r.vcpu, vm.name)
+			}
+			h.armRemoteIRQRestored(r, when, seq)
+		}
+	}
+	if ns := int(dec.U32()); dec.Err() == nil && ns != len(h.streams) {
+		return fmt.Errorf("kvm: snapshot has %d IPI streams, host has %d", ns, len(h.streams))
+	}
+	for _, s := range h.streams {
+		s.sent = dec.U64()
+		var err error
+		s.ev, err = loadEventCoords(dec, s.src.engine, "ipi-stream", s.fn)
+		if err != nil {
+			return err
+		}
 	}
 	return dec.Err()
 }
@@ -317,18 +407,18 @@ func (p *PCPU) load(dec *snap.Decoder, byKey map[uint64]*VCPU) error {
 		default:
 			return fmt.Errorf("kvm: snapshot pCPU %d has unknown segment-event kind %d", p.id, kind)
 		}
-		p.segEvent = p.host.engine.ScheduleRestored(when, seq, label, fn)
+		p.segEvent = p.engine.ScheduleRestored(when, seq, label, fn)
 	}
 	p.segStart = sim.Time(dec.I64())
 	p.polling = dec.Bool()
 	p.pollStart = sim.Time(dec.I64())
 	var err error
-	p.pollEvent, err = loadEventCoords(dec, p.host.engine, "pcpu-poll", p.pollDoneFn)
+	p.pollEvent, err = loadEventCoords(dec, p.engine, "pcpu-poll", p.pollDoneFn)
 	if err != nil {
 		return err
 	}
 	p.dispatchPending = dec.Bool()
-	p.wakeEvent, err = loadEventCoords(dec, p.host.engine, "pcpu-wakeup", p.wakeupFn)
+	p.wakeEvent, err = loadEventCoords(dec, p.engine, "pcpu-wakeup", p.wakeupFn)
 	if err != nil {
 		return err
 	}

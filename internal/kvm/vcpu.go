@@ -207,8 +207,9 @@ func (v *VCPU) onTopUpTimer(now sim.Time) {
 
 // --- core.HostVCPU implementation (the Fig. 2 hook surface) ---------------
 
-// Now returns current simulated time.
-func (v *VCPU) Now() sim.Time { return v.vm.host.Now() }
+// Now returns current simulated time on the VM's lane (mid-quantum, only
+// the vCPU's own lane clock is coherent to read).
+func (v *VCPU) Now() sim.Time { return v.vm.engine.Now() }
 
 // GuestTickPeriod returns the declared guest tick period.
 func (v *VCPU) GuestTickPeriod() sim.Time { return v.vm.GuestTickPeriod() }
@@ -229,7 +230,7 @@ func (v *VCPU) HasPendingLocalTimer() bool {
 // InjectVirtualTick queues the vector-235 virtual tick.
 func (v *VCPU) InjectVirtualTick() {
 	v.vm.counters.VirtualTicks++
-	if tr := v.vm.host.tracer; tr != nil {
+	if tr := v.vm.host.tracerFor(v.vm.lane); tr != nil {
 		tr.Record(trace.Event{
 			When: v.Now(), Kind: trace.KindVirtualTick, PCPU: int(v.pcpu.id),
 			VM: v.vm.name, VCPU: v.id, Detail: "vector-235",

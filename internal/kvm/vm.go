@@ -14,8 +14,14 @@ import (
 // VM is one virtual machine: a guest kernel plus its host-side vCPUs and
 // devices. All of a VM's exits and cycles accumulate in one counter set.
 type VM struct {
-	host     *Host
-	name     string
+	host *Host
+	name string
+	// engine is the VM's lane engine: with one lane per socket the VM is
+	// contained on one socket and everything it schedules — kernel timers,
+	// device completions, vCPU events — goes through its lane.
+	engine   *sim.Engine
+	lane     int
+	index    int
 	kernel   *guest.Kernel
 	counters *metrics.Counters
 	vcpus    []*VCPU
@@ -38,19 +44,35 @@ func (h *Host) NewVM(name string, gcfg guest.Config, placement []hw.CPUID) (*VM,
 	if len(placement) == 0 {
 		return nil, fmt.Errorf("kvm: VM %q needs at least one vCPU placement", name)
 	}
-	counters := &metrics.Counters{}
-	kernel, err := guest.NewKernel(h.engine, h.cost, gcfg, counters)
-	if err != nil {
-		return nil, err
-	}
-	vm := &VM{host: h, name: name, kernel: kernel, counters: counters}
-	if gcfg.Mode == core.Paratick {
-		vm.hook = &core.ParatickHost{}
-	}
 	for i, cpu := range placement {
 		if cpu < 0 || int(cpu) >= h.cfg.Topology.NumCPUs() {
 			return nil, fmt.Errorf("kvm: VM %q vCPU %d placed on invalid pCPU %d", name, i, cpu)
 		}
+	}
+	// Home the VM to its socket's lane. Lane mode requires socket
+	// containment: a VM spanning sockets would couple two lanes inside a
+	// quantum, which the conservative barrier cannot order.
+	lane := 0
+	if h.se.Lanes() > 1 {
+		lane = h.laneOf(h.cfg.Topology.SocketOf(placement[0]))
+		for i, cpu := range placement {
+			if l := h.laneOf(h.cfg.Topology.SocketOf(cpu)); l != lane {
+				return nil, fmt.Errorf("kvm: VM %q spans sockets (vCPU 0 on lane %d, vCPU %d on lane %d); lane mode requires socket-contained VMs",
+					name, lane, i, l)
+			}
+		}
+	}
+	engine := h.se.Engine(lane)
+	counters := &metrics.Counters{}
+	kernel, err := guest.NewKernel(engine, h.cost, gcfg, counters)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{host: h, name: name, engine: engine, lane: lane, index: len(h.vms), kernel: kernel, counters: counters}
+	if gcfg.Mode == core.Paratick {
+		vm.hook = &core.ParatickHost{}
+	}
+	for i, cpu := range placement {
 		gv := kernel.AddVCPU()
 		v := &VCPU{
 			vm:    vm,
@@ -61,8 +83,8 @@ func (h *Host) NewVM(name string, gcfg guest.Config, placement []hw.CPUID) (*VM,
 		}
 		v.node.Key = h.nextSchedKey
 		h.nextSchedKey++
-		v.guestTimer = hw.NewDeadlineTimer(h.engine, "guest-timer", v.onGuestTimer)
-		v.topUpTimer = hw.NewDeadlineTimer(h.engine, "topup-timer", v.onTopUpTimer)
+		v.guestTimer = hw.NewDeadlineTimer(engine, "guest-timer", v.onGuestTimer)
+		v.topUpTimer = hw.NewDeadlineTimer(engine, "topup-timer", v.onTopUpTimer)
 		vm.vcpus = append(vm.vcpus, v)
 	}
 	vm.kernel.OnAllDone = func(now sim.Time) {
@@ -100,7 +122,7 @@ func (vm *VM) WorkloadDone() (bool, sim.Time) { return vm.workloadDone, vm.doneA
 // completion interrupts into this VM, and registers it with the guest.
 func (vm *VM) AttachDevice(name string, profile iodev.Profile) (*iodev.Device, error) {
 	h := vm.host
-	dev, err := iodev.New(h.engine, name, profile, h.nextIOVector)
+	dev, err := iodev.New(vm.engine, name, profile, h.nextIOVector)
 	if err != nil {
 		return nil, err
 	}

@@ -100,6 +100,11 @@ func DefaultConfig(modPath string) *Config {
 		},
 		ConcurrencyAllow: []string{
 			p("internal/experiment") + ":runner.go",
+			// shard.go owns the quantum-barrier parallelism: shard worker
+			// goroutines synchronized by channel ping-pong, each confined to
+			// its own lanes' engines. Everything else in internal/sim stays
+			// single-threaded by contract.
+			p("internal/sim") + ":shard.go",
 			p("cmd") + "/",
 		},
 	}

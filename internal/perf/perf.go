@@ -88,7 +88,13 @@ func Kernels() []Kernel {
 			Name:      "e2e/table1",
 			Desc:      "Table 1 experiment end to end at smoke scale (events/sec)",
 			Fn:        e2eTable1,
-			MaxAllocs: 47_000,
+			MaxAllocs: 14_000,
+		},
+		{
+			Name:      "e2e/shardfleet",
+			Desc:      "64-VM shard fleet at shards=4, quantum 1ms (events/sec)",
+			Fn:        e2eShardFleet,
+			MaxAllocs: shardFleetMaxAllocs,
 		},
 	}
 }
@@ -240,6 +246,37 @@ func engineHorizonCascade(b *testing.B) {
 			e.At(base+sim.Time(j)<<16, "c", func(*sim.Engine) {})
 		}
 		e.RunUntil(base + sim.Time(spread)<<16)
+	}
+}
+
+// shardFleetMaxAllocs bounds the sharded end-to-end kernel. Every op
+// builds the 64-VM world from scratch through the public API (no arena),
+// so the count is construction-dominated; the ceiling exists to catch a
+// per-event allocation sneaking into the barrier loop, the mailbox drain,
+// or the worker hand-off — those would scale with the ~500k events/op and
+// blow far past construction.
+const shardFleetMaxAllocs = 135_000
+
+// e2eShardFleet runs the canonical lane-mode workload end to end: 64
+// socket-contained VMs on the paper topology, cross-socket IPI ring,
+// 1ms quantum, four shard workers. It is the suite's only multi-goroutine
+// kernel — events/sec here is what the sharded-scaling experiment records.
+func e2eShardFleet(b *testing.B) {
+	opts := experiment.DefaultOptions()
+	opts.Scale = 0.02
+	opts.Workers = 1
+	opts.Shards = 4
+	m := &metrics.Meter{}
+	opts.Meter = m
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunShardFleet(opts, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(m.Events())/secs, "events/sec")
 	}
 }
 

@@ -138,3 +138,15 @@ func (s *fairSched) Ran(e Entity, d sim.Time) {
 		e.SchedNode().vruntime += d
 	}
 }
+
+func (s *fairSched) Reset(timeslice sim.Time) {
+	s.timeslice = timeslice
+	s.minGranularity = timeslice / 8
+	for i := range s.queues {
+		q := &s.queues[i]
+		clearTail(q.items[:cap(q.items)], 0)
+		q.items = q.items[:0]
+		q.head = 0
+		q.minVruntime = 0
+	}
+}

@@ -85,3 +85,13 @@ func (s *fifoSched) TickPreempt(cpu hw.CPUID, running Entity, sliceStart, now si
 }
 
 func (s *fifoSched) Ran(e Entity, d sim.Time) {}
+
+func (s *fifoSched) Reset(timeslice sim.Time) {
+	s.timeslice = timeslice
+	for i := range s.queues {
+		q := &s.queues[i]
+		clearTail(q.items[:cap(q.items)], 0)
+		q.items = q.items[:0]
+		q.head = 0
+	}
+}

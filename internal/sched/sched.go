@@ -121,6 +121,10 @@ type Scheduler interface {
 	// handling done on its behalf). Policies that do not account runtime
 	// ignore it.
 	Ran(e Entity, d sim.Time)
+	// Reset returns the scheduler to its freshly built state with a new
+	// base timeslice, retaining queue capacity — the pooled-host reuse
+	// path. A reset scheduler must behave identically to a newly built one.
+	Reset(timeslice sim.Time)
 	// Save serializes the scheduler's queue state for a checkpoint;
 	// entities are encoded by Node.Key.
 	Save(enc *snap.Encoder)

@@ -116,6 +116,14 @@ func (b *Buffer) Record(e Event) {
 	b.full = true
 }
 
+// Cap returns the ring capacity.
+func (b *Buffer) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return b.cap
+}
+
 // Total returns the number of events recorded (including overwritten ones).
 func (b *Buffer) Total() uint64 {
 	if b == nil {
@@ -137,6 +145,63 @@ func (b *Buffer) Events() []Event {
 	out := make([]Event, 0, b.cap)
 	out = append(out, b.events[b.next:]...)
 	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Merge combines per-lane buffers into one buffer of the given capacity,
+// ordered canonically by (timestamp, lane index, per-lane record order).
+// Each lane records into a private ring (so concurrent shards never share
+// one), and the merge is a pure function of the lane buffers — identical
+// for every shard count that produced the same lane schedules. Aggregates
+// (total, counts, window) are summed across lanes, so they cover events
+// the rings have already overwritten, exactly as a single shared buffer
+// would have counted them.
+func Merge(lanes []*Buffer, capacity int) *Buffer {
+	out := NewBuffer(capacity)
+	type tagged struct {
+		ev   Event
+		lane int
+		pos  int
+	}
+	var all []tagged
+	for l, b := range lanes {
+		for i, e := range b.Events() {
+			all = append(all, tagged{ev: e, lane: l, pos: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ev.When != all[j].ev.When {
+			return all[i].ev.When < all[j].ev.When
+		}
+		if all[i].lane != all[j].lane {
+			return all[i].lane < all[j].lane
+		}
+		return all[i].pos < all[j].pos
+	})
+	for _, t := range all {
+		out.Record(t.ev)
+	}
+	// Record only saw the retained events; replace the aggregates with the
+	// lane sums so overwritten events stay counted.
+	out.total = 0
+	for k := range out.counts {
+		delete(out.counts, k)
+	}
+	for _, b := range lanes {
+		if b == nil || b.total == 0 {
+			continue
+		}
+		if out.total == 0 || b.first < out.first {
+			out.first = b.first
+		}
+		if out.total == 0 || b.last > out.last {
+			out.last = b.last
+		}
+		out.total += b.total
+		for k, c := range b.counts {
+			out.counts[k] += c
+		}
+	}
 	return out
 }
 
