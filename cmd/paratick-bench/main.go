@@ -6,7 +6,7 @@
 //	paratick-bench [-run all|table1|fig4|fig5|fig6|crossover|consolidation|
 //	                overcommit|ablation|shardfleet] [-scale 1.0] [-sched fifo|fair]
 //	               [-seed 1] [-device nvme|sata-ssd|hdd] [-out DIR]
-//	               [-workers N] [-shards N] [-quantum D]
+//	               [-workers N] [-shards N] [-quantum D] [-no-arena]
 //	               [-bench-json FILE] [-manifest FILE]
 //	               [-trace-out FILE.json] [-cpuprofile FILE] [-memprofile FILE]
 //	paratick-bench -perf-suite [-perf-out FILE.json] [-perf-baseline FILE.json]
@@ -17,8 +17,11 @@
 // -scale shrinks the workloads for quick runs (0.1 ≈ a tenth of the paper's
 // durations). -out additionally writes each table as CSV into DIR. -workers
 // fans independent simulation runs across N goroutines (0 = one per CPU);
-// output is byte-identical regardless of worker count. -bench-json writes
-// one timing record per experiment (wall clock, events fired, events/sec).
+// output is byte-identical regardless of worker count. -no-arena disables
+// the host/VM arena pooling that recycles worlds across a worker's runs —
+// pooling is execution-only, so output is byte-identical either way (the CI
+// arena differential diffs both). -bench-json writes one timing record per
+// experiment (wall clock, events fired, events/sec).
 //
 // Intra-run sharding:
 //
@@ -39,7 +42,7 @@
 // (timer wheel, event engine, one end-to-end experiment) via
 // testing.Benchmark and prints ns/op, allocs/op, and events/sec. -perf-out
 // writes the machine-readable report; -perf-baseline compares against a
-// committed report (BENCH_PR8.json) and fails when any kernel's ns/op grows
+// committed report (BENCH_PR9.json) and fails when any kernel's ns/op grows
 // past -perf-threshold or its allocs/op grows at all.
 //
 // Checkpointing:
@@ -122,6 +125,7 @@ func run(args []string, w io.Writer) error {
 	ckIn := fs.String("checkpoint-in", "", "restore a checkpoint file into the reference scenario and run it to completion instead of running experiments")
 	ckAt := fs.Duration("checkpoint-at", 10*time.Millisecond, "simulated freeze instant for -checkpoint-out")
 	probeAt := fs.Duration("snapshot-probe", 0, "simulated instant for the mid-run snapshot round-trip gate inside every experiment (0 = off)")
+	noArena := fs.Bool("no-arena", false, "disable host/VM arena pooling and build every world fresh (output is byte-identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,6 +155,7 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown device %q", *device)
 	}
 	opts.SnapshotProbe = sim.Time(probeAt.Nanoseconds())
+	opts.NoArena = *noArena
 	// Shards>1 without a quantum is rejected by each experiment's own
 	// Validate — except shardfleet, which first defaults the quantum.
 	opts.Shards = *shards

@@ -110,16 +110,16 @@ func TestPerfSuiteFlagValidation(t *testing.T) {
 }
 
 // TestPerfKernelsMatchCommittedBaseline pins the suite's kernel set to the
-// committed BENCH_PR8.json: adding, renaming, or removing a kernel must
+// committed BENCH_PR9.json: adding, renaming, or removing a kernel must
 // regenerate the baseline in the same change.
 func TestPerfKernelsMatchCommittedBaseline(t *testing.T) {
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR8.json"))
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_PR9.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var base perfSuiteReport
 	if err := json.Unmarshal(data, &base); err != nil {
-		t.Fatalf("BENCH_PR8.json invalid: %v", err)
+		t.Fatalf("BENCH_PR9.json invalid: %v", err)
 	}
 	names := map[string]bool{}
 	for _, r := range base.Results {

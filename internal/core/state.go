@@ -31,6 +31,28 @@ func SetPolicyState(p TickPolicy, s uint64) error {
 	return nil
 }
 
+// ResetPolicy returns a pooled policy instance to the exact state
+// NewPolicy(p.Mode(), opts) would construct, without allocating: the whole
+// struct is reassigned, so no mutable field can leak from the previous run.
+// Unlike SetOptions it follows NewPolicy's (looser) contract and silently
+// ignores opts for modes that take none. It reports false when p is not one
+// of the known policy kinds, in which case the caller must build fresh.
+//
+//paratick:noalloc
+func ResetPolicy(p TickPolicy, opts Options) bool {
+	switch q := p.(type) {
+	case *periodicPolicy:
+		*q = periodicPolicy{}
+	case *dynticksPolicy:
+		*q = dynticksPolicy{}
+	case *paratickPolicy:
+		*q = paratickPolicy{opts: opts}
+	default:
+		return false
+	}
+	return true
+}
+
 // SetOptions retunes a live policy's options. Only paratick consults
 // options; other modes accept only the zero Options. The experiment layer
 // uses this to vary ablation knobs across forked snapshot arms without

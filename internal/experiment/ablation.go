@@ -152,7 +152,7 @@ func RunIdleExitAblation(opts Options) (*AblationResult, error) {
 	}
 	// Job 0 is the dynticks baseline (no options to vary: a straight run);
 	// job 1 warms one paratick world and forks the keep/disarm arms.
-	jobs, err := runParallel(opts.WorkerCount(), 2,
+	jobs, err := runParallel(opts, 2,
 		func(i int, a *arena) (job2, error) {
 			if i == 0 {
 				spec := Spec{
@@ -411,7 +411,7 @@ func RunCoalescingAblation(opts Options) (*AblationResult, error) {
 		results []metrics.Result
 		warmup  WarmupStats
 	}
-	jobs, err := runParallel(opts.WorkerCount(), len(modes),
+	jobs, err := runParallel(opts, len(modes),
 		func(mi int, a *arena) (modeJob, error) {
 			mode := modes[mi]
 			base := opts.Device

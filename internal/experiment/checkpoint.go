@@ -89,7 +89,6 @@ func checkpointScenario(s Scenario, seed uint64, at sim.Time, m *metrics.Meter, 
 	if err != nil {
 		return nil, err
 	}
-	defer w.release()
 	// In lane mode the freeze instant rounds up to the quantum grid: state
 	// is only saveable at a barrier (mailboxes provably empty), and pausing
 	// on the grid adds no barrier an uninterrupted run would not have.

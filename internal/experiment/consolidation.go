@@ -111,7 +111,7 @@ func RunConsolidation(opts Options) (*ConsolidationResult, error) {
 	}
 	res := &ConsolidationResult{Duration: dur}
 	modes := []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick}
-	rows, err := runParallel(opts.WorkerCount(), len(modes),
+	rows, err := runParallel(opts, len(modes),
 		func(i int, a *arena) (ConsolidationRow, error) {
 			return runConsolidationMode(opts, modes[i], dur, a)
 		})

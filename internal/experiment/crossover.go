@@ -116,7 +116,7 @@ func RunCrossover(opts Options) (*CrossoverResult, error) {
 		exits  []uint64
 		warmup WarmupStats
 	}
-	sweeps, err := runParallel(opts.WorkerCount(), len(modes),
+	sweeps, err := runParallel(opts, len(modes),
 		func(mi int, a *arena) (modeSweep, error) {
 			mode := modes[mi]
 			group := Spec{

@@ -34,7 +34,7 @@ func runFig4Once(opts Options) (*ParsecFigure, error) {
 	}
 	fig := &ParsecFigure{Title: "Figure 4: sequential PARSEC (1 vCPU)"}
 	profiles := workload.Profiles()
-	comps, err := runParallel(opts.WorkerCount(), len(profiles),
+	comps, err := runParallel(opts, len(profiles),
 		func(i int, a *arena) (metrics.Comparison, error) {
 			p := profiles[i]
 			spec := Spec{
@@ -104,7 +104,7 @@ func runFig5SizeOnce(opts Options, size VMSize) (*ParsecFigure, error) {
 	fig := &ParsecFigure{Title: fmt.Sprintf("Figure 5 (%s VM, %d vCPUs over %d sockets)",
 		size.Name, size.VCPUs, size.Sockets)}
 	profiles := workload.Profiles()
-	comps, err := runParallel(opts.WorkerCount(), len(profiles),
+	comps, err := runParallel(opts, len(profiles),
 		func(i int, a *arena) (metrics.Comparison, error) {
 			p := profiles[i]
 			spec := Spec{
@@ -162,7 +162,7 @@ func repeatFigure(opts Options, once func(Options) (*ParsecFigure, error)) (*Par
 	if n == 1 {
 		return once(opts)
 	}
-	figs, err := runParallel(opts.WorkerCount(), n, func(r int, _ *arena) (*ParsecFigure, error) {
+	figs, err := runParallel(opts, n, func(r int, _ *arena) (*ParsecFigure, error) {
 		o := opts
 		o.Seed = opts.Seed + uint64(r)
 		return once(o)

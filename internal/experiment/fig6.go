@@ -71,7 +71,7 @@ func RunFig6(opts Options) (*FioFigure, error) {
 	// Flatten the (pattern, block size) grid so every cell is one parallel
 	// job; cells are regrouped by index, keeping category order identical to
 	// the serial nested loops.
-	cells, err := runParallel(opts.WorkerCount(), len(patterns)*len(sizes),
+	cells, err := runParallel(opts, len(patterns)*len(sizes),
 		func(i int, a *arena) (FioCell, error) {
 			return runFioCell(opts, patterns[i/len(sizes)], sizes[i%len(sizes)], a)
 		})

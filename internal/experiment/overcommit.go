@@ -132,7 +132,7 @@ func RunOvercommit(opts Options) (*OvercommitResult, error) {
 			}
 		}
 	}
-	cells, err := runParallel(opts.WorkerCount(), len(keys),
+	cells, err := runParallel(opts, len(keys),
 		func(i int, a *arena) (OvercommitCell, error) {
 			k := keys[i]
 			sr, err := runScenario(overcommitScenario(opts, k.ratio, k.mode, k.policy, dur),

@@ -12,7 +12,6 @@ import (
 	"sync/atomic"
 
 	"paratick/internal/core"
-	"paratick/internal/guest"
 	"paratick/internal/iodev"
 	"paratick/internal/kvm"
 	"paratick/internal/metrics"
@@ -62,6 +61,40 @@ type Options struct {
 	// (0 or 1 = serial). Purely an execution knob: output is byte-identical
 	// for every shard count. Shards > 1 requires a positive Quantum.
 	Shards int
+	// NoArena disables every per-worker pool (engine, host, VM, kernel
+	// reuse): each run builds its world from scratch. Pooling is
+	// execution-only, so output must be byte-identical either way — the CI
+	// arena differential gate runs the whole suite both ways and diffs the
+	// reports. A debugging and auditing knob, not a performance setting.
+	NoArena bool
+	// Pool, when non-nil, carries worker arenas across experiment
+	// invocations: consecutive RunTable1/ParsecFigure/... calls through the
+	// same pool reuse each worker's engine, host, and pooled VMs instead of
+	// rebuilding them on the first run of every experiment. A pool must not
+	// be shared by concurrent experiment invocations (the worker goroutines
+	// within one invocation are fine — each takes its own slot). Ignored
+	// under NoArena.
+	Pool *WorkerPool
+}
+
+// WorkerPool owns one arena per worker slot, letting a sequence of
+// experiment invocations keep their worlds warm (see Options.Pool).
+type WorkerPool struct {
+	arenas []*arena
+}
+
+// NewWorkerPool returns an empty pool; arenas materialize as worker slots
+// are first claimed.
+func NewWorkerPool() *WorkerPool { return &WorkerPool{} }
+
+// slot returns the arena for worker w, growing the pool on demand. Callers
+// serialize slot claims (runParallel claims all slots before spawning its
+// workers).
+func (p *WorkerPool) slot(w int) *arena {
+	for len(p.arenas) <= w {
+		p.arenas = append(p.arenas, &arena{})
+	}
+	return p.arenas[w]
 }
 
 // DefaultOptions returns full-scale settings with the NVMe-class device.
@@ -103,9 +136,12 @@ type arena struct {
 	sharded *sim.ShardedEngine
 	// hosts pools Host construction (PCPUs, their pre-bound handler
 	// closures, host-tick timers, scheduler queues) across runs on the
-	// same coordinator and machine shape.
-	hosts  kvm.HostArena
-	wheels guest.WheelPool
+	// same coordinator and machine shape — and, one level down, whole VMs:
+	// the host's kvm.VMArena recycles guest kernels, tasks, deadline
+	// timers, and timer wheels across runs (the wheels ride inside their
+	// pooled VMs, which is why the arena no longer carries a separate
+	// wheel pool).
+	hosts kvm.HostArena
 }
 
 // hostArena exposes the arena's host pool (nil arena → nil pool, meaning
@@ -115,15 +151,6 @@ func (a *arena) hostArena() *kvm.HostArena {
 		return nil
 	}
 	return &a.hosts
-}
-
-// wheelPool exposes the arena's wheel pool (nil arena → nil pool, meaning
-// freshly allocated wheels).
-func (a *arena) wheelPool() *guest.WheelPool {
-	if a == nil {
-		return nil
-	}
-	return &a.wheels
 }
 
 // engineFor returns the arena's engine reset to seed, creating it on first
@@ -172,22 +199,38 @@ func (a *arena) shardedFor(seed uint64, lanes, shards int, quantum sim.Time) (*s
 	return se, err
 }
 
-// runParallel executes n independent jobs across at most workers goroutines
-// and assembles the results by index, so output ordering — and therefore
-// every rendered table — is identical to a serial loop. Jobs must not share
-// mutable state; each experiment run builds its own host and VMs, drawing
-// scratch (the reused sim.Engine) only from the worker-private arena it is
-// handed. On failure the error of the lowest-index failing job is returned,
-// keeping even the error path deterministic.
-func runParallel[T any](workers, n int, job func(i int, a *arena) (T, error)) ([]T, error) {
+// arenaFor returns worker w's arena: nil when pooling is disabled, the
+// pool's persistent slot when a pool is attached, a fresh invocation-local
+// arena otherwise. Every arena consumer treats nil as "build everything
+// fresh".
+func (o Options) arenaFor(w int) *arena {
+	if o.NoArena {
+		return nil
+	}
+	if o.Pool != nil {
+		return o.Pool.slot(w)
+	}
+	return &arena{}
+}
+
+// runParallel executes n independent jobs across at most o.WorkerCount()
+// goroutines and assembles the results by index, so output ordering — and
+// therefore every rendered table — is identical to a serial loop. Jobs must
+// not share mutable state; each experiment run builds its own host and VMs,
+// drawing scratch (the reused sim.Engine, the host/VM arenas) only from the
+// worker-private arena it is handed (nil under o.NoArena). On failure the
+// error of the lowest-index failing job is returned, keeping even the error
+// path deterministic.
+func runParallel[T any](o Options, n int, job func(i int, a *arena) (T, error)) ([]T, error) {
 	out := make([]T, n)
+	workers := o.WorkerCount()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		var a arena
+		a := o.arenaFor(0)
 		for i := 0; i < n; i++ {
-			v, err := job(i, &a)
+			v, err := job(i, a)
 			if err != nil {
 				return nil, err
 			}
@@ -200,15 +243,15 @@ func runParallel[T any](workers, n int, job func(i int, a *arena) (T, error)) ([
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		a := o.arenaFor(w)
 		go func() {
 			defer wg.Done()
-			var a arena
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = job(i, &a)
+				out[i], errs[i] = job(i, a)
 			}
 		}()
 	}
@@ -219,6 +262,26 @@ func runParallel[T any](workers, n int, job func(i int, a *arena) (T, error)) ([
 		}
 	}
 	return out, nil
+}
+
+// Session pins one worker arena across caller-driven scenario runs, giving
+// callers outside the experiment runners — the perf suite's fleet-reuse
+// kernel, long-lived services — the same steady-state reuse a runParallel
+// worker gets: after a warm-up run, consecutive runs recycle the engine,
+// host, and whole VMs instead of rebuilding them. A Session is not safe for
+// concurrent use; give each goroutine its own.
+type Session struct {
+	a arena
+}
+
+// NewSession returns an empty session; the first run through it builds and
+// pools its world.
+func NewSession() *Session { return &Session{} }
+
+// RunScenario executes the scenario through the session's arena, recording
+// telemetry into m when non-nil.
+func (s *Session) RunScenario(sc Scenario, seed uint64, m *metrics.Meter) (*ScenarioResult, error) {
+	return runScenario(sc, seed, m, &s.a)
 }
 
 // Validate checks the options.

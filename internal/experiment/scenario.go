@@ -32,6 +32,11 @@ type VMSpec struct {
 	// Workload marks this VM's tasks as the scenario's completion condition:
 	// a Scenario with Duration 0 runs until every workload VM finishes.
 	Workload bool
+	// TaskHint presizes the guest's task bookkeeping (task registry, vCPU
+	// run queues) for roughly this many Setup-spawned tasks, so the first
+	// run through a pooled VM does not grow those queues mid-flight. A
+	// capacity hint only; 0 keeps the defaults.
+	TaskHint int
 	// Setup spawns the VM's tasks and devices. It must be deterministic and
 	// re-runnable: checkpoint restore rebuilds the scenario by calling it
 	// again, so it must not capture state mutated by a previous call.
@@ -178,7 +183,6 @@ type world struct {
 	se        *sim.ShardedEngine
 	host      *kvm.Host
 	vms       []*kvm.VM
-	pool      *guest.WheelPool
 	workloads int
 	// remaining counts unfinished workload VMs; the legacy OnWorkloadDone
 	// hooks decrement it and stop the engine at zero (Duration-0
@@ -236,12 +240,13 @@ func buildWorld(s Scenario, seed uint64, a *arena) (*world, error) {
 		return nil, err
 	}
 	w := &world{
-		scenario: s,
-		seed:     seed,
-		cfg:      cfg,
-		se:       se,
-		host:     host,
-		pool:     a.wheelPool(),
+		scenario:   s,
+		seed:       seed,
+		cfg:        cfg,
+		se:         se,
+		host:       host,
+		vms:        make([]*kvm.VM, 0, len(s.VMs)),
+		placements: make([][]hw.CPUID, 0, len(s.VMs)),
 	}
 	for _, vs := range s.VMs {
 		placement := vs.Placement
@@ -259,7 +264,7 @@ func buildWorld(s Scenario, seed uint64, a *arena) (*world, error) {
 		gcfg.Mode = vs.Mode
 		gcfg.PolicyOpts = vs.PolicyOpts
 		gcfg.AdaptiveSpin = vs.AdaptiveSpin
-		gcfg.Wheels = w.pool
+		gcfg.TaskHint = vs.TaskHint
 		if vs.GuestHz > 0 {
 			gcfg.TickHz = vs.GuestHz
 		}
@@ -505,14 +510,17 @@ func (w *world) verifyRoundTrip() (*world, error) {
 	if w.resumed {
 		return w, nil
 	}
-	// The original world is abandoned in favor of the restored copy; hand its
-	// wheels back to the worker's pool (the copy allocated its own).
-	w.release()
+	// The original world is abandoned in favor of the restored copy. Its VMs
+	// need no teardown: if it was arena-built, the host keeps them and the
+	// next run's Host.reset stashes them — mid-run state and all — into the
+	// VM arena, whose acquire-time reset fully sanitizes them.
 	return fresh, nil
 }
 
-// finish validates completion, assembles per-VM results, and returns the
-// worker's wheels to the arena pool.
+// finish validates completion and assembles per-VM results. No teardown
+// happens here: an arena-built world's VMs (with their timer wheels and
+// task pools attached) stay with the host, which recycles them through the
+// VM arena on its next reset; a fresh-built world is simply garbage.
 func (w *world) finish() (*ScenarioResult, error) {
 	if w.scenario.Duration == 0 {
 		for i, vs := range w.scenario.VMs {
@@ -525,24 +533,11 @@ func (w *world) finish() (*ScenarioResult, error) {
 			}
 		}
 	}
-	out := &ScenarioResult{Events: w.se.Fired()}
+	out := &ScenarioResult{Events: w.se.Fired(), Results: make([]metrics.Result, 0, len(w.vms))}
 	for i, vm := range w.vms {
 		res := vm.Result(w.scenario.VMs[i].Name)
 		res.Events = out.Events
 		out.Results = append(out.Results, res)
 	}
-	w.release()
 	return out, nil
-}
-
-// release returns the kernels' timer wheels to the arena pool. Worlds
-// abandoned without finishing (checkpoint warmups, probe-replaced copies)
-// may call it directly; a nil pool makes it a no-op.
-func (w *world) release() {
-	if w.pool == nil {
-		return
-	}
-	for _, vm := range w.vms {
-		w.pool.ReleaseAll(vm.Kernel())
-	}
 }

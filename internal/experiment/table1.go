@@ -49,7 +49,7 @@ func RunTable1(opts Options) (*Table1Result, error) {
 	modes := []core.Mode{core.Periodic, core.DynticksIdle, core.Paratick}
 	// Flatten the (workload, mode) grid into independent parallel jobs and
 	// regroup by index.
-	exits, err := runParallel(opts.WorkerCount(), len(workloads)*len(modes),
+	exits, err := runParallel(opts, len(workloads)*len(modes),
 		func(i int, a *arena) (uint64, error) {
 			w := workloads[i/len(modes)]
 			nVMs := 1
@@ -96,6 +96,7 @@ func runTable1Workload(opts Options, mode core.Mode, nVMs int, sync bool, dur si
 	for n := 0; n < nVMs; n++ {
 		vs := VMSpec{Name: fmt.Sprintf("vm%d", n), Mode: mode, Placement: placement}
 		if sync {
+			vs.TaskHint = workload.DefaultSyncBench().Threads
 			vs.Setup = func(vm *kvm.VM) error {
 				bench := workload.DefaultSyncBench()
 				bench.Duration = dur

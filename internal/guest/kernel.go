@@ -35,6 +35,11 @@ type Config struct {
 	// experiment layer points it at a worker-private pool; nil allocates
 	// fresh wheels (identical behaviour, more garbage).
 	Wheels *WheelPool
+	// TaskHint, when positive, presizes the kernel's task registry and each
+	// vCPU's run queue for roughly this many spawned tasks, so the first run
+	// through a pooled kernel does not grow those slices mid-flight. It is a
+	// capacity hint only — exceeding it merely reallocates as usual.
+	TaskHint int
 }
 
 // DefaultConfig returns the paper's guest configuration: 250 Hz dynticks.
@@ -55,6 +60,9 @@ func (c Config) Validate() error {
 	}
 	if c.AdaptiveSpin < 0 {
 		return fmt.Errorf("guest: AdaptiveSpin must be non-negative, got %v", c.AdaptiveSpin)
+	}
+	if c.TaskHint < 0 {
+		return fmt.Errorf("guest: TaskHint must be non-negative, got %d", c.TaskHint)
 	}
 	switch c.Mode {
 	case core.Periodic, core.DynticksIdle, core.Paratick:
@@ -101,6 +109,23 @@ type Kernel struct {
 	// allocation source in whole-experiment profiles. Segments cycle
 	// acquire → queue → issue → release (at the vCPU's next fetch).
 	segFree []*Segment
+
+	// taskFree holds the previous run's Task objects after a Reset, reused
+	// by Spawn in LIFO order. A recycled task keeps its pre-bound callback
+	// closures (they read t.vcpu at call time, so re-homing is safe) and its
+	// Rand object (reseeded via ForkInto at the identical draw point).
+	taskFree []*Task
+
+	// lockPool, barrierPool and condPool hold the previous run's
+	// synchronization objects after a Reset, indexed by their registry id.
+	// New{Lock,Barrier,Cond} recycle the object at the id being assigned
+	// when its name matches — deterministic scenario construction recreates
+	// sync objects in the same order with the same names, so in steady
+	// state every constructor call is a pool hit that keeps the precomputed
+	// blockReason string.
+	lockPool    []*Lock
+	barrierPool []*Barrier
+	condPool    []*Cond
 }
 
 // segSlab is how many segments are allocated at once when the pool runs
@@ -146,13 +171,17 @@ func NewKernel(engine *sim.Engine, cost hw.CostModel, cfg Config, counters *metr
 	if err := cost.Validate(); err != nil {
 		return nil, err
 	}
-	return &Kernel{
+	k := &Kernel{
 		engine:   engine,
 		cost:     cost,
 		cfg:      cfg,
 		counters: counters,
 		rng:      engine.Rand().Fork(0x6e57),
-	}, nil
+	}
+	if cfg.TaskHint > 0 {
+		k.tasks = make([]*Task, 0, cfg.TaskHint)
+	}
+	return k, nil
 }
 
 // Config returns the kernel configuration.
@@ -195,17 +224,25 @@ func (k *Kernel) VCPUs() []*VCPU { return k.vcpus }
 // spawn.
 func (k *Kernel) AddVCPU() *VCPU {
 	id := len(k.vcpus)
+	runqCap := 16
+	if k.cfg.TaskHint > runqCap {
+		// Wakes append to a task's home run queue, so in the worst case one
+		// vCPU queues every task of the VM — size for that so the first run
+		// never grows the queue.
+		runqCap = k.cfg.TaskHint
+	}
 	v := &VCPU{
 		kernel:        k,
 		id:            id,
 		policy:        core.NewPolicy(k.cfg.Mode, k.cfg.PolicyOpts),
 		wheel:         k.cfg.Wheels.acquire(k.cfg.TickPeriod()),
 		queue:         make([]*Segment, 0, 64),
-		runq:          make([]*Task, 0, 16),
+		runq:          make([]*Task, 0, runqCap),
 		timerDeadline: sim.Forever,
 		rcuDeadline:   sim.Forever,
 		lastTickAt:    -1,
 	}
+	v.policyCache[k.cfg.Mode] = v.policy
 	k.vcpus = append(k.vcpus, v)
 	return v
 }
@@ -224,7 +261,15 @@ func (k *Kernel) Devices() []*iodev.Device { return k.devices }
 
 // NewLock creates a guest-level blocking mutex.
 func (k *Kernel) NewLock(name string) *Lock {
-	l := &Lock{kernel: k, id: len(k.locks), name: name, blockReason: "lock:" + name}
+	id := len(k.locks)
+	if id < len(k.lockPool) && k.lockPool[id] != nil && k.lockPool[id].name == name {
+		l := k.lockPool[id]
+		k.lockPool[id] = nil
+		l.reset()
+		k.locks = append(k.locks, l)
+		return l
+	}
+	l := &Lock{kernel: k, id: id, name: name, blockReason: "lock:" + name}
 	k.locks = append(k.locks, l)
 	return l
 }
@@ -234,7 +279,22 @@ func (k *Kernel) NewBarrier(name string, parties int) *Barrier {
 	if parties <= 0 {
 		panic(fmt.Sprintf("guest: barrier %q needs positive parties, got %d", name, parties))
 	}
-	b := &Barrier{kernel: k, id: len(k.barriers), name: name, blockReason: "barrier:" + name, parties: parties}
+	id := len(k.barriers)
+	if id < len(k.barrierPool) && k.barrierPool[id] != nil && k.barrierPool[id].name == name {
+		b := k.barrierPool[id]
+		k.barrierPool[id] = nil
+		b.reset(parties)
+		k.barriers = append(k.barriers, b)
+		return b
+	}
+	b := &Barrier{kernel: k, id: id, name: name, blockReason: "barrier:" + name, parties: parties}
+	if cap(b.waiting) < parties-1 {
+		// The barrier can hold parties-1 blocked tasks (the last arrival
+		// releases everyone); size both cycle buffers up front so the first
+		// cycle does not grow them.
+		b.waiting = make([]*Task, 0, parties-1)
+		b.spare = make([]*Task, 0, parties-1)
+	}
 	k.barriers = append(k.barriers, b)
 	return b
 }
@@ -248,24 +308,46 @@ func (k *Kernel) Spawn(name string, vcpu int, prog Program) *Task {
 	if prog == nil {
 		panic("guest: Spawn with nil program")
 	}
-	t := &Task{
-		ID:        len(k.tasks),
-		Name:      name,
-		prog:      prog,
-		vcpu:      k.vcpus[vcpu],
-		state:     TaskRunnable,
-		rng:       k.rng.Fork(uint64(len(k.tasks)) + 0x7a5c),
-		startedAt: k.engine.Now(),
-	}
-	// Pre-bind the task's hot-path callbacks once: a run segment completes
-	// and a sleep timer fires millions of times per run, and a closure
-	// literal per occurrence dominated allocation profiles. Tasks never
-	// migrate (t.vcpu is their home for life), so binding the vCPU is safe.
-	t.runDoneFn = func() {
+	var t *Task
+	if n := len(k.taskFree); n > 0 {
+		// Recycle a task retired by Reset. ForkInto consumes exactly one
+		// draw from k.rng, the same as Fork on the fresh path, so recycled
+		// and fresh kernels stay in RNG lockstep.
+		t = k.taskFree[n-1]
+		k.taskFree[n-1] = nil
+		k.taskFree = k.taskFree[:n-1]
+		t.ID = len(k.tasks)
+		t.Name = name
+		t.prog = prog
+		t.vcpu = k.vcpus[vcpu]
+		t.state = TaskRunnable
+		k.rng.ForkInto(t.rng, uint64(len(k.tasks))+0x7a5c)
 		t.remaining = 0
-		t.vcpu.stepComplete(t)
+		t.blockReason = ""
+		t.sleepTimer = SoftTimer{}
+		t.startedAt = k.engine.Now()
+		t.finishedAt = 0
+	} else {
+		t = &Task{
+			ID:        len(k.tasks),
+			Name:      name,
+			prog:      prog,
+			vcpu:      k.vcpus[vcpu],
+			state:     TaskRunnable,
+			rng:       k.rng.Fork(uint64(len(k.tasks)) + 0x7a5c),
+			startedAt: k.engine.Now(),
+		}
+		// Pre-bind the task's hot-path callbacks once: a run segment
+		// completes and a sleep timer fires millions of times per run, and a
+		// closure literal per occurrence dominated allocation profiles. Both
+		// closures read t.vcpu at call time, so they survive re-homing when
+		// the task is recycled into a later run.
+		t.runDoneFn = func() {
+			t.remaining = 0
+			t.vcpu.stepComplete(t)
+		}
+		t.sleepFireFn = func(sim.Time) { k.wake(t, t.vcpu) }
 	}
-	t.sleepFireFn = func(sim.Time) { k.wake(t, t.vcpu) }
 	k.tasks = append(k.tasks, t)
 	k.liveTasks++
 	t.vcpu.runq = append(t.vcpu.runq, t)

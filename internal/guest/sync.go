@@ -39,6 +39,21 @@ func (l *Lock) Acquisitions() uint64 { return l.acquisitions }
 // Contended returns how many acquisitions had to block.
 func (l *Lock) Contended() uint64 { return l.contended }
 
+// reset returns a pooled lock to its just-constructed state; the kernel
+// pointer, registry id, name, and precomputed blockReason are construction
+// identity and survive.
+//
+//paratick:noalloc
+func (l *Lock) reset() {
+	l.holder = nil
+	for i := range l.waiters {
+		l.waiters[i] = nil
+	}
+	l.waiters = l.waiters[:0]
+	l.acquisitions = 0
+	l.contended = 0
+}
+
 // tryAcquire attempts acquisition for t. On contention, t is queued and
 // blocked; the caller must stop running the task. Returns whether the lock
 // was taken.
@@ -116,6 +131,20 @@ func (b *Barrier) Waiting() int { return len(b.waiting) }
 // Cycles returns how many times the barrier has released.
 func (b *Barrier) Cycles() uint64 { return b.cycles }
 
+// reset returns a pooled barrier to its just-constructed state for parties
+// tasks. The party count is taken from the constructor call, not the old
+// value: detach shrinks parties during a run, so it is per-run state.
+//
+//paratick:noalloc
+func (b *Barrier) reset(parties int) {
+	b.parties = parties
+	for i := range b.waiting {
+		b.waiting[i] = nil
+	}
+	b.waiting = b.waiting[:0]
+	b.cycles = 0
+}
+
 // arrive registers t. If t completes the party, it returns the tasks to
 // wake (everyone else) and releaseAll=true; otherwise t must block.
 //
@@ -173,9 +202,30 @@ func (k *Kernel) NewCond(name string, l *Lock) *Cond {
 	if l == nil {
 		panic("guest: NewCond with nil lock")
 	}
-	c := &Cond{kernel: k, id: len(k.conds), name: name, blockReason: "cond:" + name, lock: l}
+	id := len(k.conds)
+	if id < len(k.condPool) && k.condPool[id] != nil && k.condPool[id].name == name {
+		c := k.condPool[id]
+		k.condPool[id] = nil
+		c.reset(l)
+		k.conds = append(k.conds, c)
+		return c
+	}
+	c := &Cond{kernel: k, id: id, name: name, blockReason: "cond:" + name, lock: l}
 	k.conds = append(k.conds, c)
 	return c
+}
+
+// reset returns a pooled condvar to its just-constructed state bound to l.
+//
+//paratick:noalloc
+func (c *Cond) reset(l *Lock) {
+	c.lock = l
+	for i := range c.waiters {
+		c.waiters[i] = nil
+	}
+	c.waiters = c.waiters[:0]
+	c.waits = 0
+	c.signals = 0
 }
 
 // Name returns the condvar's diagnostic name.

@@ -17,6 +17,11 @@ type VCPU struct {
 	id     int
 	policy core.TickPolicy
 
+	// policyCache keeps one policy instance per mode so a pooled vCPU can
+	// switch modes across runs without allocating; reset() installs (and
+	// zeroes) the cached instance for the kernel's current mode.
+	policyCache [3]core.TickPolicy
+
 	queue   []*Segment
 	runq    []*Task
 	current *Task

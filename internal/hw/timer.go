@@ -73,6 +73,22 @@ func (t *DeadlineTimer) Cancel() {
 	t.ev = sim.Event{}
 }
 
+// Reset returns the timer to its just-constructed state on the given
+// engine: disarmed, zero counters, no event handle. For pooled reuse after
+// the owning engine was itself Reset (or the component moved lanes) — the
+// stale handle is dropped, not canceled, because the engine generation that
+// issued it is gone. The pre-bound expiry handler survives: it receives the
+// dispatching engine as an argument, so rebinding costs nothing.
+//
+//paratick:noalloc
+func (t *DeadlineTimer) Reset(engine *sim.Engine) {
+	t.engine = engine
+	t.ev = sim.Event{}
+	t.deadline = 0
+	t.armCount = 0
+	t.expireCt = 0
+}
+
 // Armed reports whether the timer is currently programmed.
 func (t *DeadlineTimer) Armed() bool { return t.ev.Pending() }
 

@@ -21,6 +21,60 @@ import (
 // *HostArena is valid and always builds fresh hosts.
 type HostArena struct {
 	host *Host
+	vms  VMArena
+}
+
+// VMArena pools whole VMs across a host's runs: the guest kernel with its
+// task, segment, and sync-object pools; the host-side vCPUs with their
+// pre-bound deadline-timer handler closures and pending-IRQ double buffers;
+// and the per-vCPU timer wheels, which stay attached to their kernels.
+// Host.reset stashes a finished run's VMs here and NewVM re-acquires them
+// keyed on (vCPU count, guest tick Hz) — the construction-shape fields; the
+// workload shape adapts through the kernel's internal pools. A nil *VMArena
+// is valid and never pools.
+//
+// Like host pooling, VM reuse is execution-only: VM.reset returns every
+// recycled object to the state a fresh constructor would produce (the
+// digest audits in arena_test.go pin fresh == recycled byte for byte), so
+// reports, traces, and checkpoints cannot observe it.
+type VMArena struct {
+	free []*VM
+}
+
+// take removes and returns a pooled VM matching the construction shape, or
+// nil. Matching is LIFO so the hottest cache-resident VM is reused first.
+func (a *VMArena) take(vcpus, tickHz int) *VM {
+	if a == nil {
+		return nil
+	}
+	for i := len(a.free) - 1; i >= 0; i-- {
+		vm := a.free[i]
+		if len(vm.vcpus) == vcpus && vm.kernel.Config().TickHz == tickHz {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+			return vm
+		}
+	}
+	return nil
+}
+
+// stash parks a finished run's VMs for reuse. No sanitization happens here
+// — VM.reset does all of it at re-acquire time, which also covers VMs
+// abandoned mid-run (the snapshot-probe path).
+func (a *VMArena) stash(vms []*VM) {
+	if a == nil {
+		return
+	}
+	a.free = append(a.free, vms...)
+}
+
+// clear drops every pooled VM. Called when the owning host is rebuilt for
+// a new machine shape: the pooled VMs reference the dead host's pCPUs and
+// lane engines.
+func (a *VMArena) clear() {
+	for i := range a.free {
+		a.free[i] = nil
+	}
+	a.free = a.free[:0]
 }
 
 // NewHostOn returns a host for the coordinator, reusing the pooled one
@@ -39,8 +93,10 @@ func (a *HostArena) NewHostOn(se *sim.ShardedEngine, cfg Config) (*Host, error) 
 		}
 		return h, nil
 	}
+	a.vms.clear()
 	h, err := NewHostOn(se, cfg)
 	if err == nil {
+		h.vmArena = &a.vms
 		a.host = h
 	}
 	return h, err
@@ -55,6 +111,7 @@ func (h *Host) reset(cfg Config) error {
 	}
 	h.cfg = cfg
 	h.cost = cfg.Cost
+	h.vmArena.stash(h.vms)
 	for i := range h.vms {
 		h.vms[i] = nil
 	}

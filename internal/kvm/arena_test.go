@@ -91,6 +91,198 @@ func TestHostArenaReuseMatchesFresh(t *testing.T) {
 	}
 }
 
+// vmArenaRun builds a host on se through the arena, boots two 2-vCPU VMs in
+// the given guest shape, runs to completion, and returns the engine digest
+// plus per-VM exit totals. The variant axes — tick mode, guest Hz, and
+// workload (pure compute vs lock/barrier sync) — are exactly what the VM
+// arena must recycle across without observable effect.
+func vmArenaRun(t *testing.T, a *HostArena, se *sim.ShardedEngine, cfg Config, hz int, mode core.Mode, sync bool) (snap.Digest, []uint64) {
+	t.Helper()
+	host, err := a.NewHostOn(se, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		gcfg := guest.DefaultConfig()
+		gcfg.TickHz = hz
+		gcfg.Mode = mode
+		vm, err := host.NewVM("vm", gcfg, []hw.CPUID{hw.CPUID(2 * i), hw.CPUID(2*i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := vm.Kernel()
+		if sync {
+			l := k.NewLock("l")
+			bar := k.NewBarrier("b", 2)
+			for task := 0; task < 2; task++ {
+				k.Spawn("sync", task, guest.Steps(
+					guest.Acquire(l),
+					guest.Compute(200*sim.Microsecond),
+					guest.Release(l),
+					guest.JoinBarrier(bar),
+					guest.Compute(100*sim.Microsecond),
+				))
+			}
+		} else {
+			k.Spawn("burn", 0, guest.Steps(guest.Compute(3*sim.Millisecond)))
+		}
+		vm.Start()
+	}
+	se.RunUntil(30 * sim.Millisecond)
+	var exits []uint64
+	for _, vm := range host.VMs() {
+		if done, _ := vm.WorkloadDone(); !done {
+			t.Fatal("workload did not finish")
+		}
+		exits = append(exits, vm.Counters().TotalExits())
+	}
+	return se.Root().DigestState(), exits
+}
+
+// TestVMArenaRecycledMatchesFresh is the VM pool's digest audit: a run whose
+// VMs came out of the arena must be byte-identical — engine digest and
+// counters — to the same run on freshly constructed VMs, including when
+// consecutive runs switch tick mode, guest Hz, and workload shape (compute
+// vs lock/barrier sync). The Hz switch also exercises the shape key: a
+// 100 Hz request cannot reuse a pooled 250 Hz VM, and the interleaved
+// rounds prove the mismatched VMs survive in the pool for the round that
+// can use them.
+func TestVMArenaRecycledMatchesFresh(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = hw.SmallTopology()
+	type variant struct {
+		hz   int
+		mode core.Mode
+		sync bool
+	}
+	rounds := []variant{
+		{250, core.Periodic, false},
+		{250, core.Paratick, true},      // mode + workload switch on recycled VMs
+		{100, core.DynticksIdle, false}, // Hz switch → pool miss, fresh build
+		{250, core.Periodic, true},      // workload switch again on the 250 Hz pair
+		{250, core.Paratick, false},
+	}
+	fresh := make([]snap.Digest, len(rounds))
+	freshExits := make([][]uint64, len(rounds))
+	for i, v := range rounds {
+		e := sim.NewEngine(11)
+		fresh[i], freshExits[i] = vmArenaRun(t, nil, sim.WrapEngine(e), cfg, v.hz, v.mode, v.sync)
+	}
+
+	a := &HostArena{}
+	e := sim.NewEngine(11)
+	se := sim.WrapEngine(e)
+	for i, v := range rounds {
+		e.Reset(11)
+		dig, exits := vmArenaRun(t, a, se, cfg, v.hz, v.mode, v.sync)
+		if dig != fresh[i] {
+			t.Fatalf("round %d (%dHz %v sync=%v): recycled-VM digest %x, fresh %x",
+				i, v.hz, v.mode, v.sync, dig, fresh[i])
+		}
+		for j := range exits {
+			if exits[j] != freshExits[i][j] {
+				t.Fatalf("round %d: vm %d exits %d recycled, %d fresh", i, j, exits[j], freshExits[i][j])
+			}
+		}
+	}
+}
+
+// TestVMArenaRecyclesVMObjects pins that reuse actually happens: after a
+// completed run, re-acquiring the same construction shape returns the same
+// *VM objects, while a shape miss (different guest Hz) builds fresh and
+// leaves the pooled VMs for a later matching request.
+func TestVMArenaRecyclesVMObjects(t *testing.T) {
+	a := &HostArena{}
+	e := sim.NewEngine(3)
+	se := sim.WrapEngine(e)
+	cfg := DefaultConfig()
+	cfg.Topology = hw.SmallTopology()
+	vmArenaRun(t, a, se, cfg, 250, core.Periodic, false)
+	pooled := make(map[*VM]bool)
+	for _, vm := range a.host.VMs() {
+		pooled[vm] = true
+	}
+
+	e.Reset(3)
+	host, err := a.NewHostOn(se, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := guest.DefaultConfig()
+	gcfg.TickHz = 100
+	miss, err := host.NewVM("miss", gcfg, []hw.CPUID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled[miss] {
+		t.Fatal("a 100Hz request recycled a 250Hz VM")
+	}
+	hit, err := host.NewVM("hit", guest.DefaultConfig(), []hw.CPUID{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pooled[hit] {
+		t.Fatal("a matching-shape request rebuilt instead of recycling")
+	}
+}
+
+// TestVMArenaReuseAfterAbandonedRun covers the snapshot-probe path: a run
+// abandoned mid-flight (tasks still blocked on locks and barriers, timers
+// armed, IRQs pending) stashes its dirty VMs uncleaned; the sanitize-at-take
+// reset must still produce VMs byte-identical to fresh construction.
+func TestVMArenaReuseAfterAbandonedRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = hw.SmallTopology()
+	freshDig, freshExits := vmArenaRun(t, nil, sim.WrapEngine(sim.NewEngine(5)), cfg, 250, core.Paratick, true)
+
+	a := &HostArena{}
+	e := sim.NewEngine(5)
+	se := sim.WrapEngine(e)
+	host, err := a.NewHostOn(se, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		gcfg := guest.DefaultConfig()
+		gcfg.Mode = core.Paratick
+		vm, err := host.NewVM("vm", gcfg, []hw.CPUID{hw.CPUID(2 * i), hw.CPUID(2*i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := vm.Kernel()
+		l := k.NewLock("l")
+		bar := k.NewBarrier("b", 2)
+		for task := 0; task < 2; task++ {
+			k.Spawn("sync", task, guest.Steps(
+				guest.Acquire(l),
+				guest.Compute(5*sim.Millisecond),
+				guest.Release(l),
+				guest.JoinBarrier(bar),
+			))
+		}
+		vm.Start()
+	}
+	// Abandon mid-run: one task holds each lock, its sibling is blocked, the
+	// barrier has no arrivals, ticks and deadline timers are armed.
+	se.RunUntil(2 * sim.Millisecond)
+	for _, vm := range host.VMs() {
+		if done, _ := vm.WorkloadDone(); done {
+			t.Fatal("abandon point too late: workload already finished")
+		}
+	}
+
+	e.Reset(5)
+	dig, exits := vmArenaRun(t, a, se, cfg, 250, core.Paratick, true)
+	if dig != freshDig {
+		t.Fatalf("post-abandon recycled digest %x, fresh %x", dig, freshDig)
+	}
+	for i := range exits {
+		if exits[i] != freshExits[i] {
+			t.Fatalf("vm %d exits %d after abandoned-run reuse, %d fresh", i, exits[i], freshExits[i])
+		}
+	}
+}
+
 // TestHostArenaRebuildsOnShapeChange checks the pool only reuses when the
 // coordinator and machine shape match.
 func TestHostArenaRebuildsOnShapeChange(t *testing.T) {

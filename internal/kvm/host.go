@@ -94,6 +94,12 @@ type Host struct {
 	// stable tie-break the scheduling layer's determinism contract requires.
 	nextSchedKey uint64
 
+	// vmArena, when non-nil, recycles whole VMs across this host's runs:
+	// Host.reset stashes the finished run's VMs there and NewVM re-acquires
+	// them by (vCPU count, guest Hz). Only HostArena-managed hosts carry
+	// one; a nil arena always builds VMs fresh.
+	vmArena *VMArena
+
 	// tracer, when set, records exits/injections (perf-style; see
 	// internal/trace). nil disables tracing. With multiple lanes each lane
 	// records into its own buffer (laneTracers) so shard goroutines never

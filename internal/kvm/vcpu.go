@@ -83,6 +83,26 @@ type guestCPU interface {
 	ShouldHalt() bool
 }
 
+// reset returns a pooled vCPU to its just-constructed state on a (possibly
+// different) pCPU with a fresh scheduler ordinal. The deadline timers are
+// reset in place onto the VM's current lane engine — their expiry handlers
+// were pre-bound at construction and receive the dispatching engine as an
+// argument, so rebinding lanes costs nothing.
+//
+//paratick:noalloc
+func (v *VCPU) reset(pcpu *PCPU, key uint64) {
+	v.pcpu = pcpu
+	v.state = VCPUStopped
+	v.pending = v.pending[:0]
+	v.pendingSpare = v.pendingSpare[:0]
+	v.node = sched.Node{Key: key}
+	v.guestTimer.Reset(v.vm.engine)
+	v.topUpTimer.Reset(v.vm.engine)
+	v.lastVirtualTick = 0
+	v.sliceStart = 0
+	v.wakePending = false
+}
+
 // ID returns the vCPU index within its VM.
 func (v *VCPU) ID() int { return v.id }
 

@@ -27,6 +27,11 @@ type VM struct {
 	vcpus    []*VCPU
 	hook     core.EntryHook
 
+	// defaultHook is the in-place ParatickHost installed for paratick
+	// guests; keeping it a value field lets a pooled VM switch modes across
+	// runs without allocating a hook. SetEntryHook may still override it.
+	defaultHook core.ParatickHost
+
 	declaredTickHz int
 	started        bool
 	doneAt         sim.Time
@@ -63,6 +68,13 @@ func (h *Host) NewVM(name string, gcfg guest.Config, placement []hw.CPUID) (*VM,
 		}
 	}
 	engine := h.se.Engine(lane)
+	if vm := h.vmArena.take(len(placement), gcfg.TickHz); vm != nil {
+		if err := vm.reset(name, engine, lane, gcfg, placement); err != nil {
+			return nil, err
+		}
+		h.vms = append(h.vms, vm)
+		return vm, nil
+	}
 	counters := &metrics.Counters{}
 	kernel, err := guest.NewKernel(engine, h.cost, gcfg, counters)
 	if err != nil {
@@ -70,8 +82,9 @@ func (h *Host) NewVM(name string, gcfg guest.Config, placement []hw.CPUID) (*VM,
 	}
 	vm := &VM{host: h, name: name, engine: engine, lane: lane, index: len(h.vms), kernel: kernel, counters: counters}
 	if gcfg.Mode == core.Paratick {
-		vm.hook = &core.ParatickHost{}
+		vm.hook = &vm.defaultHook
 	}
+	vm.vcpus = make([]*VCPU, 0, len(placement))
 	for i, cpu := range placement {
 		gv := kernel.AddVCPU()
 		v := &VCPU{
@@ -80,6 +93,11 @@ func (h *Host) NewVM(name string, gcfg guest.Config, placement []hw.CPUID) (*VM,
 			gcpu:  gv,
 			pcpu:  h.pcpus[cpu],
 			state: VCPUStopped,
+			// The LAPIC IRR dedupes by vector, so the pend queue holds at
+			// most the distinct vectors in play; 8 covers every scenario
+			// without first-run growth.
+			pending:      make([]pendingIRQ, 0, 8),
+			pendingSpare: make([]pendingIRQ, 0, 8),
 		}
 		v.node.Key = h.nextSchedKey
 		h.nextSchedKey++
@@ -96,6 +114,41 @@ func (h *Host) NewVM(name string, gcfg guest.Config, placement []hw.CPUID) (*VM,
 	}
 	h.vms = append(h.vms, vm)
 	return vm, nil
+}
+
+// reset rebinds a pooled VM — taken from the host's VM arena — to a new
+// run: new name, lane engine, guest config, and placement. The expensive
+// object graph survives: the guest kernel (with its tasks, sync objects,
+// segment pool, and timer wheels), the host vCPUs with their pre-bound
+// deadline-timer handlers, and the OnAllDone completion closure NewVM bound
+// once (it captures only the VM and reads per-run fields at fire time).
+// The arena key guarantees len(vm.vcpus) == len(placement).
+func (vm *VM) reset(name string, engine *sim.Engine, lane int, gcfg guest.Config, placement []hw.CPUID) error {
+	h := vm.host
+	vm.name = name
+	vm.engine = engine
+	vm.lane = lane
+	vm.index = len(h.vms)
+	*vm.counters = metrics.Counters{}
+	if err := vm.kernel.Reset(engine, h.cost, gcfg, vm.counters); err != nil {
+		return err
+	}
+	vm.defaultHook = core.ParatickHost{}
+	if gcfg.Mode == core.Paratick {
+		vm.hook = &vm.defaultHook
+	} else {
+		vm.hook = nil
+	}
+	vm.declaredTickHz = 0
+	vm.started = false
+	vm.doneAt = 0
+	vm.workloadDone = false
+	vm.OnWorkloadDone = nil
+	for i, cpu := range placement {
+		vm.vcpus[i].reset(h.pcpus[cpu], h.nextSchedKey)
+		h.nextSchedKey++
+	}
+	return nil
 }
 
 // SetEntryHook overrides the VM-entry hook (nil disables). NewVM installs

@@ -9,8 +9,13 @@ import (
 
 // HistBuckets is the number of log-scale buckets a Histogram carries. Bucket
 // i covers durations in [2^(i-1), 2^i) nanoseconds (bucket 0 holds d ≤ 1ns),
-// so 64 buckets span the full sim.Time range.
-const HistBuckets = 64
+// and the last bucket additionally absorbs anything larger. 44 buckets cover
+// durations up to 2^43 ns (~2.4 simulated hours), comfortably past the
+// 1000 s maxSimTime cap on any run, so the absorbing top bucket is
+// unreachable in practice — the count exists to bound Counters' footprint:
+// results are copied by value once per VM per run, and the histograms
+// dominate that copy.
+const HistBuckets = 44
 
 // Histogram is a log2-bucketed latency/cost histogram. It is a plain value
 // type — no pointers, no maps — so Counters embedding it stays copyable and
@@ -22,14 +27,19 @@ type Histogram struct {
 	MaxSeen sim.Time
 }
 
-// bucketOf maps a duration to its bucket index.
+// bucketOf maps a duration to its bucket index; durations past the bucket
+// range clamp into the absorbing top bucket.
 //
 //paratick:noalloc
 func bucketOf(d sim.Time) int {
 	if d <= 1 {
 		return 0
 	}
-	return bits.Len64(uint64(d - 1))
+	b := bits.Len64(uint64(d - 1))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
 }
 
 // Observe records one duration. Negative durations clamp to zero (they would

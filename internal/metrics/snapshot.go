@@ -10,10 +10,19 @@ import (
 	"paratick/internal/snap"
 )
 
+// histWireBuckets is the on-disk bucket count. The wire format predates the
+// HistBuckets shrink and keeps 64 slots so committed checkpoints stay
+// byte-identical: the in-memory histogram covers every reachable duration
+// (see HistBuckets), so the padding slots are always zero.
+const histWireBuckets = 64
+
 // Save serializes the histogram.
 func (h *Histogram) Save(enc *snap.Encoder) {
 	for _, b := range h.Buckets {
 		enc.U64(b)
+	}
+	for i := len(h.Buckets); i < histWireBuckets; i++ {
+		enc.U64(0)
 	}
 	enc.U64(h.N)
 	enc.I64(int64(h.Sum))
@@ -24,6 +33,12 @@ func (h *Histogram) Save(enc *snap.Encoder) {
 func (h *Histogram) Load(dec *snap.Decoder) error {
 	for i := range h.Buckets {
 		h.Buckets[i] = dec.U64()
+	}
+	for i := len(h.Buckets); i < histWireBuckets; i++ {
+		// Padding slots are zero for any checkpoint this build wrote; a
+		// checkpoint from a wider-histogram build folds its tail into the
+		// absorbing top bucket rather than silently dropping counts.
+		h.Buckets[HistBuckets-1] += dec.U64()
 	}
 	h.N = dec.U64()
 	h.Sum = sim.Time(dec.I64())

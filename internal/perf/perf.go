@@ -15,12 +15,16 @@
 package perf
 
 import (
+	"fmt"
 	"testing"
 
+	"paratick/internal/core"
 	"paratick/internal/experiment"
 	"paratick/internal/guest"
+	"paratick/internal/kvm"
 	"paratick/internal/metrics"
 	"paratick/internal/sim"
+	"paratick/internal/workload"
 )
 
 // Kernel is one pinned benchmark of the regression suite.
@@ -88,13 +92,19 @@ func Kernels() []Kernel {
 			Name:      "e2e/table1",
 			Desc:      "Table 1 experiment end to end at smoke scale (events/sec)",
 			Fn:        e2eTable1,
-			MaxAllocs: 14_000,
+			MaxAllocs: 2_000,
 		},
 		{
 			Name:      "e2e/shardfleet",
 			Desc:      "64-VM shard fleet at shards=4, quantum 1ms (events/sec)",
 			Fn:        e2eShardFleet,
 			MaxAllocs: shardFleetMaxAllocs,
+		},
+		{
+			Name:      "e2e/fleet-reuse",
+			Desc:      "8-VM sync fleet recycled through one Session, mode alternating (events/sec)",
+			Fn:        e2eFleetReuse,
+			MaxAllocs: fleetReuseMaxAllocs,
 		},
 	}
 }
@@ -280,10 +290,76 @@ func e2eShardFleet(b *testing.B) {
 	}
 }
 
+// fleetReuseMaxAllocs bounds the recycling bill of a full fleet run: after
+// warm-up every VM, vCPU, kernel, task, timer wheel, and deadline timer
+// comes back out of the VM arena, so the steady state is dominated by the
+// per-run Result copies plus a handful of report-shaped slices — not
+// construction. The ceiling is the regression tripwire for a reuse path
+// quietly falling back to building fresh (which costs tens of thousands).
+const fleetReuseMaxAllocs = 2_000
+
+// fleetReuseScenario is the pinned fleet shape: 8 sync-workload VMs of 8
+// vCPUs each on the paper topology. The mode is the reconfiguration axis the
+// kernel alternates between runs.
+func fleetReuseScenario(mode core.Mode, dur sim.Time) experiment.Scenario {
+	s := experiment.Scenario{
+		Name:     "fleet-reuse",
+		Duration: dur,
+	}
+	for n := 0; n < 8; n++ {
+		s.VMs = append(s.VMs, experiment.VMSpec{
+			Name:     fmt.Sprintf("vm%d", n),
+			Mode:     mode,
+			VCPUs:    8,
+			TaskHint: workload.DefaultSyncBench().Threads,
+			Setup: func(vm *kvm.VM) error {
+				bench := workload.DefaultSyncBench()
+				bench.Duration = dur
+				return bench.Spawn(vm.Kernel())
+			},
+		})
+	}
+	return s
+}
+
+// e2eFleetReuse measures the VM arena's steady state: one Session runs the
+// same 8-VM sync fleet repeatedly, alternating the tick mode every iteration
+// so each run re-acquires every recycled VM under a reconfiguration rather
+// than a plain repeat. Two warm-up runs (one per mode) populate the arena
+// and the per-mode policy caches; the meter attaches afterwards so warm-up
+// events don't inflate the rate.
+func e2eFleetReuse(b *testing.B) {
+	const dur = 200 * sim.Millisecond
+	modes := [2]core.Mode{core.Periodic, core.Paratick}
+	sess := experiment.NewSession()
+	for _, mode := range modes {
+		if _, err := sess.RunScenario(fleetReuseScenario(mode, dur), 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := &metrics.Meter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.RunScenario(fleetReuseScenario(modes[i%2], dur), 1, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(m.Events())/secs, "events/sec")
+	}
+}
+
 func e2eTable1(b *testing.B) {
 	opts := experiment.DefaultOptions()
 	opts.Scale = 0.02
 	opts.Workers = 1
+	opts.Pool = experiment.NewWorkerPool()
+	// Warm the pool: the first run builds the world the steady state reuses.
+	// The meter attaches afterwards so warm-up events don't inflate the rate.
+	if _, err := experiment.RunTable1(opts); err != nil {
+		b.Fatal(err)
+	}
 	m := &metrics.Meter{}
 	opts.Meter = m
 	b.ReportAllocs()

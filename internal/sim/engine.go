@@ -82,6 +82,24 @@ func less(a, b *node) bool {
 	return a.seq < b.seq
 }
 
+// batchEnt is one batch slot: the (when, seq) sort key copied out of the
+// node so the hot dispatch/insert paths stay in one contiguous array.
+type batchEnt struct {
+	when Time
+	seq  uint64
+	nd   *node
+}
+
+// entLess is the same (when, seq) total order as less, on inline keys.
+//
+//paratick:noalloc
+func entLess(a, b batchEnt) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
 // Near-horizon wheel geometry. The wheel covers wheelBuckets consecutive
 // buckets of 1<<shift nanoseconds each, starting at the bucket containing
 // the current time. With the default shift of 16 a bucket spans ~65.5µs and
@@ -136,10 +154,13 @@ type Engine struct {
 	buckets    [wheelBuckets][]*node
 
 	// Active dispatch batch: one drained bucket, sorted by (when, seq).
-	// Canceled entries are nil. batchBkt is the absolute bucket the batch
-	// was drained from (-1 when no batch is active); same-bucket schedules
-	// during a drain bubble-insert into the live batch.
-	batch    []*node
+	// Entries carry the sort key inline so comparisons and the dispatch
+	// loop's same-instant scan never dereference nodes; canceled entries
+	// keep their key but drop the node (nd == nil). batchBkt is the
+	// absolute bucket the batch was drained from (-1 when no batch is
+	// active); same-bucket schedules during a drain bubble-insert into the
+	// live batch.
+	batch    []batchEnt
 	batchPos int
 	batchBkt int64
 
@@ -224,10 +245,10 @@ func (e *Engine) Reset(seed uint64) {
 		e.wheelCount = 0
 	}
 	for i := e.batchPos; i < len(e.batch); i++ {
-		if nd := e.batch[i]; nd != nil {
+		if nd := e.batch[i].nd; nd != nil {
 			e.release(nd)
 		}
-		e.batch[i] = nil
+		e.batch[i] = batchEnt{}
 	}
 	e.batch = e.batch[:0]
 	e.batchPos = 0
@@ -489,22 +510,22 @@ func (e *Engine) advanceWindow() {
 
 // --- Batch (drained-bucket) dispatch -----------------------------------
 
-// sortNodes orders a by (when, seq): insertion sort for the typical small
+// sortEnts orders a by (when, seq): insertion sort for the typical small
 // bucket, in-place heapsort (via siftDownMax) above sortCutover so dense
 // buckets stay O(n log n). Stability is irrelevant — seq is unique.
 //
 //paratick:noalloc
-func sortNodes(a []*node) {
+func sortEnts(a []batchEnt) {
 	n := len(a)
 	if n <= sortCutover {
 		for i := 1; i < n; i++ {
-			nd := a[i]
+			ent := a[i]
 			j := i
-			for j > 0 && less(nd, a[j-1]) {
+			for j > 0 && entLess(ent, a[j-1]) {
 				a[j] = a[j-1]
 				j--
 			}
-			a[j] = nd
+			a[j] = ent
 		}
 		return
 	}
@@ -520,24 +541,24 @@ func sortNodes(a []*node) {
 // siftDownMax restores the max-heap property for a[:n] rooted at i.
 //
 //paratick:noalloc
-func siftDownMax(a []*node, i, n int) {
-	nd := a[i]
+func siftDownMax(a []batchEnt, i, n int) {
+	ent := a[i]
 	for {
 		child := 2*i + 1
 		if child >= n {
 			break
 		}
 		c := a[child]
-		if r := child + 1; r < n && less(c, a[r]) {
+		if r := child + 1; r < n && entLess(c, a[r]) {
 			child, c = r, a[r]
 		}
-		if !less(nd, c) {
+		if !entLess(ent, c) {
 			break
 		}
 		a[i] = c
 		i = child
 	}
-	a[i] = nd
+	a[i] = ent
 }
 
 // batchInsert bubble-inserts nd into the live batch at its (when, seq)
@@ -554,31 +575,32 @@ func (e *Engine) batchInsert(nd *node) {
 	if e.batchPos >= 64 && e.batchPos*2 >= len(e.batch) {
 		n := copy(e.batch, e.batch[e.batchPos:])
 		for i := 0; i < n; i++ {
-			if m := e.batch[i]; m != nil {
+			if m := e.batch[i].nd; m != nil {
 				m.index = i
 			}
 		}
 		for i := n; i < len(e.batch); i++ {
-			e.batch[i] = nil
+			e.batch[i] = batchEnt{}
 		}
 		e.batch = e.batch[:n]
 		e.batchPos = 0
 	}
 	nd.loc = locBatch
-	e.batch = append(e.batch, nd)
+	ent := batchEnt{when: nd.when, seq: nd.seq, nd: nd}
+	e.batch = append(e.batch, ent)
 	i := len(e.batch) - 1
 	for i > e.batchPos {
 		p := e.batch[i-1]
-		if p != nil && !less(nd, p) {
+		if !entLess(ent, p) {
 			break
 		}
 		e.batch[i] = p
-		if p != nil {
-			p.index = i
+		if p.nd != nil {
+			p.nd.index = i
 		}
 		i--
 	}
-	e.batch[i] = nd
+	e.batch[i] = ent
 	nd.index = i
 }
 
@@ -591,8 +613,8 @@ func (e *Engine) batchInsert(nd *node) {
 //paratick:noalloc
 func (e *Engine) spillBatch() {
 	for i := e.batchPos; i < len(e.batch); i++ {
-		nd := e.batch[i]
-		e.batch[i] = nil
+		nd := e.batch[i].nd
+		e.batch[i] = batchEnt{}
 		if nd == nil {
 			continue
 		}
@@ -622,7 +644,7 @@ func (e *Engine) refillBatch() {
 			nd := e.popMin()
 			nd.loc = locBatch
 			nd.index = len(e.batch)
-			e.batch = append(e.batch, nd)
+			e.batch = append(e.batch, batchEnt{when: nd.when, seq: nd.seq, nd: nd})
 		}
 		e.batchBkt = ab
 		return
@@ -632,13 +654,17 @@ func (e *Engine) refillBatch() {
 	if s < 0 {
 		panic("sim: wheel count positive but occupancy empty")
 	}
-	spare := e.batch[:0]
-	e.batch = e.buckets[s]
-	e.buckets[s] = spare
+	b := e.buckets[s]
+	for i, nd := range b {
+		e.batch = append(e.batch, batchEnt{when: nd.when, seq: nd.seq, nd: nd})
+		b[i] = nil
+	}
+	e.buckets[s] = b[:0]
 	e.occ[s>>6] &^= 1 << uint(s&63)
 	e.wheelCount -= len(e.batch)
-	sortNodes(e.batch)
-	for i, nd := range e.batch {
+	sortEnts(e.batch)
+	for i := range e.batch {
+		nd := e.batch[i].nd
 		nd.loc = locBatch
 		nd.index = i
 	}
@@ -651,7 +677,7 @@ func (e *Engine) refillBatch() {
 //paratick:noalloc
 func (e *Engine) ensureBatch() bool {
 	for {
-		for e.batchPos < len(e.batch) && e.batch[e.batchPos] == nil {
+		for e.batchPos < len(e.batch) && e.batch[e.batchPos].nd == nil {
 			e.batchPos++
 		}
 		if e.batchPos < len(e.batch) {
@@ -756,7 +782,9 @@ func (e *Engine) Cancel(ev Event) bool {
 	case nd.loc == locHeap:
 		e.remove(nd)
 	case nd.loc == locBatch:
-		e.batch[nd.index] = nil
+		// The entry keeps its (when, seq) key so the batch stays key-sorted
+		// for bubble-inserts; only the node is dropped.
+		e.batch[nd.index].nd = nil
 		nd.index = -1
 		nd.loc = locDetached
 	default:
@@ -776,8 +804,8 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	pos := e.batchPos
-	nd := e.batch[pos]
-	e.batch[pos] = nil
+	nd := e.batch[pos].nd
+	e.batch[pos].nd = nil
 	e.batchPos = pos + 1
 	e.dispatch(nd)
 	return true
@@ -799,11 +827,11 @@ func (e *Engine) StepBatch() int {
 	n := 0
 	for e.ensureBatch() {
 		pos := e.batchPos
-		nd := e.batch[pos]
-		if nd.when != t0 {
+		if e.batch[pos].when != t0 {
 			break
 		}
-		e.batch[pos] = nil
+		nd := e.batch[pos].nd
+		e.batch[pos].nd = nil
 		e.batchPos = pos + 1
 		e.dispatch(nd)
 		n++

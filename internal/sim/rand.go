@@ -40,9 +40,12 @@ func (r *Rand) Reseed(seed uint64) {
 	}
 }
 
+//paratick:noalloc
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
+//
+//paratick:noalloc
 func (r *Rand) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
 	t := r.s[1] << 17
@@ -137,7 +140,19 @@ func (r *Rand) Bool(p float64) bool {
 // this generator's state and the tag. Used to give every vCPU/task its own
 // stream so adding one component does not shift the randomness of others.
 func (r *Rand) Fork(tag uint64) *Rand {
-	return NewRand(r.Uint64() ^ (tag * 0x9e3779b97f4a7c15))
+	dst := &Rand{}
+	r.ForkInto(dst, tag)
+	return dst
+}
+
+// ForkInto reseeds dst exactly as Fork(tag) would seed a fresh generator,
+// without allocating. It lets pooled components restart their derived
+// streams on reuse: a recycled task calling ForkInto at the same point in
+// the parent's draw order ends up with bit-identical state to a fresh one.
+//
+//paratick:noalloc
+func (r *Rand) ForkInto(dst *Rand, tag uint64) {
+	dst.Reseed(r.Uint64() ^ (tag * 0x9e3779b97f4a7c15))
 }
 
 // State returns the generator's full internal state, for checkpointing.

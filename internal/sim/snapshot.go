@@ -124,7 +124,7 @@ func (e *Engine) ForEachPending(fn func(when Time, seq uint64, label string)) {
 		}
 	}
 	for i := e.batchPos; i < len(e.batch); i++ {
-		if nd := e.batch[i]; nd != nil {
+		if nd := e.batch[i].nd; nd != nil {
 			fn(nd.when, nd.seq, nd.label)
 		}
 	}

@@ -1,0 +1,31 @@
+package workload
+
+import "strconv"
+
+// The stock benchmarks name tasks and sync objects "prefix<index>". Those
+// names are stable across runs, so formatting them on every spawn into a
+// recycled VM is pure churn — each package keeps small pre-built tables for
+// the index ranges the paper's configurations use and falls back to
+// formatting only past the table.
+const nameTableSize = 64
+
+var (
+	syncTaskNames = makeNames("sync.", nameTableSize)
+	syncPairNames = makeNames("sync.pair", nameTableSize)
+)
+
+func makeNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = prefix + strconv.Itoa(i)
+	}
+	return out
+}
+
+// indexedName returns tab[i] when the table covers i, formatting otherwise.
+func indexedName(tab []string, prefix string, i int) string {
+	if i < len(tab) {
+		return tab[i]
+	}
+	return prefix + strconv.Itoa(i)
+}

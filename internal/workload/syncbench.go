@@ -90,12 +90,16 @@ func (s SyncBench) Spawn(k *guest.Kernel) error {
 		return fmt.Errorf("workload: syncbench needs vCPUs")
 	}
 	until := k.Now() + s.Duration
+	// One slab for all programs and pre-formatted names: respawning the
+	// benchmark into a recycled VM costs a single allocation, not one per
+	// task plus one per formatted name.
+	progs := make([]syncProgram, s.Threads)
 	for pair := 0; pair < s.Threads/2; pair++ {
-		meet := k.NewBarrier(fmt.Sprintf("sync.pair%d", pair), 2)
+		meet := k.NewBarrier(indexedName(syncPairNames, "sync.pair", pair), 2)
 		for j := 0; j < 2; j++ {
 			i := pair*2 + j
-			k.Spawn(fmt.Sprintf("sync.%d", i), i%nv,
-				&syncProgram{b: s, meet: meet, until: until})
+			progs[i] = syncProgram{b: s, meet: meet, until: until}
+			k.Spawn(indexedName(syncTaskNames, "sync.", i), i%nv, &progs[i])
 		}
 	}
 	return nil
