@@ -6,13 +6,19 @@
 //
 // Rules: D001 wall clock in deterministic packages, D002 global math/rand,
 // D003 map iteration feeding ordered sinks, D004 unsanctioned concurrency,
-// A001 allocation-prone constructs in //paratick:noalloc functions. See
-// DESIGN.md "Determinism & allocation contracts" for the full law book and
-// the //lint:ignore / //lint:ordered justification syntax.
+// D005 shard-isolation violations in lane-executed code, S001 snapshot field
+// coverage, S002 Save/Load mirroring, R001 arena reset coverage, A001
+// allocation-prone constructs in //paratick:noalloc functions, and U001, the
+// stale-suppression audit (-unused-directives, on by default): a
+// //lint:ignore, //snap:skip, or //reset:keep that no longer suppresses or
+// excuses anything — or is missing its mandatory reason — is itself
+// reported. See DESIGN.md "Determinism & allocation contracts" and "Type
+// facts and coverage contracts" for the full law book and the justification
+// syntax.
 //
 // Usage:
 //
-//	paratick-vet [-C dir] [-json] [-rules D001,D003] [-list] [patterns]
+//	paratick-vet [-C dir] [-json] [-rules D001,D003] [-unused-directives=false] [-list] [patterns]
 //
 // Patterns are module-relative package paths ("./...", "./internal/sim",
 // "./internal/..."); the default is "./...". Exit status is 0 when clean,
@@ -58,6 +64,7 @@ func run(args []string, w io.Writer) int {
 	fs.SetOutput(w)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (stable schema)")
 	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
+	unusedDirectives := fs.Bool("unused-directives", true, "report suppression directives that no longer suppress anything (U001)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	chdir := fs.String("C", "", "analyze the module containing this directory (default: current directory)")
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +86,15 @@ func run(args []string, w io.Writer) int {
 			}
 			analyzers = append(analyzers, a)
 		}
+	}
+	if !*unusedDirectives {
+		kept := analyzers[:0]
+		for _, a := range analyzers {
+			if a.Name != "U001" {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
 	}
 	if *list {
 		for _, a := range analyzers {

@@ -44,7 +44,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &buf); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0\n%s", code, buf.String())
 	}
-	for _, rule := range []string{"D001", "D002", "D003", "D004", "A001"} {
+	for _, rule := range []string{"D001", "D002", "D003", "D004", "D005", "S001", "S002", "R001", "A001", "U001"} {
 		if !strings.Contains(buf.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, buf.String())
 		}
@@ -137,6 +137,37 @@ func TestRunRuleSubsetAndErrors(t *testing.T) {
 	buf.Reset()
 	if code := run([]string{"-C", root, "./no/such/pkg"}, &buf); code != 2 {
 		t.Fatalf("run with unmatched pattern = %d, want 2\n%s", code, buf.String())
+	}
+}
+
+// staleSim carries a suppression directive that suppresses nothing: U001
+// bait, on line 4.
+const staleSim = `package sim
+
+func Stamp() int64 {
+	//lint:ignore D001 wall clock is sanctioned here
+	return 42
+}
+`
+
+// TestUnusedDirectivesFlag checks that the stale-suppression audit is on
+// by default and that -unused-directives=false switches it off.
+func TestUnusedDirectivesFlag(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":              demoGoMod,
+		"internal/sim/sim.go": staleSim,
+	})
+	var buf bytes.Buffer
+	if code := run([]string{"-C", root, "./..."}, &buf); code != 1 {
+		t.Fatalf("run on stale-directive module = %d, want 1\n%s", code, buf.String())
+	}
+	want := "internal/sim/sim.go:4:2: [U001]"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("output missing %q:\n%s", want, buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-C", root, "-unused-directives=false", "./..."}, &buf); code != 0 {
+		t.Fatalf("run with -unused-directives=false = %d, want 0\n%s", code, buf.String())
 	}
 }
 

@@ -88,8 +88,10 @@ func fioSetup(opts Options) func(vm *kvm.VM) error {
 // does a burst of work on each expiry — the soft-timer-driven idle pattern
 // whose wakeup-timer management §5.2.4/§5.2.5 optimize.
 type timerAppProgram struct {
-	iters    int
+	iters int
+	//snap:skip immutable program parameter from the scenario
 	interval sim.Time
+	//snap:skip immutable program parameter from the scenario
 	work     sim.Time
 	sleeping bool
 }
@@ -300,6 +302,7 @@ func RunHaltPollAblation(opts Options) (*AblationResult, error) {
 
 // spinLockProgram loops: compute, then a contended critical section.
 type spinLockProgram struct {
+	//snap:skip shared-object wiring, re-bound when the program is rebuilt
 	lock  *guest.Lock
 	iters int
 	phase int

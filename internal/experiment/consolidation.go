@@ -123,8 +123,8 @@ func RunConsolidation(opts Options) (*ConsolidationResult, error) {
 }
 
 func runConsolidationMode(opts Options, mode core.Mode, dur sim.Time, a *arena) (ConsolidationRow, error) {
-	sr, err := runScenario(consolidationScenario(opts, mode, dur), opts.Seed, opts.Meter, a)
-	if err != nil {
+	sr := a.resultScratch()
+	if err := runScenarioInto(consolidationScenario(opts, mode, dur), opts.Seed, opts.Meter, a, sr); err != nil {
 		return ConsolidationRow{}, err
 	}
 	row := ConsolidationRow{Mode: mode}

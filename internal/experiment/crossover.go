@@ -67,8 +67,11 @@ func delayLineProfile(latency sim.Time) iodev.Profile {
 // idleCycleProgram alternates a short busy phase with a blocking wait of
 // the controlled idle period.
 type idleCycleProgram struct {
-	dev   *iodev.Device
-	busy  sim.Time
+	//snap:skip device wiring, re-bound when the program is rebuilt
+	dev *iodev.Device
+	//snap:skip immutable program parameter from the scenario
+	busy sim.Time
+	//snap:skip fixed at construction from the scenario duration
 	until sim.Time
 	inIO  bool
 }

@@ -135,9 +135,9 @@ func RunOvercommit(opts Options) (*OvercommitResult, error) {
 	cells, err := runParallel(opts, len(keys),
 		func(i int, a *arena) (OvercommitCell, error) {
 			k := keys[i]
-			sr, err := runScenario(overcommitScenario(opts, k.ratio, k.mode, k.policy, dur),
-				opts.Seed, opts.Meter, a)
-			if err != nil {
+			sr := a.resultScratch()
+			if err := runScenarioInto(overcommitScenario(opts, k.ratio, k.mode, k.policy, dur),
+				opts.Seed, opts.Meter, a, sr); err != nil {
 				return OvercommitCell{}, err
 			}
 			sync := &sr.Results[0].Counters

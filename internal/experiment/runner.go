@@ -142,6 +142,20 @@ type arena struct {
 	// pooled VMs, which is why the arena no longer carries a separate
 	// wheel pool).
 	hosts kvm.HostArena
+	// res is the worker's reusable result storage: runScenarioInto refills
+	// it in place each run, so harvesting a sweep's counters allocates
+	// nothing. Valid only until the worker's next run.
+	res ScenarioResult
+}
+
+// resultScratch returns the arena's reusable ScenarioResult — overwritten
+// by the next run through the same arena, so callers must copy out what
+// they keep. A nil arena (one-off runs) allocates fresh storage.
+func (a *arena) resultScratch() *ScenarioResult {
+	if a == nil {
+		return &ScenarioResult{}
+	}
+	return &a.res
 }
 
 // hostArena exposes the arena's host pool (nil arena → nil pool, meaning
@@ -279,9 +293,19 @@ type Session struct {
 func NewSession() *Session { return &Session{} }
 
 // RunScenario executes the scenario through the session's arena, recording
-// telemetry into m when non-nil.
+// telemetry into m when non-nil. The returned result is freshly allocated
+// and stays valid across later runs; callers harvesting results every run
+// should prefer RunScenarioInto.
 func (s *Session) RunScenario(sc Scenario, seed uint64, m *metrics.Meter) (*ScenarioResult, error) {
 	return runScenario(sc, seed, m, &s.a)
+}
+
+// RunScenarioInto is RunScenario writing per-VM results into caller-owned
+// storage: out's Results slice is refilled in place, so a steady-state
+// caller reusing one ScenarioResult across runs pays no per-run result
+// allocation.
+func (s *Session) RunScenarioInto(sc Scenario, seed uint64, m *metrics.Meter, out *ScenarioResult) error {
+	return runScenarioInto(sc, seed, m, &s.a, out)
 }
 
 // Validate checks the options.
@@ -391,11 +415,11 @@ func run(spec Spec, seed uint64, m *metrics.Meter, a *arena) (metrics.Result, er
 	if spec.VCPUs <= 0 {
 		return metrics.Result{}, fmt.Errorf("experiment %s: need vCPUs", spec.Name)
 	}
-	res, err := runScenario(spec.scenario(), seed, m, a)
-	if err != nil {
+	sr := a.resultScratch()
+	if err := runScenarioInto(spec.scenario(), seed, m, a, sr); err != nil {
 		return metrics.Result{}, err
 	}
-	return res.Results[0], nil
+	return sr.Results[0], nil
 }
 
 // CompareModes runs the spec under the dynticks baseline and paratick and

@@ -153,15 +153,26 @@ func RunScenario(s Scenario, seed uint64) (*ScenarioResult, error) {
 // runScenario is RunScenario with telemetry and an optional worker arena
 // supplying the reused engine.
 func runScenario(s Scenario, seed uint64, m *metrics.Meter, a *arena) (*ScenarioResult, error) {
+	out := &ScenarioResult{}
+	if err := runScenarioInto(s, seed, m, a, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runScenarioInto is runScenario writing per-VM results into caller-owned
+// storage; the experiment runners pass their worker arena's scratch result
+// so a steady-state sweep allocates nothing per run.
+func runScenarioInto(s Scenario, seed uint64, m *metrics.Meter, a *arena, out *ScenarioResult) error {
 	w, err := buildWorld(s, seed, a)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	w, err = w.run(m)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return w.finish()
+	return w.finishInto(out)
 }
 
 // world is one fully constructed scenario instance: the engine, host, and
@@ -522,22 +533,37 @@ func (w *world) verifyRoundTrip() (*world, error) {
 // task pools attached) stay with the host, which recycles them through the
 // VM arena on its next reset; a fresh-built world is simply garbage.
 func (w *world) finish() (*ScenarioResult, error) {
+	out := &ScenarioResult{}
+	if err := w.finishInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// finishInto is finish writing into caller-owned storage: out's Results
+// slice is truncated and refilled in place (growing its backing array only
+// when the fleet outgrows it), so a caller harvesting results every run —
+// a runParallel worker, a Session — pays no per-run allocation.
+func (w *world) finishInto(out *ScenarioResult) error {
 	if w.scenario.Duration == 0 {
 		for i, vs := range w.scenario.VMs {
 			if !vs.Workload {
 				continue
 			}
 			if done, _ := w.vms[i].WorkloadDone(); !done {
-				return nil, fmt.Errorf("experiment %s: workload did not finish within %v (live tasks %d)",
+				return fmt.Errorf("experiment %s: workload did not finish within %v (live tasks %d)",
 					w.scenario.Name, w.deadline(), w.vms[i].Kernel().LiveTasks())
 			}
 		}
 	}
-	out := &ScenarioResult{Events: w.se.Fired(), Results: make([]metrics.Result, 0, len(w.vms))}
-	for i, vm := range w.vms {
-		res := vm.Result(w.scenario.VMs[i].Name)
-		res.Events = out.Events
-		out.Results = append(out.Results, res)
+	out.Events = w.se.Fired()
+	if cap(out.Results) < len(w.vms) {
+		out.Results = make([]metrics.Result, len(w.vms))
 	}
-	return out, nil
+	out.Results = out.Results[:len(w.vms)]
+	for i, vm := range w.vms {
+		vm.ResultInto(&out.Results[i], w.scenario.VMs[i].Name)
+		out.Results[i].Events = out.Events
+	}
+	return nil
 }

@@ -105,8 +105,8 @@ func runTable1Workload(opts Options, mode core.Mode, nVMs int, sync bool, dur si
 		}
 		s.VMs = append(s.VMs, vs)
 	}
-	sr, err := runScenario(s, opts.Seed, opts.Meter, a)
-	if err != nil {
+	sr := a.resultScratch()
+	if err := runScenarioInto(s, opts.Seed, opts.Meter, a, sr); err != nil {
 		return 0, err
 	}
 	var exits uint64

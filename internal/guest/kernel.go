@@ -79,9 +79,13 @@ func (c Config) TickPeriod() sim.Time { return sim.PeriodFromHz(c.TickHz) }
 // tasks, synchronization objects, and attached devices. The hypervisor
 // (internal/kvm) executes the segments its vCPUs emit.
 type Kernel struct {
-	engine   *sim.Engine
-	cost     hw.CostModel
-	cfg      Config
+	//snap:skip engine wiring, bound at construction and never replaced
+	engine *sim.Engine
+	//snap:skip immutable cost model from the scenario configuration
+	cost hw.CostModel
+	//snap:skip immutable guest configuration from the scenario
+	cfg Config
+	//snap:skip aliases the harness-owned counters the kvm layer snapshots
 	counters *metrics.Counters
 	rng      *sim.Rand
 
@@ -98,22 +102,26 @@ type Kernel struct {
 	barriers []*Barrier
 	conds    []*Cond
 
+	//snap:skip derived: recounted as tasks are restored
 	liveTasks int
 	started   bool
 	// OnAllDone fires when the last live task finishes — the workload's
 	// completion instant (the paper's "execution time" metric endpoint).
+	//snap:skip completion callback, rebound by the harness after restore
 	OnAllDone func(now sim.Time)
 
 	// segFree pools Segment objects: every unit of guest execution used to
 	// be a fresh heap literal, which made segment churn the second-largest
 	// allocation source in whole-experiment profiles. Segments cycle
 	// acquire → queue → issue → release (at the vCPU's next fetch).
+	//snap:skip pool of recycled segments, capacity only
 	segFree []*Segment
 
 	// taskFree holds the previous run's Task objects after a Reset, reused
 	// by Spawn in LIFO order. A recycled task keeps its pre-bound callback
 	// closures (they read t.vcpu at call time, so re-homing is safe) and its
 	// Rand object (reseeded via ForkInto at the identical draw point).
+	//snap:skip pool of recycled tasks, capacity only
 	taskFree []*Task
 
 	// lockPool, barrierPool and condPool hold the previous run's
@@ -123,9 +131,12 @@ type Kernel struct {
 	// sync objects in the same order with the same names, so in steady
 	// state every constructor call is a pool hit that keeps the precomputed
 	// blockReason string.
-	lockPool    []*Lock
+	//snap:skip pool of recycled sync objects, capacity only
+	lockPool []*Lock
+	//snap:skip pool of recycled sync objects, capacity only
 	barrierPool []*Barrier
-	condPool    []*Cond
+	//snap:skip pool of recycled sync objects, capacity only
+	condPool []*Cond
 }
 
 // segSlab is how many segments are allocated at once when the pool runs

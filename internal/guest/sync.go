@@ -8,14 +8,17 @@ package guest
 
 // Lock is a guest-level blocking mutex with direct handoff.
 type Lock struct {
+	//snap:skip back-pointer wiring, bound when the kernel registers the lock
 	kernel *Kernel
 	// id is the lock's ordinal in the kernel's creation-order registry,
 	// the stable identity used by checkpoints.
-	id   int
+	id int
+	//snap:skip immutable diagnostic label from deterministic construction
 	name string
 	// blockReason is the precomputed BlockReason string for waiters;
 	// building "lock:"+name per contended acquisition allocated on a hot
 	// path.
+	//snap:skip cache: precomputed from name at construction
 	blockReason string
 	holder      *Task
 	waiters     []*Task
@@ -103,17 +106,22 @@ func (l *Lock) release(t *Task) *Task {
 // all of them at once (the last arrival does not block). This reproduces
 // the phase synchronization of data-parallel PARSEC workloads.
 type Barrier struct {
-	kernel  *Kernel
-	id      int // creation-order registry ordinal (checkpoint identity)
+	//snap:skip back-pointer wiring, bound when the kernel registers the barrier
+	kernel *Kernel
+	//snap:skip identity is implicit in the registry's save order
+	id int // creation-order registry ordinal (checkpoint identity)
+	//snap:skip immutable diagnostic label from deterministic construction
 	name    string
 	parties int
 	// blockReason is the precomputed BlockReason string for waiters.
+	//snap:skip cache: precomputed from name at construction
 	blockReason string
 	waiting     []*Task
 	// spare is the previous cycle's waiting buffer, recycled so each release
 	// does not abandon the array. Safe because the returned toWake slice is
 	// consumed synchronously (the caller wakes every task before any of them
 	// can re-arrive).
+	//snap:skip pool: recycled waiter buffer, capacity only
 	spare []*Task
 
 	cycles uint64
@@ -186,9 +194,13 @@ func (b *Barrier) detach() (toWake []*Task) {
 // the primitive behind the producer/consumer queues of the pipeline PARSEC
 // workloads (dedup, ferret) whose blocking behaviour §3.2 analyzes.
 type Cond struct {
-	kernel      *Kernel
-	id          int // creation-order registry ordinal (checkpoint identity)
-	name        string
+	//snap:skip back-pointer wiring, bound when the kernel registers the cond
+	kernel *Kernel
+	//snap:skip identity is implicit in the registry's save order
+	id int // creation-order registry ordinal (checkpoint identity)
+	//snap:skip immutable diagnostic label from deterministic construction
+	name string
+	//snap:skip cache: precomputed from name at construction
 	blockReason string
 	lock        *Lock
 	waiters     []*Task

@@ -156,6 +156,7 @@ func (Stateless) LoadState(*snap.Decoder) error { return nil }
 // stepsProgram replays a fixed step sequence, then Done. Its only mutable
 // state is the replay cursor.
 type stepsProgram struct {
+	//snap:skip immutable step sequence from the scenario definition
 	steps []Step
 	i     int
 }
@@ -217,9 +218,10 @@ func (s TaskState) String() string {
 
 // Task is one schedulable guest thread.
 type Task struct {
-	ID    int
-	Name  string
-	prog  Program
+	ID   int
+	Name string
+	prog Program
+	//snap:skip re-homed by vCPU run-queue membership, which is saved
 	vcpu  *VCPU
 	state TaskState
 	rng   *sim.Rand
@@ -234,7 +236,9 @@ type Task struct {
 
 	// runDoneFn and sleepFireFn are pre-bound in Spawn so the run-segment
 	// and sleep paths never allocate a closure per event.
-	runDoneFn   func()
+	//snap:skip pre-bound closure, recreated by Spawn on restore
+	runDoneFn func()
+	//snap:skip pre-bound closure, recreated by Spawn on restore
 	sleepFireFn func(sim.Time)
 
 	startedAt  sim.Time

@@ -13,13 +13,18 @@ import (
 // the per-CPU timer wheel, and the tick-policy instance, and it emits the
 // segment stream the hypervisor executes. It implements core.GuestVCPU.
 type VCPU struct {
+	//snap:skip back-pointer wiring, bound at attach time
+	//reset:keep back-pointer bound at attach time, stable across reuse
 	kernel *Kernel
+	//snap:skip identity is implicit in the kernel's save order
+	//reset:keep stable slot ordinal; vCPUs are recycled in attach order
 	id     int
 	policy core.TickPolicy
 
 	// policyCache keeps one policy instance per mode so a pooled vCPU can
 	// switch modes across runs without allocating; reset() installs (and
 	// zeroes) the cached instance for the kernel's current mode.
+	//snap:skip pool of per-mode policy instances; live policy state is saved
 	policyCache [3]core.TickPolicy
 
 	queue   []*Segment
@@ -48,6 +53,7 @@ type VCPU struct {
 
 	// emit, when non-nil, redirects queued segments (used to order
 	// interrupt-handler segments ahead of preempted work).
+	//snap:skip transient redirect, nil outside a collect call (never set at a barrier)
 	emit *[]*Segment
 
 	// issued is the segment most recently handed to the hypervisor; it is
@@ -59,10 +65,12 @@ type VCPU struct {
 	// irqScratch is collect's reusable buffer for interrupt-handler
 	// segments; its contents are copied into the queue before the next
 	// collect call.
+	//snap:skip scratch buffer, empty between collect calls
 	irqScratch []*Segment
 
 	// stepCtx is the reusable context handed to task programs; programs
 	// read it during Next and must not retain it.
+	//snap:skip scratch: rebuilt for every program step
 	stepCtx StepCtx
 }
 

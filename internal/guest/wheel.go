@@ -30,6 +30,7 @@ type SoftTimer struct {
 	// jiffy boundary at or after the deadline (timer-wheel granularity).
 	Deadline sim.Time
 	// Fire runs when the timer expires.
+	//snap:skip closure, re-bound by the timer's owner on restore
 	Fire func(now sim.Time)
 
 	// fireJiff is the effective fire jiffy, fixed at Add time: the deadline
@@ -43,9 +44,12 @@ type SoftTimer struct {
 	// (Deadline, seq) order.
 	seq uint64
 
+	//snap:skip wheel placement, recomputed when the timer is re-added on load
 	level, slot int
-	index       int // position within the bucket (or overflow list) while queued
-	queued      bool
+	//snap:skip wheel placement, recomputed when the timer is re-added on load
+	index int // position within the bucket (or overflow list) while queued
+	//snap:skip wheel placement, recomputed when the timer is re-added on load
+	queued bool
 }
 
 // Pending reports whether the timer is queued in a wheel.
@@ -75,22 +79,29 @@ func (t *SoftTimer) Pending() bool { return t != nil && t.queued }
 // reaches them; this keeps the per-level invariant exact (every in-wheel
 // timer's fire jiffy falls inside its bucket's current-lap span).
 type TimerWheel struct {
-	jiffy   sim.Time
+	jiffy sim.Time
+	//snap:skip derived from jiffy at construction
 	maxJiff int64 // sim.Forever / jiffy: fire jiffies at or past this mean "never"
 	curJiff int64 // jiffies fully processed
+	//snap:skip derived population, rebuilt as timers are re-added on load
 	buckets [wheelLevels][wheelSlots][]*SoftTimer
-	occ     [wheelLevels]uint64 // bit s set iff buckets[level][s] is non-empty
+	//snap:skip derived population, rebuilt as timers are re-added on load
+	occ [wheelLevels]uint64 // bit s set iff buckets[level][s] is non-empty
 	// overflow holds timers beyond the top level's reach, unordered, with
 	// index-swap removal like a bucket. It is empty in steady state.
+	//snap:skip derived population, rebuilt as timers are re-added on load
 	overflow []*SoftTimer
-	count    int
-	seq      uint64
+	//snap:skip derived population, rebuilt as timers are re-added on load
+	count int
+	seq   uint64
 
 	// nextJiff caches the earliest pending fire jiffy; nextOK marks it
 	// valid. Invalidated when the holder of the minimum is canceled or
 	// fires; recomputed from the bitmaps, never by a full scan.
+	//snap:skip cache, recomputed from the occupancy bitmaps
 	nextJiff int64
-	nextOK   bool
+	//snap:skip cache, recomputed from the occupancy bitmaps
+	nextOK bool
 }
 
 // NewTimerWheel creates a wheel with the given jiffy duration.

@@ -14,10 +14,17 @@ import (
 // TSC_DEADLINE MSR; writing a deadline in the past fires immediately
 // (scheduled at "now"); Cancel disarms it.
 type DeadlineTimer struct {
-	name     string
-	label    string // precomputed event label; arming is a hot path
-	engine   *sim.Engine
-	fire     func(now sim.Time)
+	//reset:keep diagnostic name fixed at construction, stable across reuse
+	name string
+	//snap:skip cache: label precomputed from name at construction
+	//reset:keep cache: precomputed from name, which also survives reuse
+	label string // precomputed event label; arming is a hot path
+	//snap:skip engine wiring; Reset rebinds it when the owner moves lanes
+	engine *sim.Engine
+	//snap:skip pre-bound closure, recreated at construction
+	//reset:keep pre-bound expiry closure, identical across reuses
+	fire func(now sim.Time)
+	//snap:skip pre-bound handler wrapping fire, recreated at construction
 	handler  sim.Handler // pre-bound expiry handler; arming must not allocate
 	ev       sim.Event
 	deadline sim.Time
@@ -148,11 +155,17 @@ func (t *DeadlineTimer) Load(dec *snap.Decoder) error {
 // offset staggers ticks across physical CPUs the way real LAPIC calibration
 // does, preventing the model from firing every host tick in lockstep.
 type PeriodicTimer struct {
-	name    string
-	label   string
-	engine  *sim.Engine
-	period  sim.Time
-	fire    func(now sim.Time)
+	name string
+	//snap:skip cache: label precomputed from name at construction
+	label string
+	//snap:skip engine wiring; Reset rebinds it when the owner moves lanes
+	engine *sim.Engine
+	//reset:keep tick rate fixed at construction; the host pool only reuses on a matching HostHz
+	period sim.Time
+	//snap:skip pre-bound closure, recreated at construction
+	//reset:keep pre-bound tick closure, identical across reuses
+	fire func(now sim.Time)
+	//snap:skip pre-bound handler wrapping fire, recreated at construction
 	handler sim.Handler // pre-bound tick handler; rescheduling must not allocate
 	ev      sim.Event
 	ticks   uint64

@@ -122,21 +122,28 @@ func (r *Request) Done() bool { return r.done }
 // announced through the OnComplete callback (wired to the hypervisor's
 // interrupt-raising path) and held until the guest drains them.
 type Device struct {
-	name    string
+	name string
+	//snap:skip cache: label precomputed from name at construction
 	ioLabel string // precomputed completion-event label; submit is a hot path
-	engine  *sim.Engine
-	rng     *sim.Rand
+	//snap:skip engine wiring, bound at construction
+	engine *sim.Engine
+	rng    *sim.Rand
+	//snap:skip deliberately unsnapshotted: forked arms re-apply SetProfile after restore
 	profile Profile
-	vector  hw.Vector
+	//snap:skip immutable interrupt vector from device construction
+	vector hw.Vector
 
 	// OnComplete is invoked at completion time, before the request is
 	// queued for draining (per-request observation; tests and metrics).
+	//snap:skip observer callback, rewired by the harness after restore
 	OnComplete func(req *Request)
 	// OnInterrupt raises the completion interrupt toward the given vCPU.
 	// With coalescing enabled it fires once per batch rather than once per
 	// request. The hypervisor wires this to its interrupt-injection path.
+	//snap:skip injection wiring, rebound by the hypervisor at attach time
 	OnInterrupt func(vcpu int)
 
+	//snap:skip derived: recounted as in-service requests are restored
 	inflight  int
 	running   []*Request // in service, submission order; each carries its completion event
 	waiting   []*Request

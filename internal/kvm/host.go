@@ -82,8 +82,10 @@ func (c Config) HostTickPeriod() sim.Time { return sim.PeriodFromHz(c.HostHz) }
 
 // Host is the hypervisor instance.
 type Host struct {
-	se    *sim.ShardedEngine
-	cfg   Config
+	se *sim.ShardedEngine
+	//snap:skip immutable host configuration from the scenario
+	cfg Config
+	//snap:skip immutable cost model from the scenario
 	cost  hw.CostModel
 	pcpus []*PCPU
 	vms   []*VM
@@ -98,6 +100,7 @@ type Host struct {
 	// Host.reset stashes the finished run's VMs there and NewVM re-acquires
 	// them by (vCPU count, guest Hz). Only HostArena-managed hosts carry
 	// one; a nil arena always builds VMs fresh.
+	//snap:skip pool of stashed VMs between runs, never live state
 	vmArena *VMArena
 
 	// tracer, when set, records exits/injections (perf-style; see

@@ -16,15 +16,21 @@ type guestSegment = guest.Segment
 // host scheduler tick, and executes the current vCPU's segment stream,
 // charging exit costs as they occur.
 type PCPU struct {
+	//snap:skip back-pointer wiring, bound at host construction
+	//reset:keep back-pointer to the owning host, wired once at construction
 	host *Host
-	id   hw.CPUID
+	//reset:keep identity fixed at construction; the pooled host keeps its pCPU set
+	id hw.CPUID
 	// engine is the pCPU's lane engine (its socket's shard); every event
 	// this pCPU schedules and every random draw it makes goes through its
 	// lane, which is what keeps shard execution race-free and the outcome
 	// independent of the shard count.
+	//snap:skip lane-engine wiring, re-derived from the topology at construction
 	engine *sim.Engine
-	lane   int
-	tick   *hw.PeriodicTimer
+	//snap:skip lane index, re-derived from the topology at construction
+	//reset:keep lane index fixed by the topology, which the host pool keys on
+	lane int
+	tick *hw.PeriodicTimer
 
 	current *VCPU
 
@@ -50,12 +56,18 @@ type PCPU struct {
 	// exec/exit/halt/wake paths schedule millions of events per run, and a
 	// closure literal at each schedule site was the dominant allocation in
 	// the whole experiment layer.
-	runDoneFn  sim.Handler
+	//snap:skip pre-bound handler, recreated by bindHandlers
+	runDoneFn sim.Handler
+	//snap:skip pre-bound handler, recreated by bindHandlers
 	exitDoneFn sim.Handler
-	hltDoneFn  sim.Handler
+	//snap:skip pre-bound handler, recreated by bindHandlers
+	hltDoneFn sim.Handler
+	//snap:skip pre-bound handler, recreated by bindHandlers
 	pollDoneFn sim.Handler
-	wakeupFn   sim.Handler
-	irqDoneFn  sim.Handler
+	//snap:skip pre-bound handler, recreated by bindHandlers
+	wakeupFn sim.Handler
+	//snap:skip pre-bound handler, recreated by bindHandlers
+	irqDoneFn sim.Handler
 }
 
 // bindHandlers installs the pCPU's pre-bound event handlers. Called once at

@@ -95,14 +95,20 @@ func (h *Host) dropInflight(lane int, r *remoteIRQ) {
 // posts a remote IRQ from src's lane to dst's vCPU, modeling a vhost-style
 // notification stream between VMs on different sockets.
 type ipiStream struct {
-	host     *Host
+	//snap:skip back-pointer wiring, bound when the stream is installed
+	host *Host
+	//snap:skip stream endpoints are scenario config, re-installed before restore
 	src, dst *VM
-	vcpu     int
-	period   sim.Time
-	latency  sim.Time
-	sent     uint64
-	ev       sim.Event
-	fn       sim.Handler
+	//snap:skip immutable stream parameter from the scenario
+	vcpu int
+	//snap:skip immutable stream parameter from the scenario
+	period sim.Time
+	//snap:skip immutable stream parameter from the scenario
+	latency sim.Time
+	sent    uint64
+	ev      sim.Event
+	//snap:skip pre-bound handler, recreated when the stream is installed
+	fn sim.Handler
 }
 
 // AddIPIStream installs a periodic cross-VM interrupt stream, first

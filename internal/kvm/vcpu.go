@@ -37,8 +37,13 @@ func (s VCPUState) String() string {
 // kvm_vcpu. The lastVirtualTick field is the last_tick the paper adds in
 // §5.1.
 type VCPU struct {
-	vm   *VM
-	id   int
+	//snap:skip back-pointer wiring, bound at VM construction
+	vm *VM
+	//snap:skip identity is implicit in the VM's save order
+	//reset:keep identity fixed at construction; VM reuse keys on the vCPU count
+	id int
+	//snap:skip guest-CPU wiring, re-linked to the kernel's vCPU at construction
+	//reset:keep wiring to the recycled kernel's vCPU, which stays attached across reuse
 	gcpu guestCPU
 	pcpu *PCPU
 
@@ -47,6 +52,7 @@ type VCPU struct {
 	// pendingSpare is the drained pending buffer awaiting reuse: the
 	// injection path double-buffers so draining never reallocates while
 	// delivery handlers pend fresh interrupts.
+	//snap:skip pool: drained double-buffer, capacity only
 	pendingSpare []pendingIRQ
 
 	// node is the scheduling layer's per-entity state; its Key is this
@@ -62,7 +68,6 @@ type VCPU struct {
 
 	lastVirtualTick sim.Time
 	sliceStart      sim.Time
-	wakePending     bool // dispatch already scheduled after a wake
 }
 
 // pendingIRQ is one queued interrupt plus the time it was pended, so the
@@ -100,7 +105,6 @@ func (v *VCPU) reset(pcpu *PCPU, key uint64) {
 	v.topUpTimer.Reset(v.vm.engine)
 	v.lastVirtualTick = 0
 	v.sliceStart = 0
-	v.wakePending = false
 }
 
 // ID returns the vCPU index within its VM.

@@ -14,22 +14,29 @@ import (
 // VM is one virtual machine: a guest kernel plus its host-side vCPUs and
 // devices. All of a VM's exits and cycles accumulate in one counter set.
 type VM struct {
+	//snap:skip back-pointer wiring, bound when the host adopts the VM
+	//reset:keep back-pointer bound at construction, stable across arena reuse
 	host *Host
 	name string
 	// engine is the VM's lane engine: with one lane per socket the VM is
 	// contained on one socket and everything it schedules — kernel timers,
 	// device completions, vCPU events — goes through its lane.
-	engine   *sim.Engine
-	lane     int
+	//snap:skip lane-engine wiring, re-derived from placement at construction
+	engine *sim.Engine
+	//snap:skip lane index, re-derived from placement at construction
+	lane int
+	//snap:skip identity is implicit in the host's save order
 	index    int
 	kernel   *guest.Kernel
 	counters *metrics.Counters
 	vcpus    []*VCPU
-	hook     core.EntryHook
+	//snap:skip mode hook, reinstalled by SetTickMode/SetEntryHook after restore
+	hook core.EntryHook
 
 	// defaultHook is the in-place ParatickHost installed for paratick
 	// guests; keeping it a value field lets a pooled VM switch modes across
 	// runs without allocating a hook. SetEntryHook may still override it.
+	//snap:skip value-field hook storage, reinstalled with the mode on restore
 	defaultHook core.ParatickHost
 
 	declaredTickHz int
@@ -39,6 +46,7 @@ type VM struct {
 
 	// OnWorkloadDone fires when the guest's last task completes; the
 	// experiment harness uses it to record wall time and stop the run.
+	//snap:skip completion callback, rebound by the harness after restore
 	OnWorkloadDone func(now sim.Time)
 }
 
@@ -244,14 +252,23 @@ func (vm *VM) GuestTickPeriod() sim.Time {
 // the workload completion time when the workload has finished, otherwise
 // the current time.
 func (vm *VM) Result(workload string) metrics.Result {
+	var out metrics.Result
+	vm.ResultInto(&out, workload)
+	return out
+}
+
+// ResultInto writes the VM's metrics into caller-owned storage, the
+// allocation-free flavor of Result for callers that harvest results every
+// run: every field of *out is overwritten (Events to zero — the engine
+// event count is the run's, not the VM's, so the scenario layer stamps it).
+func (vm *VM) ResultInto(out *metrics.Result, workload string) {
 	wall := vm.host.Now()
 	if vm.workloadDone {
 		wall = vm.doneAt
 	}
-	return metrics.Result{
-		Name:     workload,
-		Mode:     vm.kernel.Config().Mode.String(),
-		Counters: *vm.counters,
-		WallTime: wall,
-	}
+	out.Name = workload
+	out.Mode = vm.kernel.Config().Mode.String()
+	out.Counters = *vm.counters
+	out.WallTime = wall
+	out.Events = 0
 }

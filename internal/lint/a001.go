@@ -38,7 +38,7 @@ var AnalyzerA001 = &Analyzer{
 	Run:  runA001,
 }
 
-func runA001(cfg *Config, pkg *Package) []Diagnostic {
+func runA001(cfg *Config, _ *Facts, pkg *Package) []Diagnostic {
 	annotated := make(map[types.Object]bool)
 	var decls []*ast.FuncDecl
 	for _, f := range pkg.Files {

@@ -30,7 +30,7 @@ var AnalyzerD001 = &Analyzer{
 	Run:  runD001,
 }
 
-func runD001(cfg *Config, pkg *Package) []Diagnostic {
+func runD001(cfg *Config, _ *Facts, pkg *Package) []Diagnostic {
 	if !cfg.isDeterministicPkg(pkg.PkgPath) {
 		return nil
 	}

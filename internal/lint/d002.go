@@ -23,7 +23,7 @@ var randPkgs = map[string]bool{
 	"math/rand/v2": true,
 }
 
-func runD002(cfg *Config, pkg *Package) []Diagnostic {
+func runD002(cfg *Config, _ *Facts, pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -45,7 +45,7 @@ var orderedSinkMethods = map[string]bool{
 	"Enqueue":     true,
 }
 
-func runD003(cfg *Config, pkg *Package) []Diagnostic {
+func runD003(cfg *Config, _ *Facts, pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -15,7 +15,7 @@ var AnalyzerD004 = &Analyzer{
 	Run:  runD004,
 }
 
-func runD004(cfg *Config, pkg *Package) []Diagnostic {
+func runD004(cfg *Config, _ *Facts, pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range pkg.Files {
 		if cfg.concurrencyAllowed(pkg.PkgPath, pkg.fileBase(f.Pos())) {

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// AnalyzerD005 enforces shard isolation. Under the sharded engine, lanes
+// run concurrently within a quantum and may only touch their own engine,
+// mailbox, and RNG; cross-lane effects must travel as sim.Message values
+// through ShardedEngine.Post and drain at the quantum barrier. Code in the
+// lane-dispatch packages (Config.LaneDispatchPkgs) therefore must not call
+// coordinator-only ShardedEngine methods (anything beyond Post and the
+// read-only Quantum) nor reach into ShardedEngine's fields directly —
+// both are only legal in the coordinator files (Config.LaneCoordinatorFiles)
+// that run between quanta, on one goroutine.
+var AnalyzerD005 = &Analyzer{
+	Name: "D005",
+	Doc:  "lane-executed code crosses shard boundaries only via Post/drain",
+	Run:  runD005,
+}
+
+// laneSafeShardedMethods are the ShardedEngine methods a lane may call
+// mid-quantum: Post is the message path, Quantum is an immutable index.
+var laneSafeShardedMethods = map[string]bool{
+	"Post":    true,
+	"Quantum": true,
+}
+
+// isShardedEngine matches (a pointer to) sim.ShardedEngine structurally —
+// by type and package name — so fixture packages declaring their own
+// sim.ShardedEngine exercise the rule without importing the real simulator.
+func isShardedEngine(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ShardedEngine" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+func runD005(cfg *Config, facts *Facts, pkg *Package) []Diagnostic {
+	if !cfg.isLaneDispatchPkg(pkg.PkgPath) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		filename := pkg.position(file.Pos()).Filename
+		if cfg.laneCoordinatorFile(pkg.PkgPath, filepath.Base(filename)) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pkg.Info.Selections[sel]
+			if selection == nil || !isShardedEngine(selection.Recv()) {
+				return true
+			}
+			switch selection.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				if !laneSafeShardedMethods[sel.Sel.Name] {
+					out = append(out, Diagnostic{
+						Pos:  pkg.position(sel.Sel.Pos()),
+						Rule: "D005",
+						Message: fmt.Sprintf(
+							"lane-executed code calls coordinator-only ShardedEngine.%s; cross-lane effects must go through Post and drain at the quantum barrier",
+							sel.Sel.Name),
+					})
+				}
+			case types.FieldVal:
+				// Field access is reserved for the type's own file (its
+				// methods); anywhere else bypasses the message discipline.
+				if tf := facts.Types[namedOf(selection.Recv()).Obj()]; tf == nil || tf.DeclFile != filename {
+					out = append(out, Diagnostic{
+						Pos:  pkg.position(sel.Sel.Pos()),
+						Rule: "D005",
+						Message: fmt.Sprintf(
+							"lane-executed code reaches into ShardedEngine.%s directly; use Post/drain instead of touching another lane's state",
+							sel.Sel.Name),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -58,14 +58,19 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by paratick-vet -list.
 	Doc string
-	// Run reports the rule's findings in pkg. Suppression directives are
-	// applied by RunAnalyzers, not by the rule itself.
-	Run func(cfg *Config, pkg *Package) []Diagnostic
+	// Run reports the rule's findings in pkg. facts is the shared
+	// cross-package type-facts layer built once per RunAnalyzers call.
+	// Suppression directives are applied by RunAnalyzers, not by the rule
+	// itself.
+	Run func(cfg *Config, facts *Facts, pkg *Package) []Diagnostic
 }
 
 // Analyzers returns every registered rule, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{AnalyzerD001, AnalyzerD002, AnalyzerD003, AnalyzerD004, AnalyzerA001}
+	return []*Analyzer{
+		AnalyzerD001, AnalyzerD002, AnalyzerD003, AnalyzerD004, AnalyzerD005,
+		AnalyzerS001, AnalyzerS002, AnalyzerR001, AnalyzerA001, AnalyzerU001,
+	}
 }
 
 // Config scopes the rules to the project layout: which packages carry the
@@ -83,6 +88,25 @@ type Config struct {
 	// multi-case selects: either an import-path prefix ("mod/cmd/") or a
 	// single file ("mod/internal/experiment:runner.go").
 	ConcurrencyAllow []string
+	// SnapshotPkgs are import paths whose struct types carry the snapshot
+	// coverage contract: once any field of a type is encoded by a save
+	// function, S001 requires every field to be encoded or carry a
+	// //snap:skip reason, and S002 requires each Load to mirror its Save.
+	SnapshotPkgs []string
+	// ArenaRoots name the arena take-path entry points for R001, as
+	// "importpath:Type" (every method of Type), "importpath:Type.Method",
+	// or "importpath:Func". Any Reset/reset method statically reachable
+	// from a root puts its receiver type under the reset-coverage contract.
+	ArenaRoots []string
+	// LaneDispatchPkgs are packages whose code executes inside engine
+	// lanes; D005 restricts them to the lane-safe ShardedEngine surface
+	// (Post, Quantum).
+	LaneDispatchPkgs []string
+	// LaneCoordinatorFiles ("importpath:file.go") are files within
+	// lane-dispatch packages sanctioned to use the coordinator-only
+	// ShardedEngine surface: construction, reset, snapshot, and the
+	// barrier-drain plumbing itself.
+	LaneCoordinatorFiles []string
 }
 
 // DefaultConfig returns the paratick project policy for a module rooted at
@@ -106,6 +130,35 @@ func DefaultConfig(modPath string) *Config {
 			// single-threaded by contract.
 			p("internal/sim") + ":shard.go",
 			p("cmd") + "/",
+		},
+		SnapshotPkgs: []string{
+			p("internal/sim"), p("internal/guest"), p("internal/kvm"),
+			p("internal/metrics"), p("internal/trace"), p("internal/sched"),
+			p("internal/hw"), p("internal/iodev"), p("internal/workload"),
+			p("internal/experiment"),
+		},
+		ArenaRoots: []string{
+			// Host/VM pooling: HostArena.NewHostOn → Host.reset → PCPU.reset,
+			// and the VM take path, which runs through Host.NewVM (the arena
+			// itself only stashes) → VM.reset → Kernel.Reset → VCPU.reset.
+			p("internal/kvm") + ":HostArena",
+			p("internal/kvm") + ":VMArena",
+			p("internal/kvm") + ":Host.NewVM",
+			// Timer-wheel recycling: WheelPool.acquire → TimerWheel.Reset.
+			p("internal/guest") + ":WheelPool",
+		},
+		LaneDispatchPkgs: []string{
+			p("internal/sim"), p("internal/guest"), p("internal/kvm"),
+		},
+		LaneCoordinatorFiles: []string{
+			// shard.go defines ShardedEngine and owns the barrier/drain
+			// machinery; the kvm files below run only on the coordinator:
+			// construction, arena reset, checkpoint save/load, and VM wiring.
+			p("internal/sim") + ":shard.go",
+			p("internal/kvm") + ":host.go",
+			p("internal/kvm") + ":arena.go",
+			p("internal/kvm") + ":snapshot.go",
+			p("internal/kvm") + ":vm.go",
 		},
 	}
 }
@@ -148,14 +201,69 @@ func (c *Config) concurrencyAllowed(pkgPath, base string) bool {
 	return false
 }
 
-// RunAnalyzers runs the given rules over every package, drops findings
-// suppressed by a justification directive, and returns the remainder sorted
-// by (file, line, column, rule).
+// isSnapshotPkg reports whether the snapshot coverage contract applies to
+// types declared in pkgPath.
+func (c *Config) isSnapshotPkg(pkgPath string) bool {
+	for _, p := range c.SnapshotPkgs {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// isLaneDispatchPkg reports whether pkgPath holds lane-executed code.
+func (c *Config) isLaneDispatchPkg(pkgPath string) bool {
+	for _, p := range c.LaneDispatchPkgs {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// laneCoordinatorFile reports whether base (a file's base name) in pkgPath
+// is sanctioned to use the coordinator-only ShardedEngine surface.
+func (c *Config) laneCoordinatorFile(pkgPath, base string) bool {
+	for _, entry := range c.LaneCoordinatorFiles {
+		if pkg, file, ok := strings.Cut(entry, ":"); ok && pkg == pkgPath && file == base {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers builds the shared type-facts layer, runs the given rules
+// over every package, drops findings suppressed by a justification
+// directive, and returns the remainder sorted by (file, line, column,
+// rule). When U001 is among the analyzers, a final pass reports every
+// suppression directive that excused nothing (considering only the rules
+// that actually ran, so a -rules subset cannot mark directives stale).
 func RunAnalyzers(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := BuildFacts(pkgs)
+	auditUnused := false
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.Name == "U001" {
+			auditUnused = true
+		} else {
+			ran[a.Name] = true
+		}
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
+		pkg.ensureDirectives()
 		for _, a := range analyzers {
-			for _, d := range a.Run(cfg, pkg) {
+			for _, d := range a.Run(cfg, facts, pkg) {
+				if !pkg.suppressed(d.Rule, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	if auditUnused {
+		for _, pkg := range pkgs {
+			for _, d := range unusedDirectiveDiags(facts, pkg, ran) {
 				if !pkg.suppressed(d.Rule, d.Pos) {
 					out = append(out, d)
 				}
@@ -190,9 +298,22 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	// directives maps filename → line → rules suppressed there, built
-	// lazily from //lint: comments.
-	directives map[string]map[int][]string
+	// directives maps filename → line → the //lint: directives written
+	// there, built lazily and hit-tracked for the U001 stale-suppression
+	// audit.
+	directives map[string]map[int][]*lineDirective
+}
+
+// lineDirective is one //lint:ignore or //lint:ordered comment.
+type lineDirective struct {
+	// rules the directive names (lint:ordered is shorthand for D003).
+	rules []string
+	// hasReason records whether a justification was given; without one the
+	// directive suppresses nothing.
+	hasReason bool
+	pos       token.Pos
+	// used flips when the directive suppresses a diagnostic.
+	used bool
 }
 
 // fileBase returns the base filename of the file containing pos.
@@ -205,52 +326,69 @@ func (p *Package) position(pos token.Pos) token.Position {
 	return p.Fset.Position(pos)
 }
 
-// suppressed reports whether a justification directive on the diagnostic's
-// line, or the line directly above it, names the rule.
-func (p *Package) suppressed(rule string, pos token.Position) bool {
+// ensureDirectives parses the package's //lint: comments once.
+func (p *Package) ensureDirectives() {
 	if p.directives == nil {
 		p.directives = parseDirectives(p.Fset, p.Files)
 	}
+}
+
+// suppressed reports whether a justification directive on the diagnostic's
+// line, or the line directly above it, names the rule. A directive without
+// a reason suppresses nothing. Matches are recorded for the U001 audit.
+func (p *Package) suppressed(rule string, pos token.Position) bool {
+	p.ensureDirectives()
 	byLine := p.directives[pos.Filename]
+	hit := false
 	for _, l := range []int{pos.Line, pos.Line - 1} {
-		for _, r := range byLine[l] {
-			if r == rule {
-				return true
+		for _, d := range byLine[l] {
+			if !d.hasReason {
+				continue
+			}
+			for _, r := range d.rules {
+				if r == rule {
+					d.used = true
+					hit = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
 }
 
 // parseDirectives scans every comment for //lint:ignore and //lint:ordered
-// justifications. Directives without a reason are ignored: a suppression
-// must say why.
-func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
-	out := make(map[string]map[int][]string)
-	add := func(pos token.Position, rules []string) {
-		byLine := out[pos.Filename]
+// justifications, keeping reasonless directives around (they suppress
+// nothing, but U001 reports them).
+func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]*lineDirective {
+	out := make(map[string]map[int][]*lineDirective)
+	add := func(pos token.Pos, d *lineDirective) {
+		position := fset.Position(pos)
+		byLine := out[position.Filename]
 		if byLine == nil {
-			byLine = make(map[int][]string)
-			out[pos.Filename] = byLine
+			byLine = make(map[int][]*lineDirective)
+			out[position.Filename] = byLine
 		}
-		byLine[pos.Line] = append(byLine[pos.Line], rules...)
+		d.pos = pos
+		byLine[position.Line] = append(byLine[position.Line], d)
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
-				switch {
-				case strings.HasPrefix(text, "lint:ignore "):
-					fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore "))
-					if len(fields) < 2 {
-						continue // no reason given
+				if rest, ok := strings.CutPrefix(text, "lint:ignore "); ok {
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue // no rule named: not a directive
 					}
-					add(fset.Position(c.Pos()), strings.Split(fields[0], ","))
-				case strings.HasPrefix(text, "lint:ordered "):
-					if strings.TrimSpace(strings.TrimPrefix(text, "lint:ordered ")) == "" {
-						continue
-					}
-					add(fset.Position(c.Pos()), []string{"D003"})
+					add(c.Pos(), &lineDirective{
+						rules:     strings.Split(fields[0], ","),
+						hasReason: len(fields) >= 2,
+					})
+				} else if rest, ok := strings.CutPrefix(text, "lint:ordered"); ok && (rest == "" || strings.HasPrefix(rest, " ")) {
+					add(c.Pos(), &lineDirective{
+						rules:     []string{"D003"},
+						hasReason: strings.TrimSpace(rest) != "",
+					})
 				}
 			}
 		}

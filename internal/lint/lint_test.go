@@ -15,10 +15,18 @@ type diagAt struct {
 }
 
 // fixtureConfig scopes the rules to the fixture import paths: the d001
-// fixture package is "deterministic", nothing is on the concurrency
-// allowlist.
+// fixture package is "deterministic", the s001/s002/unused fixtures carry
+// the snapshot contract, the r001/unused fixtures are arena-recycled
+// through their Pool, and the d005 fixture is lane-dispatch code with
+// coord.go as its only coordinator file.
 func fixtureConfig() *Config {
-	return &Config{DeterministicPkgs: []string{"fixture/d001"}}
+	return &Config{
+		DeterministicPkgs:    []string{"fixture/d001"},
+		SnapshotPkgs:         []string{"fixture/s001", "fixture/s002", "fixture/unused"},
+		ArenaRoots:           []string{"fixture/r001:Pool", "fixture/unused:Pool"},
+		LaneDispatchPkgs:     []string{"fixture/d005"},
+		LaneCoordinatorFiles: []string{"fixture/d005:coord.go"},
+	}
 }
 
 // TestAnalyzerFixtures drives every rule over its positive (fires) and
@@ -36,33 +44,59 @@ func TestAnalyzerFixtures(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := []struct {
-		rule     string
-		analyzer *Analyzer
-		want     []diagAt
+		rule      string
+		analyzers []*Analyzer
+		want      []diagAt
 	}{
-		{"d001", AnalyzerD001, []diagAt{
+		{"d001", []*Analyzer{AnalyzerD001}, []diagAt{
 			{"pos.go", 7, 7, "D001"}, // time.Now
 			{"pos.go", 8, 2, "D001"}, // time.Sleep
 		}},
-		{"d002", AnalyzerD002, []diagAt{
+		{"d002", []*Analyzer{AnalyzerD002}, []diagAt{
 			{"pos.go", 7, 2, "D002"}, // rand.Seed
 			{"pos.go", 8, 9, "D002"}, // rand.Intn
 		}},
-		{"d003", AnalyzerD003, []diagAt{
+		{"d003", []*Analyzer{AnalyzerD003}, []diagAt{
 			{"pos.go", 11, 2, "D003"}, // range feeding fmt.Println
 			{"pos.go", 20, 2, "D003"}, // range accumulating floats
 			{"pos.go", 30, 2, "D003"}, // range feeding a snapshot encoder
 		}},
-		{"d004", AnalyzerD004, []diagAt{
+		{"d004", []*Analyzer{AnalyzerD004}, []diagAt{
 			{"pos.go", 5, 2, "D004"}, // go statement
 			{"pos.go", 6, 2, "D004"}, // two-case select
 		}},
-		{"a001", AnalyzerA001, []diagAt{
+		{"d005", []*Analyzer{AnalyzerD005}, []diagAt{
+			{"pos.go", 6, 4, "D005"}, // coordinator-only Drain call
+			{"pos.go", 7, 4, "D005"}, // direct field access
+		}},
+		{"a001", []*Analyzer{AnalyzerA001}, []diagAt{
 			{"pos.go", 9, 9, "A001"},  // append without cap evidence
 			{"pos.go", 11, 2, "A001"}, // fmt.Println
 			{"pos.go", 12, 7, "A001"}, // map literal
 			{"pos.go", 13, 2, "A001"}, // unannotated callee
 			{"pos.go", 23, 7, "A001"}, // int boxed into any
+		}},
+		{"s001", []*Analyzer{AnalyzerS001}, []diagAt{
+			{"pos.go", 11, 2, "S001"}, // dropped: never encoded
+			{"pos.go", 13, 2, "S001"}, // cache: reasonless skip excuses nothing
+		}},
+		{"s002", []*Analyzer{AnalyzerS002}, []diagAt{
+			{"pos.go", 20, 8, "S002"},  // Pair: op 1 transposed (b vs a)
+			{"pos.go", 38, 17, "S002"}, // Short: load reads 1 of 2 ops
+			{"pos.go", 57, 15, "S002"}, // Mixed: op 2 reads U32 where save writes U64
+		}},
+		{"r001", []*Analyzer{AnalyzerR001}, []diagAt{
+			{"pos.go", 23, 2, "R001"}, // buf: never reset
+			{"pos.go", 25, 2, "R001"}, // owner: reasonless keep excuses nothing
+		}},
+		{"unused", []*Analyzer{AnalyzerD003, AnalyzerS001, AnalyzerR001, AnalyzerU001}, []diagAt{
+			{"pos.go", 12, 2, "U001"}, // stale //lint:ignore on a slice range
+			{"pos.go", 21, 2, "U001"}, // reasonless //lint:ignore
+			{"pos.go", 22, 2, "D003"}, // the map range the bare directive fails to hush
+			{"pos.go", 31, 2, "U001"}, // stale //snap:skip on an encoded field
+			{"pos.go", 44, 2, "U001"}, // reasonless //snap:skip
+			{"pos.go", 45, 2, "S001"}, // entries: the bare skip excuses nothing
+			{"pos.go", 69, 2, "U001"}, // stale //reset:keep on a reset field
 		}},
 	}
 	for _, tc := range cases {
@@ -71,7 +105,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags := RunAnalyzers(fixtureConfig(), []*Package{pkg}, []*Analyzer{tc.analyzer})
+			diags := RunAnalyzers(fixtureConfig(), []*Package{pkg}, tc.analyzers)
 			if len(diags) != len(tc.want) {
 				for _, d := range diags {
 					t.Logf("got: %s", d)

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerR001 enforces reset field coverage for pooled types. Starting
+// from the arena take-path roots (Config.ArenaRoots), the module's static
+// call graph is walked; every Reset/reset method reachable from a root
+// puts its receiver type under the contract: each field must be zeroed,
+// reassigned, or otherwise written somewhere on the reachable reuse path —
+// assignment, ++/--, address-taken, passed to a call, or the base of a
+// method call (v.wheel.Reset() counts for wheel) — or carry a
+// `//reset:keep reason` annotation (construction identity that survives
+// reuse by design: pre-bound closures, back-pointers, pooled storage).
+// A merely-read field does not count: reading stale state is exactly the
+// bug class the digest audits only sample for.
+var AnalyzerR001 = &Analyzer{
+	Name: "R001",
+	Doc:  "every field of an arena-recycled type is reset or carries //reset:keep",
+	Run:  runR001,
+}
+
+// resetFacts is the module-wide arena-reachability walk shared across
+// packages in one run.
+type resetFacts struct {
+	// contract maps each recycled type to the reachable reset method that
+	// put it under contract.
+	contract map[*TypeFact]*FuncFact
+	// covered holds every field written on the reachable reuse path.
+	covered map[*types.Var]bool
+	// wholeAssigned holds types a reachable function assigns wholesale
+	// (*p = T{…}), which covers every field at once.
+	wholeAssigned map[*types.TypeName]bool
+}
+
+// resetCoverage walks the arena call graph once per run.
+func (f *Facts) resetCoverage(cfg *Config) *resetFacts {
+	if f.reset != nil {
+		return f.reset
+	}
+	rf := &resetFacts{
+		contract:      make(map[*TypeFact]*FuncFact),
+		covered:       make(map[*types.Var]bool),
+		wholeAssigned: make(map[*types.TypeName]bool),
+	}
+	// Seed the walk with the configured roots.
+	visited := make(map[*FuncFact]bool)
+	var queue []*FuncFact
+	for _, ff := range f.Funcs {
+		if matchesArenaRoot(cfg, ff) {
+			visited[ff] = true
+			queue = append(queue, ff)
+		}
+	}
+	for len(queue) > 0 {
+		ff := queue[0]
+		queue = queue[1:]
+		ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+			// A function literal is not executed by the function that
+			// declares it: binding `p.doneFn = func() { p.done() }` on the
+			// take path must not pull the whole run path into the walk —
+			// run-path writes happen after take and cannot sanitize the
+			// previous run's state.
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := f.calleeOf(ff.Pkg, call); callee != nil && !visited[callee] {
+				visited[callee] = true
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+	// Reachable Reset/reset methods define the contract set.
+	for ff := range visited {
+		name := ff.Decl.Name.Name
+		if name != "Reset" && name != "reset" {
+			continue
+		}
+		if recv := recvTypeName(ff.Fn); recv != nil {
+			if tf := f.Types[recv]; tf != nil {
+				rf.contract[tf] = ff
+			}
+		}
+	}
+	// Sweep every reachable body for field writes.
+	for ff := range visited {
+		collectResetWrites(ff.Pkg, ff.Decl.Body, rf)
+	}
+	f.reset = rf
+	return rf
+}
+
+// matchesArenaRoot reports whether ff is named by a Config.ArenaRoots entry
+// ("path:Type", "path:Type.Method", or "path:Func").
+func matchesArenaRoot(cfg *Config, ff *FuncFact) bool {
+	fnName := ff.Decl.Name.Name
+	recv := recvTypeName(ff.Fn)
+	for _, entry := range cfg.ArenaRoots {
+		path, name, ok := strings.Cut(entry, ":")
+		if !ok || path != ff.Pkg.PkgPath {
+			continue
+		}
+		if recv != nil {
+			if name == recv.Name() || name == recv.Name()+"."+fnName {
+				return true
+			}
+		} else if name == fnName {
+			return true
+		}
+	}
+	return false
+}
+
+// collectResetWrites records field coverage from one body: assignments,
+// ++/--, address-of, call arguments, and method-call receivers all count
+// as writes (or ownership transfers) on the reuse path.
+func collectResetWrites(pkg *Package, body *ast.BlockStmt, rf *resetFacts) {
+	coverIn := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // deferred to run time, not a take-path write
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if selection := pkg.Info.Selections[sel]; selection != nil && selection.Kind() == types.FieldVal {
+					if v, ok := selection.Obj().(*types.Var); ok {
+						rf.covered[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Writes inside a closure run later (if ever), not on the take
+			// path being swept.
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				coverIn(lhs)
+				// `*p = T{…}` rewrites the whole struct: every field is
+				// covered at once.
+				if star, ok := unparen(lhs).(*ast.StarExpr); ok {
+					if named := namedOf(pkg.Info.Types[star.X].Type); named != nil {
+						rf.wholeAssigned[named.Obj()] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			coverIn(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				coverIn(n.X)
+			}
+		case *ast.CallExpr:
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+				coverIn(sel.X)
+			}
+			for _, arg := range n.Args {
+				coverIn(arg)
+			}
+		}
+		return true
+	})
+}
+
+func runR001(cfg *Config, facts *Facts, pkg *Package) []Diagnostic {
+	rf := facts.resetCoverage(cfg)
+	var out []Diagnostic
+	//lint:ordered RunAnalyzers sorts diagnostics by position before reporting
+	for _, tf := range facts.Types {
+		if tf.Pkg != pkg {
+			continue
+		}
+		resetFn := rf.contract[tf]
+		if resetFn == nil {
+			continue
+		}
+		for _, field := range tf.Fields {
+			if rf.covered[field.Var] || rf.wholeAssigned[tf.Obj] {
+				continue
+			}
+			if d := field.ResetKeep; d != nil && d.Reason != "" {
+				d.used = true
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:  pkg.position(field.Pos),
+				Rule: "R001",
+				Message: fmt.Sprintf(
+					"field %s.%s is not reset on the arena reuse path (recycled via %s.%s) and carries no //reset:keep justification",
+					tf.Obj.Name(), field.Name, tf.Obj.Name(), resetFn.Decl.Name.Name),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerS001 enforces snapshot field coverage. The module's save graph is
+// every function with a *snap.Encoder parameter — Save/save methods, their
+// helpers (saveSharded, saveClock, saveSegment, …), and SaveState
+// implementations. A struct type declared in a snapshot package is under
+// the coverage contract as soon as any of its fields is referenced by the
+// save graph (guest.Kernel.Save encodes Lock/Task/VCPU fields inline, so
+// owning a Save method is not required). Every field of a contract type
+// must then be referenced somewhere in the save graph or carry a
+// `//snap:skip reason` annotation on its declaration — pools, closures,
+// caches, and state re-derived on restore are the sanctioned skips.
+var AnalyzerS001 = &Analyzer{
+	Name: "S001",
+	Doc:  "every field of a snapshotted struct is encoded or carries //snap:skip",
+	Run:  runS001,
+}
+
+// snapFacts is the module-wide save-graph sweep shared by S001 and S002.
+type snapFacts struct {
+	// covered maps a struct field to one save-graph position referencing it.
+	covered map[*types.Var]token.Pos
+	// contract holds every struct type with at least one covered field.
+	contract map[*TypeFact]bool
+}
+
+// snapshotFacts sweeps the save graph once per run.
+func (f *Facts) snapshotFacts(cfg *Config) *snapFacts {
+	if f.snap != nil {
+		return f.snap
+	}
+	sf := &snapFacts{
+		covered:  make(map[*types.Var]token.Pos),
+		contract: make(map[*TypeFact]bool),
+	}
+	for _, ff := range f.Funcs {
+		if paramOfType(ff, "Encoder") == nil {
+			continue
+		}
+		pkg := ff.Pkg
+		ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pkg.Info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if v, ok := selection.Obj().(*types.Var); ok {
+				if _, seen := sf.covered[v]; !seen {
+					sf.covered[v] = sel.Pos()
+				}
+			}
+			return true
+		})
+	}
+	for v := range sf.covered {
+		if field := f.fields[v]; field != nil && cfg.isSnapshotPkg(field.Owner.Pkg.PkgPath) {
+			sf.contract[field.Owner] = true
+		}
+	}
+	f.snap = sf
+	return sf
+}
+
+// paramOfType returns the first parameter of type *snap.<name> (by object,
+// so the function body's uses resolve against it), or nil.
+func paramOfType(ff *FuncFact, name string) *types.Var {
+	params := ff.Decl.Type.Params
+	if params == nil {
+		return nil
+	}
+	for _, field := range params.List {
+		for _, n := range field.Names {
+			if v, ok := ff.Pkg.Info.Defs[n].(*types.Var); ok && isSnapType(v.Type(), name) {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func runS001(cfg *Config, facts *Facts, pkg *Package) []Diagnostic {
+	sf := facts.snapshotFacts(cfg)
+	var out []Diagnostic
+	//lint:ordered RunAnalyzers sorts diagnostics by position before reporting
+	for _, tf := range facts.Types {
+		if tf.Pkg != pkg || !sf.contract[tf] {
+			continue
+		}
+		for _, field := range tf.Fields {
+			if _, ok := sf.covered[field.Var]; ok {
+				continue // encoded (or read) by the save graph
+			}
+			if d := field.SnapSkip; d != nil && d.Reason != "" {
+				d.used = true
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:  pkg.position(field.Pos),
+				Rule: "S001",
+				Message: fmt.Sprintf(
+					"field %s.%s is not encoded by any save function and carries no //snap:skip justification (sanctioned skips: pools, closures, caches, derived state)",
+					tf.Obj.Name(), field.Name),
+			})
+		}
+	}
+	return out
+}

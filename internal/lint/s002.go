@@ -1,0 +1,474 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerS002 enforces Save/Load mirroring. For every save/load pair — a
+// method pair on one type, or a package-level function pair, matched by
+// stripping the save/Save/load/Load prefix (Save↔Load, saveSharded↔
+// loadSharded, SaveState↔LoadState, saveEventCoords↔loadEventCoords) — the
+// two bodies are flattened into statement-order operation sequences:
+// primitive encoder/decoder calls (U8…String, Section with its label) and
+// delegated sub-saves (any call passing the encoder/decoder on, tokenized
+// by receiver and prefix-stripped name). The sequences must agree
+// position by position; where both sides name the concrete field (the
+// encoder argument / the decoder assignment target), the field names must
+// agree too — catching the encode/decode transposition class the snapshot
+// fuzzers currently chase. Flattening deliberately ignores control-flow
+// nesting: a save's `if pending {…}` and its load's early-return shape
+// differ, but their operation orders must not.
+var AnalyzerS002 = &Analyzer{
+	Name: "S002",
+	Doc:  "every Load mirrors its Save's encode order field for field",
+	Run:  runS002,
+}
+
+// snapOp is one element of a flattened save/load operation sequence.
+type snapOp struct {
+	prim bool
+	// name is the primitive kind (U8…String, Section) or the canonical
+	// (prefix-stripped) delegated-call name.
+	name string
+	// recv is the delegated call's receiver text ("" for package-level
+	// functions), or the Section label expression.
+	recv string
+	// hint is the concrete field the op encodes/decodes, when syntactically
+	// evident.
+	hint string
+	pos  ast.Node
+}
+
+// describe renders an op for diagnostics.
+func (op snapOp) describe() string {
+	switch {
+	case op.prim && op.name == "Section":
+		return fmt.Sprintf("Section(%s)", op.recv)
+	case op.prim && op.hint != "":
+		return fmt.Sprintf("%s(.%s)", op.name, op.hint)
+	case op.prim:
+		return op.name
+	case op.recv != "":
+		return op.recv + ".(save|load)" + op.name
+	}
+	return "(save|load)" + op.name
+}
+
+// primKinds are the snap.Encoder/Decoder methods that move data. Err,
+// Bytes, and friends are bookkeeping, not stream operations.
+var primKinds = map[string]bool{
+	"U8": true, "U16": true, "U32": true, "U64": true,
+	"I64": true, "Bool": true, "F64": true, "String": true,
+}
+
+// canonicalSnapName strips the leading save/Save/load/Load, so paired
+// helpers tokenize identically. ok is false when the name has no such
+// prefix (the function then never pairs).
+func canonicalSnapName(name string) (string, bool) {
+	for _, prefix := range []string{"Save", "save", "Load", "load"} {
+		if rest, ok := strings.CutPrefix(name, prefix); ok {
+			return rest, true
+		}
+	}
+	return name, false
+}
+
+func runS002(cfg *Config, facts *Facts, pkg *Package) []Diagnostic {
+	if !cfg.isSnapshotPkg(pkg.PkgPath) {
+		return nil
+	}
+	// Pair save functions with load functions: same receiver type (nil for
+	// package-level functions), same canonical name, and same exportedness —
+	// so an exported wrapper (SaveRequest calling saveRequest) pairs with
+	// its exported counterpart, not with the other side's implementation.
+	type pairKey struct {
+		recv     *types.TypeName
+		canon    string
+		exported bool
+	}
+	saves := make(map[pairKey]*FuncFact)
+	loads := make(map[pairKey]*FuncFact)
+	for _, ff := range facts.Funcs {
+		if ff.Pkg != pkg {
+			continue
+		}
+		name := ff.Decl.Name.Name
+		canon, ok := canonicalSnapName(name)
+		if !ok {
+			continue
+		}
+		key := pairKey{recvTypeName(ff.Fn), canon, ast.IsExported(name)}
+		enc, dec := paramOfType(ff, "Encoder"), paramOfType(ff, "Decoder")
+		var into map[pairKey]*FuncFact
+		switch {
+		case enc != nil && dec == nil:
+			into = saves
+		case dec != nil && enc == nil:
+			into = loads
+		default:
+			continue
+		}
+		// On a (rare) collision keep the lexicographically smaller name, so
+		// the pairing does not depend on map iteration order.
+		if prev := into[key]; prev == nil || name < prev.Decl.Name.Name {
+			into[key] = ff
+		}
+	}
+	var out []Diagnostic
+	for key, saveFn := range saves {
+		loadFn, ok := loads[key]
+		if !ok {
+			continue // loaded inline elsewhere; S001 still covers the fields
+		}
+		saveOps := snapOps(saveFn, paramOfType(saveFn, "Encoder"), false)
+		loadOps := snapOps(loadFn, paramOfType(loadFn, "Decoder"), true)
+		if d, ok := compareSnapSeqs(pkg, saveFn, loadFn, saveOps, loadOps); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// compareSnapSeqs checks one pair's flattened sequences and reports the
+// first divergence.
+func compareSnapSeqs(pkg *Package, saveFn, loadFn *FuncFact, saveOps, loadOps []snapOp) (Diagnostic, bool) {
+	name := loadFn.Decl.Name.Name
+	diag := func(pos ast.Node, format string, args ...any) (Diagnostic, bool) {
+		return Diagnostic{
+			Pos:     pkg.position(pos.Pos()),
+			Rule:    "S002",
+			Message: fmt.Sprintf("%s does not mirror %s: ", name, saveFn.Decl.Name.Name) + fmt.Sprintf(format, args...),
+		}, true
+	}
+	for i := 0; i < len(saveOps) || i < len(loadOps); i++ {
+		if i >= len(loadOps) {
+			return diag(loadFn.Decl.Name,
+				"save writes %d operations, load reads %d; first unmatched save op is %s (%s)",
+				len(saveOps), len(loadOps), saveOps[i].describe(), pkg.position(saveOps[i].pos.Pos()))
+		}
+		if i >= len(saveOps) {
+			return diag(loadOps[i].pos,
+				"load op %d is %s, but save writes only %d operations",
+				i+1, loadOps[i].describe(), len(saveOps))
+		}
+		s, l := saveOps[i], loadOps[i]
+		switch {
+		case s.prim != l.prim, s.prim && s.name != l.name:
+			return diag(l.pos, "op %d: load reads %s where save writes %s (%s)",
+				i+1, l.describe(), s.describe(), pkg.position(s.pos.Pos()))
+		case s.prim && s.name == "Section" && s.recv != l.recv:
+			return diag(l.pos, "op %d: section label %s does not match save's %s", i+1, l.recv, s.recv)
+		case !s.prim && (s.name != l.name || (s.recv != "" && l.recv != "" && s.recv != l.recv)):
+			return diag(l.pos, "op %d: load delegates to %s where save delegates to %s (%s)",
+				i+1, l.describe(), s.describe(), pkg.position(s.pos.Pos()))
+		case s.prim && s.hint != "" && l.hint != "" && s.hint != l.hint:
+			return diag(l.pos, "op %d transposed: load decodes into field %s but save encodes field %s (%s)",
+				i+1, l.hint, s.hint, pkg.position(s.pos.Pos()))
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// snapOps flattens a save/load body into its operation sequence. param is
+// the *snap.Encoder / *snap.Decoder parameter object.
+//
+// Flattening is statement-structured rather than a raw AST walk, because a
+// save and its load rarely share control-flow shape even when their stream
+// layouts agree:
+//
+//   - an if/else or switch runs exactly one branch at runtime, so branch
+//     op-sequences are alternatives: identical-signature branches collapse
+//     to one (an if/else that encodes the same primitive either way), and
+//     divergent branches contribute their longest alternative — a partial
+//     mirror check beats abandoning the pair;
+//   - an if-branch ending in `return` is a guard (`if b == nil {
+//     enc.Bool(false); return }` mirrored by a load's early return); its ops
+//     never precede the code after it, so they are dropped rather than
+//     prepended;
+//   - loop bodies count once — iteration counts are a runtime property the
+//     length prefix already guards.
+func snapOps(ff *FuncFact, param *types.Var, decoder bool) []snapOp {
+	if param == nil {
+		return nil
+	}
+	w := &snapWalker{pkg: ff.Pkg, param: param}
+	if decoder {
+		w.hints = collectDecodeHints(ff.Pkg, ff.Decl.Body)
+	}
+	return w.stmts(ff.Decl.Body.List)
+}
+
+// snapWalker flattens one function body.
+type snapWalker struct {
+	pkg   *Package
+	param *types.Var
+	// hints maps decoder primitive calls to their destination fields
+	// (decoder side only).
+	hints map[*ast.CallExpr]string
+}
+
+func (w *snapWalker) isParam(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && w.pkg.Info.Uses[id] == w.param
+}
+
+// collect extracts ops from a straight-line node (an expression or a
+// non-branching statement) in evaluation order.
+func (w *snapWalker) collect(n ast.Node) []snapOp {
+	if n == nil {
+		return nil
+	}
+	var ops []snapOp
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && w.isParam(sel.X) {
+			switch name := sel.Sel.Name; {
+			case primKinds[name]:
+				op := snapOp{prim: true, name: name, pos: call}
+				if w.hints != nil {
+					op.hint = w.hints[call]
+				} else if len(call.Args) > 0 {
+					op.hint = fieldHint(w.pkg, call.Args[0])
+				}
+				ops = append(ops, op)
+			case name == "Section" && len(call.Args) > 0:
+				ops = append(ops, snapOp{prim: true, name: "Section", recv: exprText(call.Args[0]), pos: call})
+			}
+			return true
+		}
+		// A call passing the encoder/decoder on is a delegated sub-save.
+		for _, arg := range call.Args {
+			if !w.isParam(arg) {
+				continue
+			}
+			op := snapOp{pos: call}
+			switch fun := unparen(call.Fun).(type) {
+			case *ast.Ident:
+				op.name, _ = canonicalSnapName(fun.Name)
+			case *ast.SelectorExpr:
+				op.name, _ = canonicalSnapName(fun.Sel.Name)
+				op.recv = exprText(fun.X)
+			default:
+				op.name = exprText(call.Fun)
+			}
+			ops = append(ops, op)
+			return false // the delegate owns everything beneath
+		}
+		return true
+	})
+	return ops
+}
+
+func (w *snapWalker) stmts(list []ast.Stmt) []snapOp {
+	var ops []snapOp
+	for _, s := range list {
+		ops = append(ops, w.stmt(s)...)
+	}
+	return ops
+}
+
+func (w *snapWalker) optStmt(s ast.Stmt) []snapOp {
+	if s == nil {
+		return nil
+	}
+	return w.stmt(s)
+}
+
+func (w *snapWalker) stmt(s ast.Stmt) []snapOp {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt)
+	case *ast.IfStmt:
+		ops := append(w.optStmt(s.Init), w.collect(s.Cond)...)
+		thenOps := w.stmts(s.Body.List)
+		if terminates(s.Body.List) {
+			thenOps = nil // a guard branch never precedes the code after it
+		}
+		branches := [][]snapOp{thenOps}
+		if s.Else != nil {
+			elseOps := w.stmt(s.Else)
+			if blk, ok := s.Else.(*ast.BlockStmt); ok && terminates(blk.List) {
+				elseOps = nil
+			}
+			branches = append(branches, elseOps)
+		}
+		return append(ops, mergeAlternatives(branches)...)
+	case *ast.SwitchStmt:
+		ops := append(w.optStmt(s.Init), w.collect(s.Tag)...)
+		return append(ops, w.caseAlternatives(s.Body)...)
+	case *ast.TypeSwitchStmt:
+		ops := append(w.optStmt(s.Init), w.optStmt(s.Assign)...)
+		return append(ops, w.caseAlternatives(s.Body)...)
+	case *ast.ForStmt:
+		ops := append(w.optStmt(s.Init), w.collect(s.Cond)...)
+		ops = append(ops, w.stmts(s.Body.List)...)
+		return append(ops, w.optStmt(s.Post)...)
+	case *ast.RangeStmt:
+		return append(w.collect(s.X), w.stmts(s.Body.List)...)
+	case *ast.SelectStmt:
+		var ops []snapOp
+		for _, cc := range s.Body.List {
+			ops = append(ops, w.stmts(cc.(*ast.CommClause).Body)...)
+		}
+		return ops
+	default:
+		return w.collect(s)
+	}
+}
+
+// caseAlternatives flattens a switch body's case clauses as alternatives.
+func (w *snapWalker) caseAlternatives(body *ast.BlockStmt) []snapOp {
+	var branches [][]snapOp
+	for _, cc := range body.List {
+		branches = append(branches, w.stmts(cc.(*ast.CaseClause).Body))
+	}
+	return mergeAlternatives(branches)
+}
+
+// terminates reports whether a statement list ends in a return.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	_, ok := list[len(list)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// mergeAlternatives combines the op sequences of mutually exclusive
+// branches. Identical signatures collapse to one sequence (keeping only the
+// hints all branches agree on); divergent signatures contribute the longest
+// branch, preserving a partial mirror check.
+func mergeAlternatives(branches [][]snapOp) []snapOp {
+	var alive [][]snapOp
+	for _, b := range branches {
+		if len(b) > 0 {
+			alive = append(alive, b)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	merged := append([]snapOp(nil), alive[0]...)
+	same := true
+	for _, b := range alive[1:] {
+		if !sameOpSignature(merged, b) {
+			same = false
+			break
+		}
+	}
+	if same {
+		for i := range merged {
+			for _, b := range alive[1:] {
+				if b[i].hint != merged[i].hint {
+					merged[i].hint = ""
+				}
+			}
+		}
+		return merged
+	}
+	longest := alive[0]
+	for _, b := range alive[1:] {
+		if len(b) > len(longest) {
+			longest = b
+		}
+	}
+	return longest
+}
+
+// sameOpSignature reports whether two op sequences are interchangeable
+// alternatives: same kinds, names, and receivers/labels, hints aside.
+func sameOpSignature(a, b []snapOp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].prim != b[i].prim || a[i].name != b[i].name || a[i].recv != b[i].recv {
+			return false
+		}
+	}
+	return true
+}
+
+// fieldHint extracts the field a save argument encodes: conversions and
+// index expressions are unwrapped until a selector names it.
+func fieldHint(pkg *Package, e ast.Expr) string {
+	for {
+		e = unparen(e)
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			if len(x.Args) == 1 {
+				if tv, ok := pkg.Info.Types[x.Fun]; ok && tv.IsType() {
+					e = x.Args[0]
+					continue
+				}
+			}
+			return ""
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// collectDecodeHints maps decoder primitive calls to the field they decode
+// into, when the call's value flows straight to a field: a direct
+// assignment (v.field = dec.U64(), possibly through a conversion or index)
+// or a composite-literal key (SoftTimer{Deadline: sim.Time(dec.I64())}).
+// Values landing in locals produce no hint, and unhinted ops skip the
+// transposition check.
+func collectDecodeHints(pkg *Package, body *ast.BlockStmt) map[*ast.CallExpr]string {
+	hints := make(map[*ast.CallExpr]string)
+	record := func(target string, value ast.Expr) {
+		if target == "" {
+			return
+		}
+		if call, ok := unwrapConv(pkg, value).(*ast.CallExpr); ok {
+			hints[call] = target
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				record(fieldHint(pkg, lhs), n.Rhs[i])
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok {
+				record(key.Name, n.Value)
+			}
+		}
+		return true
+	})
+	return hints
+}
+
+// unwrapConv strips type conversions (and parentheses) around an
+// expression.
+func unwrapConv(pkg *Package, e ast.Expr) ast.Expr {
+	for {
+		e = unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		tv, ok := pkg.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return e
+		}
+		e = call.Args[0]
+	}
+}

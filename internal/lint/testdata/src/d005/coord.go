@@ -1,0 +1,32 @@
+// Package sim is a fixture double of the simulator: the rule matches
+// ShardedEngine structurally (type name + package name), so the fixture
+// declares its own. This file is on the coordinator allowlist: full
+// access to the engine surface is legal here.
+package sim
+
+// ShardedEngine is the fixture engine.
+type ShardedEngine struct {
+	lanes   []int
+	quantum int
+}
+
+// Post is the lane-safe message path.
+func (e *ShardedEngine) Post(lane int, v int) {
+	e.lanes[lane] += v
+}
+
+// Quantum is the lane-safe read-only index.
+func (e *ShardedEngine) Quantum() int {
+	return e.quantum
+}
+
+// Drain is coordinator-only.
+func (e *ShardedEngine) Drain() {
+	e.quantum++
+}
+
+// coordinatorStep may use the full surface: this file is allowlisted.
+func coordinatorStep(e *ShardedEngine) {
+	e.Drain()
+	e.lanes[0] = 0
+}

@@ -1,0 +1,8 @@
+package sim
+
+// laneStep stays inside the lane-safe surface: Post for cross-lane
+// effects, Quantum for the read-only index. Clean.
+func laneStep(e *ShardedEngine) int {
+	e.Post(1, 7)
+	return e.Quantum()
+}

@@ -1,0 +1,8 @@
+package sim
+
+// laneLeak runs inside a lane but calls a coordinator-only method and
+// reaches into the engine's fields: two findings.
+func laneLeak(e *ShardedEngine) {
+	e.Drain()
+	e.lanes[1] = 7
+}

@@ -1,0 +1,46 @@
+package r001
+
+// Worker's reuse path is clean: n is zeroed by Reset, home carries a
+// justified keep.
+type Worker struct {
+	n int
+	//reset:keep back-pointer to the owning pool, wired once at construction
+	home *Pool
+}
+
+// Reset zeroes the mutable state.
+func (w *Worker) Reset() {
+	w.n = 0
+}
+
+// TakeWorker recycles through Reset: reachable from the Pool root.
+func (p *Pool) TakeWorker(w *Worker) *Worker {
+	w.Reset()
+	return w
+}
+
+// Slot is reset wholesale: *s = Slot{} covers every field at once.
+type Slot struct {
+	tag  string
+	live bool
+}
+
+// Reset rewrites the whole struct.
+func (s *Slot) Reset() {
+	*s = Slot{}
+}
+
+// TakeSlot recycles a Slot.
+func (p *Pool) TakeSlot(s *Slot) *Slot {
+	s.Reset()
+	return s
+}
+
+// Loose has unreset fields but no reachable reset method: not under the
+// contract, so it is legal.
+type Loose struct {
+	stale int
+}
+
+// clear is never called from an arena root.
+func (l *Loose) clear() { l.stale = 0 }

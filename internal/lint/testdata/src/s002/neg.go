@@ -1,0 +1,52 @@
+package s002
+
+import "paratick/internal/snap"
+
+// Tree exercises the control-flow cases the flattener must see through:
+// a nil guard (save writes a presence Bool and returns; load returns
+// early), delegation to a helper pair, and an if/else whose branches
+// encode the same primitive either way. Clean.
+type Tree struct {
+	size  uint64
+	left  *Tree
+	wide  bool
+	extra uint64
+}
+
+// SaveTree writes a presence marker, then the node via a helper.
+func SaveTree(enc *snap.Encoder, t *Tree) {
+	if t == nil {
+		enc.Bool(false)
+		return
+	}
+	enc.Bool(true)
+	saveNode(enc, t)
+}
+
+// LoadTree mirrors SaveTree through the guard.
+func LoadTree(dec *snap.Decoder) *Tree {
+	if !dec.Bool() {
+		return nil
+	}
+	t := &Tree{}
+	loadNode(dec, t)
+	return t
+}
+
+// saveNode encodes size, a same-shape if/else, then recurses.
+func saveNode(enc *snap.Encoder, t *Tree) {
+	enc.U64(t.size)
+	if t.wide {
+		enc.U64(t.extra)
+	} else {
+		enc.U64(0)
+	}
+	SaveTree(enc, t.left)
+}
+
+// loadNode mirrors saveNode without the branch.
+func loadNode(dec *snap.Decoder, t *Tree) {
+	t.size = dec.U64()
+	t.extra = dec.U64()
+	t.left = LoadTree(dec)
+}

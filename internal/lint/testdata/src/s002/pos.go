@@ -1,0 +1,58 @@
+package s002
+
+import "paratick/internal/snap"
+
+// Pair's load decodes b before a while its save encodes a before b: the
+// transposition S002 exists to catch. One finding on the first load op.
+type Pair struct {
+	a uint64
+	b uint64
+}
+
+// Save encodes a then b.
+func (p *Pair) Save(enc *snap.Encoder) {
+	enc.U64(p.a)
+	enc.U64(p.b)
+}
+
+// Load decodes them swapped.
+func (p *Pair) Load(dec *snap.Decoder) {
+	p.b = dec.U64()
+	p.a = dec.U64()
+}
+
+// Short's load reads fewer operations than its save writes: one finding
+// on the load's name.
+type Short struct {
+	x uint32
+	y uint32
+}
+
+// Save writes two words.
+func (s *Short) Save(enc *snap.Encoder) {
+	enc.U32(s.x)
+	enc.U32(s.y)
+}
+
+// Load reads one.
+func (s *Short) Load(dec *snap.Decoder) {
+	s.x = dec.U32()
+}
+
+// Mixed's load reads a different primitive kind at op 2: one finding.
+type Mixed struct {
+	flag bool
+	n    uint64
+}
+
+// Save writes Bool then U64.
+func (m *Mixed) Save(enc *snap.Encoder) {
+	enc.Bool(m.flag)
+	enc.U64(m.n)
+}
+
+// Load reads Bool then U32.
+func (m *Mixed) Load(dec *snap.Decoder) {
+	m.flag = dec.Bool()
+	m.n = uint64(dec.U32())
+}

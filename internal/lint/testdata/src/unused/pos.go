@@ -1,0 +1,76 @@
+package unused
+
+import (
+	"fmt"
+
+	"paratick/internal/snap"
+)
+
+// Stale guards a slice range, which D003 never flags: the directive
+// suppresses nothing. One U001 finding.
+func Stale(s []int) {
+	//lint:ignore D003 fixture: slices iterate in order anyway
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}
+
+// Reasonless fails to suppress the map range (one D003 finding) and the
+// bare directive is dead weight (one U001 finding).
+func Reasonless(m map[string]int) {
+	//lint:ignore D003
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// State's seen field is encoded by Save, so its skip annotation excuses a
+// field S001 already covers: one U001 finding.
+type State struct {
+	value uint64
+	//snap:skip fixture: re-derived on load
+	seen uint64
+}
+
+// Save encodes both fields.
+func (s *State) Save(enc *snap.Encoder) {
+	enc.U64(s.value)
+	enc.U64(s.seen)
+}
+
+// Cache's entries field is uncovered and its skip has no reason: one
+// S001 finding (the bare skip excuses nothing) plus one U001 finding.
+type Cache struct {
+	//snap:skip
+	entries map[string]int
+	hits    uint64
+}
+
+// Save encodes only hits.
+func (c *Cache) Save(enc *snap.Encoder) {
+	enc.U64(c.hits)
+}
+
+// Pool recycles Conn values; configured as the fixture's arena root.
+type Pool struct {
+	free []*Conn
+}
+
+// Take recycles a Conn.
+func (p *Pool) Take() *Conn {
+	c := p.free[0]
+	c.reset()
+	return c
+}
+
+// Conn's id is zeroed by reset, so its keep annotation excuses a field
+// R001 already covers: one U001 finding.
+type Conn struct {
+	//reset:keep fixture: identity survives reuse
+	id int
+}
+
+// reset zeroes id.
+func (c *Conn) reset() {
+	c.id = 0
+}

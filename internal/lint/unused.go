@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AnalyzerU001 is the stale-suppression audit. It has no scan of its own:
+// when enabled, RunAnalyzers re-examines every suppression directive after
+// the other analyzers finish and reports the ones that did no work — a
+// `//lint:ignore`, `//snap:skip`, or `//reset:keep` that suppressed or
+// excused nothing (the code it hushed was fixed or deleted), and any
+// directive missing its mandatory reason (which suppresses nothing and is
+// therefore dead weight with the added insult of looking load-bearing).
+// Directives are judged only against rules that actually ran: `-rules D001`
+// does not flag a //snap:skip as stale merely because S001 was skipped.
+var AnalyzerU001 = &Analyzer{
+	Name: "U001",
+	Doc:  "every suppression directive still suppresses something and has a reason",
+	Run:  func(cfg *Config, facts *Facts, pkg *Package) []Diagnostic { return nil },
+}
+
+// unusedDirectiveDiags reports pkg's stale and reasonless directives.
+// ran holds the names of the analyzers that executed this run (minus U001
+// itself); directives guarding rules that did not run are left alone.
+func unusedDirectiveDiags(facts *Facts, pkg *Package, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	// Line directives: //lint:ignore RULE[,RULE] reason.
+	pkg.ensureDirectives()
+	//lint:ordered the function sorts its diagnostics by position before returning
+	for _, byLine := range pkg.directives {
+		//lint:ordered the function sorts its diagnostics by position before returning
+		for _, dirs := range byLine {
+			for _, d := range dirs {
+				anyRan := false
+				for _, rule := range d.rules {
+					if ran[rule] {
+						anyRan = true
+					}
+				}
+				if !anyRan {
+					continue
+				}
+				switch {
+				case !d.hasReason:
+					out = append(out, Diagnostic{
+						Pos:  pkg.position(d.pos),
+						Rule: "U001",
+						Message: fmt.Sprintf(
+							"//lint:ignore %s has no reason and suppresses nothing; add a justification or delete it",
+							joinRules(d.rules)),
+					})
+				case !d.used:
+					out = append(out, Diagnostic{
+						Pos:  pkg.position(d.pos),
+						Rule: "U001",
+						Message: fmt.Sprintf(
+							"stale suppression: //lint:ignore %s no longer matches any diagnostic; delete it",
+							joinRules(d.rules)),
+					})
+				}
+			}
+		}
+	}
+	// Field directives: //snap:skip (S001) and //reset:keep (R001).
+	for _, d := range facts.directives {
+		if d.Pkg != pkg {
+			continue
+		}
+		rule := "S001"
+		if d.Kind == "reset:keep" {
+			rule = "R001"
+		}
+		if !ran[rule] {
+			continue
+		}
+		switch {
+		case d.Reason == "":
+			out = append(out, Diagnostic{
+				Pos:  pkg.position(d.Pos),
+				Rule: "U001",
+				Message: fmt.Sprintf(
+					"//%s has no reason and excuses nothing; add a justification or delete it", d.Kind),
+			})
+		case !d.used:
+			out = append(out, Diagnostic{
+				Pos:  pkg.position(d.Pos),
+				Rule: "U001",
+				Message: fmt.Sprintf(
+					"stale annotation: //%s excuses a field %s already covers; delete it", d.Kind, rule),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+func joinRules(rules []string) string {
+	s := ""
+	for i, r := range rules {
+		if i > 0 {
+			s += ","
+		}
+		s += r
+	}
+	return s
+}

@@ -92,7 +92,7 @@ func Kernels() []Kernel {
 			Name:      "e2e/table1",
 			Desc:      "Table 1 experiment end to end at smoke scale (events/sec)",
 			Fn:        e2eTable1,
-			MaxAllocs: 2_000,
+			MaxAllocs: 500,
 		},
 		{
 			Name:      "e2e/shardfleet",
@@ -292,11 +292,12 @@ func e2eShardFleet(b *testing.B) {
 
 // fleetReuseMaxAllocs bounds the recycling bill of a full fleet run: after
 // warm-up every VM, vCPU, kernel, task, timer wheel, and deadline timer
-// comes back out of the VM arena, so the steady state is dominated by the
-// per-run Result copies plus a handful of report-shaped slices — not
-// construction. The ceiling is the regression tripwire for a reuse path
-// quietly falling back to building fresh (which costs tens of thousands).
-const fleetReuseMaxAllocs = 2_000
+// comes back out of the VM arena, and RunScenarioInto refills one
+// caller-owned ScenarioResult in place, so the steady state is a few dozen
+// scenario-spec allocations — not construction, not results. The ceiling
+// is the regression tripwire for a reuse path quietly falling back to
+// building fresh (which costs tens of thousands).
+const fleetReuseMaxAllocs = 300
 
 // fleetReuseScenario is the pinned fleet shape: 8 sync-workload VMs of 8
 // vCPUs each on the paper topology. The mode is the reconfiguration axis the
@@ -338,10 +339,11 @@ func e2eFleetReuse(b *testing.B) {
 		}
 	}
 	m := &metrics.Meter{}
+	var res experiment.ScenarioResult
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sess.RunScenario(fleetReuseScenario(modes[i%2], dur), 1, m); err != nil {
+		if err := sess.RunScenarioInto(fleetReuseScenario(modes[i%2], dur), 1, m, &res); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,10 +12,13 @@ import (
 // overcommit this gets woken vCPUs — which carry pending interrupt
 // injections — onto a pCPU well before a FIFO rotation would.
 type fairSched struct {
-	topo      hw.Topology
+	//snap:skip immutable host topology from the scenario
+	topo hw.Topology
+	//snap:skip immutable policy parameter from the scenario
 	timeslice sim.Time
 	// minGranularity bounds how small the dynamic timeslice gets, CFS's
 	// sysctl_sched_min_granularity.
+	//snap:skip immutable policy parameter from the scenario
 	minGranularity sim.Time
 	queues         []fairQueue
 }
@@ -24,6 +27,7 @@ type fairSched struct {
 // overcommit ratio), so min-selection is a linear scan with deterministic
 // tie-breaking rather than a tree.
 type fairQueue struct {
+	//snap:skip queue membership is re-derived from restored vCPU states
 	fifoQueue
 	// minVruntime is a monotonic floor tracking the queue's progress; newly
 	// woken entities are placed at the floor so a long sleeper cannot

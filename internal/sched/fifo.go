@@ -60,7 +60,8 @@ func clearTail(s []Entity, from int) {
 // order, a fixed timeslice checked at host ticks, no migration, no runtime
 // accounting.
 type fifoSched struct {
-	queues    []fifoQueue
+	queues []fifoQueue
+	//snap:skip immutable policy parameter from the scenario
 	timeslice sim.Time
 }
 

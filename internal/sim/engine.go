@@ -147,11 +147,19 @@ type Engine struct {
 	// [wheelBase, wheelBase+wheelBuckets); wheelEnd is the window's end as
 	// a time (saturated at Forever). wheelBase tracks now>>shift, so every
 	// schedulable time below wheelEnd maps to a unique ring slot.
-	wheelBase  int64
-	wheelEnd   Time
+	// The queue population is never encoded: owners re-arm every pending
+	// event through ScheduleRestored on load, which rebuilds the wheel,
+	// batch, and heap below from scratch.
+	//snap:skip derived queue state, rebuilt by ScheduleRestored on load
+	wheelBase int64
+	//snap:skip derived queue state, rebuilt by ScheduleRestored on load
+	wheelEnd Time
+	//snap:skip derived queue state, rebuilt by ScheduleRestored on load
 	wheelCount int
-	occ        [wheelWords]uint64
-	buckets    [wheelBuckets][]*node
+	//snap:skip derived queue state, rebuilt by ScheduleRestored on load
+	occ [wheelWords]uint64
+	//snap:skip derived queue state, rebuilt by ScheduleRestored on load
+	buckets [wheelBuckets][]*node
 
 	// Active dispatch batch: one drained bucket, sorted by (when, seq).
 	// Entries carry the sort key inline so comparisons and the dispatch
@@ -160,20 +168,27 @@ type Engine struct {
 	// absolute bucket the batch was drained from (-1 when no batch is
 	// active); same-bucket schedules during a drain bubble-insert into the
 	// live batch.
-	batch    []batchEnt
+	//snap:skip derived queue state, rebuilt by ScheduleRestored on load
+	batch []batchEnt
+	//snap:skip derived queue state, rebuilt by ScheduleRestored on load
 	batchPos int
+	//snap:skip derived queue state, rebuilt by ScheduleRestored on load
 	batchBkt int64
 
+	//snap:skip derived queue state, rebuilt by ScheduleRestored on load
 	heap []*node // overflow min-heap; invariant: heap min >= wheelEnd
+	//snap:skip node pool, capacity only — never simulation state
 	free []*node
 
-	seq     uint64
-	fired   uint64
+	seq   uint64
+	fired uint64
+	//snap:skip derived: recounted as owners re-arm events on load
 	count   int
 	rand    *Rand
 	stopReq bool // Stop() pending, not yet observed by a run
 	stopped bool // most recent run was halted by Stop
-	obs     Observer
+	//snap:skip observer hook, reattached by the harness after restore
+	obs Observer
 }
 
 // Observer receives one callback per dispatched event, immediately before

@@ -62,20 +62,24 @@ type ShardedEngine struct {
 	engines []*Engine
 	// shardEngines groups lanes into contiguous per-shard runs; shard s
 	// executes shardEngines[s] serially on its goroutine.
+	//snap:skip derived regrouping of engines, rebuilt at construction
 	shardEngines [][]*Engine
 	quantum      Time
-	shards       int
+	//snap:skip construction-time worker count, fixed by the topology
+	shards int
 
 	// outbox[src] buffers messages posted by lane src during the current
 	// quantum; only src's shard appends to it, so no locking is needed.
 	outbox [][]Message
 	// deliver receives every message at barrier drain, in (src lane, FIFO)
 	// order, on the coordinator goroutine.
+	//snap:skip closure wiring, rebound by SetDeliver after restore
 	deliver func(Message)
 	// hook runs after every barrier drain with the barrier instant; it is
 	// where the experiment layer checks workload completion (lane mode
 	// defers Stop to barriers so the decision never depends on intra-
 	// quantum cross-lane state).
+	//snap:skip closure wiring, rebound by the experiment layer after restore
 	hook func(Time)
 
 	stopReq, stopped bool

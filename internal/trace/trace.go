@@ -67,9 +67,12 @@ func (e Event) String() string {
 // Buffer is a bounded ring of trace events plus running aggregates. A nil
 // *Buffer is a valid no-op tracer, so call sites need no nil checks.
 type Buffer struct {
-	cap    int
+	cap int
+	//snap:skip the ring is saved normalized (chronological) via Events
 	events []Event
-	next   int
+	//snap:skip ring cursor, re-derived from the normalized event order on load
+	next int
+	//snap:skip ring cursor, re-derived from the normalized event order on load
 	full   bool
 	total  uint64
 	counts map[string]uint64 // "kind/detail" → occurrences

@@ -114,7 +114,9 @@ func (j FioJob) Ops() int {
 }
 
 type fioProgram struct {
-	job      FioJob
+	//snap:skip immutable job definition from the scenario
+	job FioJob
+	//snap:skip device wiring, re-bound when the program is rebuilt
 	dev      *iodev.Device
 	opsLeft  int
 	thinking bool

@@ -114,7 +114,9 @@ func (p ParsecProfile) Validate() error {
 // "sequential" runs vary widely in how much they benefit — the I/O rate is
 // the driver).
 type seqProgram struct {
-	p         ParsecProfile
+	//snap:skip immutable benchmark profile from the scenario
+	p ParsecProfile
+	//snap:skip device wiring, re-bound when the program is rebuilt
 	dev       *iodev.Device
 	remaining sim.Time
 	ioPending bool
@@ -169,16 +171,20 @@ func (s *seqProgram) Next(ctx *guest.StepCtx) guest.Step {
 // blocking lock, periodic phase barriers, and a thread 0 that also
 // performs the benchmark's I/O.
 type parProgram struct {
-	p         ParsecProfile
-	dev       *iodev.Device
-	locks     []*guest.Lock
-	lock      *guest.Lock // lock taken in the current iteration
+	//snap:skip immutable benchmark profile from the scenario
+	p ParsecProfile
+	//snap:skip device wiring, re-bound when the program is rebuilt
+	dev   *iodev.Device
+	locks []*guest.Lock
+	lock  *guest.Lock // lock taken in the current iteration
+	//snap:skip shared-object wiring, re-bound when the program is rebuilt
 	barrier   *guest.Barrier
 	remaining sim.Time
 	iter      int
 	phase     int // 0 compute, 1 in-CS, 2 io
-	doIO      bool
-	left      bool // has detached from the barrier
+	//snap:skip immutable thread-role flag fixed at program construction
+	doIO bool
+	left bool // has detached from the barrier
 }
 
 // ParallelArtifacts holds the shared objects of one parallel run.

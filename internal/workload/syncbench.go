@@ -48,8 +48,11 @@ func (s SyncBench) Validate() error {
 }
 
 type syncProgram struct {
-	b     SyncBench
-	meet  *guest.Barrier
+	//snap:skip immutable benchmark spec from the scenario
+	b SyncBench
+	//snap:skip shared-object wiring, re-bound when the program is rebuilt
+	meet *guest.Barrier
+	//snap:skip fixed at construction from the benchmark duration
 	until sim.Time
 	phase int
 	done  bool
